@@ -1,0 +1,257 @@
+package gathering
+
+// One benchmark per reproduction experiment (E1..E13, DESIGN.md §4), so
+// `go test -bench=.` regenerates every table, plus micro-benchmarks of the
+// substrates. Experiment benches run the quick sweep once per iteration
+// and report rounds-derived metrics; run `cmd/experiments` for the full
+// tables with verdicts.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/expt"
+	"repro/internal/gather"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/place"
+	"repro/internal/sim"
+	"repro/internal/uxs"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := expt.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	opts := expt.Options{Quick: true, Seed: 42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, opts); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func BenchmarkE01UndispersedScaling(b *testing.B)  { benchExperiment(b, "E1") }
+func BenchmarkE02HopMeetingScaling(b *testing.B)   { benchExperiment(b, "E2") }
+func BenchmarkE03UXSGatherScaling(b *testing.B)    { benchExperiment(b, "E3") }
+func BenchmarkE04TheoremRegimes(b *testing.B)      { benchExperiment(b, "E4") }
+func BenchmarkE05Lemma15Bound(b *testing.B)        { benchExperiment(b, "E5") }
+func BenchmarkE06DistanceCases(b *testing.B)       { benchExperiment(b, "E6") }
+func BenchmarkE07CrossoverFigure(b *testing.B)     { benchExperiment(b, "E7") }
+func BenchmarkE08WhoWins(b *testing.B)             { benchExperiment(b, "E8") }
+func BenchmarkE09Memory(b *testing.B)              { benchExperiment(b, "E9") }
+func BenchmarkE10DetectionOverhead(b *testing.B)   { benchExperiment(b, "E10") }
+func BenchmarkE11KnownDistanceOracle(b *testing.B) { benchExperiment(b, "E11") }
+func BenchmarkE12KnownDegreeAblation(b *testing.B) { benchExperiment(b, "E12") }
+func BenchmarkE13BaselineBlowup(b *testing.B)      { benchExperiment(b, "E13") }
+func BenchmarkE14CostMetric(b *testing.B)          { benchExperiment(b, "E14") }
+func BenchmarkE15CrashFaults(b *testing.B)         { benchExperiment(b, "E15") }
+func BenchmarkE16StartupDelays(b *testing.B)       { benchExperiment(b, "E16") }
+func BenchmarkE17MappingAblation(b *testing.B)     { benchExperiment(b, "E17") }
+func BenchmarkE18BeepingModel(b *testing.B)        { benchExperiment(b, "E18") }
+
+// --- Micro-benchmarks of the substrates ---
+
+func BenchmarkSimStep(b *testing.B) {
+	for _, k := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rng := graph.NewRNG(1)
+			g := graph.FromFamily(graph.FamRandom, 32, rng)
+			sc := &gather.Scenario{
+				G:         g,
+				IDs:       gather.AssignIDs(k, g.N(), rng),
+				Positions: place.Random(g, k, rng),
+			}
+			sc.Certify()
+			w, err := sc.NewFasterWorld()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Step()
+			}
+		})
+	}
+}
+
+func BenchmarkUXSWalk(b *testing.B) {
+	rng := graph.NewRNG(2)
+	g := graph.FromFamily(graph.FamRandom, 64, rng)
+	u := uxs.New(64, uxs.Scaled)
+	b.ResetTimer()
+	cur, entry := 0, -1
+	for i := 0; i < b.N; i++ {
+		p := u.NextPort(i%u.Len(), entry, g.Degree(cur))
+		cur, entry = g.Neighbor(cur, p)
+	}
+}
+
+func BenchmarkUXSCoverage(b *testing.B) {
+	rng := graph.NewRNG(3)
+	g := graph.FromFamily(graph.FamLollipop, 24, rng)
+	u := uxs.New(24, uxs.Scaled)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if u.CoverageRounds(g, 0) < 0 {
+			b.Fatal("no coverage")
+		}
+	}
+}
+
+func BenchmarkMapConstruction(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := graph.NewRNG(4)
+			g := graph.FromFamily(graph.FamRandom, n, rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				finder := mapping.NewFinderAgent(1, g.N(), 2)
+				token := mapping.NewTokenAgent(2, 1)
+				w, err := sim.NewWorld(g, []sim.Agent{finder, token}, []int{0, 0})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for r := 0; r < mapping.Budget(g.N()) && !finder.B.Done(); r++ {
+					w.Step()
+				}
+				if !finder.B.Done() {
+					b.Fatal("map not finished")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkUndispersedGathering(b *testing.B) {
+	for _, n := range []int{8, 12} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := graph.NewRNG(5)
+			g := graph.FromFamily(graph.FamCycle, n, rng)
+			rounds := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc := &gather.Scenario{
+					G:         g,
+					IDs:       gather.AssignIDs(4, g.N(), rng),
+					Positions: place.Clustered(g, 4, 2, rng),
+				}
+				res, err := sc.RunUndispersed(gather.R(g.N()) + 2)
+				if err != nil || !res.DetectionCorrect {
+					b.Fatalf("failed: %v %+v", err, res)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+func BenchmarkFasterGatheringManyRobots(b *testing.B) {
+	rng := graph.NewRNG(6)
+	n := 10
+	g := graph.Cycle(n)
+	g.PermutePorts(rng)
+	rounds := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := n/2 + 1
+		sc := &gather.Scenario{
+			G:         g,
+			IDs:       gather.AssignIDs(k, n, rng),
+			Positions: place.MaxMinDispersed(g, k, rng),
+		}
+		sc.Certify()
+		res, err := sc.RunFaster(sc.Cfg.FasterBound(n) + 10)
+		if err != nil || !res.DetectionCorrect {
+			b.Fatalf("failed: %v %+v", err, res)
+		}
+		rounds = res.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+func BenchmarkGraphBFS(b *testing.B) {
+	rng := graph.NewRNG(7)
+	g := graph.FromFamily(graph.FamRandom, 256, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFSDistances(i % g.N())
+	}
+}
+
+func BenchmarkDFSEnumDepth3(b *testing.B) {
+	rng := graph.NewRNG(8)
+	g := graph.FromFamily(graph.FamRandom, 16, rng)
+	sc := &gather.Scenario{G: g, IDs: []int{1, 2}, Positions: []int{0, 1}}
+	dur := sc.Cfg.HopDuration(3, g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sc.RunHopMeet(3, dur+1)
+		if err != nil || !res.AllTerminated {
+			b.Fatal("hop meet failed")
+		}
+	}
+}
+
+func BenchmarkAdversarialPlacement(b *testing.B) {
+	rng := graph.NewRNG(9)
+	g := graph.FromFamily(graph.FamGrid, 100, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		place.MaxMinDispersed(g, 10, rng)
+	}
+}
+
+func BenchmarkMapConstructionNaiveVsTour(b *testing.B) {
+	// The E17 ablation as a micro-benchmark: same graph, both builders.
+	rng := graph.NewRNG(10)
+	g := graph.Cycle(16)
+	g.PermutePorts(rng)
+	run := func(b *testing.B, naive bool) {
+		for i := 0; i < b.N; i++ {
+			var (
+				agents []sim.Agent
+				done   func() bool
+			)
+			if naive {
+				f := mapping.NewNaiveFinderAgent(1, g.N(), 2)
+				agents = []sim.Agent{f, mapping.NewTokenAgent(2, 1)}
+				done = f.B.Done
+			} else {
+				f := mapping.NewFinderAgent(1, g.N(), 2)
+				agents = []sim.Agent{f, mapping.NewTokenAgent(2, 1)}
+				done = f.B.Done
+			}
+			w, err := sim.NewWorld(g, agents, []int{0, 0})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for r := 0; r < mapping.NaiveBudget(g.N()) && !done(); r++ {
+				w.Step()
+			}
+			if !done() {
+				b.Fatal("map not finished")
+			}
+		}
+	}
+	b.Run("tour", func(b *testing.B) { run(b, false) })
+	b.Run("naive", func(b *testing.B) { run(b, true) })
+}
+
+func BenchmarkBeepGathering(b *testing.B) {
+	rng := graph.NewRNG(11)
+	g := graph.FromFamily(graph.FamCycle, 7, rng)
+	sc := &gather.Scenario{G: g, IDs: []int{5, 12}, Positions: []int{0, 3}}
+	sc.Certify()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sc.RunBeep(sc.Cfg.UXSGatherBound(g.N()) + 2)
+		if err != nil || !res.DetectionCorrect {
+			b.Fatalf("beep run failed: %v %+v", err, res)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Command gathersim runs a single gathering scenario and prints the
+// outcome. It is the quickest way to watch the paper's algorithms work:
+//
+//	gathersim -family cycle -n 12 -k 7 -algo faster -seed 1
+//	gathersim -family grid -n 16 -k 2 -algo uxs -trace 500
+//	gathersim -family random -n 10 -k 5 -algo undispersed -placement clustered
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gather"
+	"repro/internal/graph"
+	"repro/internal/place"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		family    = flag.String("family", "cycle", "graph family: path|cycle|grid|tree|random|complete|lollipop|star|hypercube")
+		n         = flag.Int("n", 12, "number of nodes (approximate for some families)")
+		k         = flag.Int("k", 4, "number of robots")
+		algo      = flag.String("algo", "faster", "algorithm: faster|uxs|undispersed|hopmeet|dessmark|beep (beep needs k<=2)")
+		radius    = flag.Int("radius", 2, "radius for -algo hopmeet")
+		placement = flag.String("placement", "maxmin", "placement: maxmin|random|dispersed|clustered")
+		seed      = flag.Uint64("seed", 1, "random seed (drives graph, ports, IDs, placement)")
+		maxRounds = flag.Int("max-rounds", 0, "round cap (0 = algorithm-derived bound)")
+		trace     = flag.Int("trace", 0, "log positions every N rounds (0 = off)")
+		dotFile   = flag.String("dot", "", "write the scenario graph (with start positions) as Graphviz DOT to this file")
+	)
+	flag.Parse()
+
+	if err := run(*family, *algo, *placement, *dotFile, *n, *k, *radius, *seed, *maxRounds, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "gathersim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(family, algo, placement, dotFile string, n, k, radius int, seed uint64, maxRounds, trace int) error {
+	rng := graph.NewRNG(seed)
+	g := graph.FromFamily(graph.Family(family), n, rng)
+	n = g.N()
+	if k < 1 {
+		return fmt.Errorf("need at least one robot")
+	}
+
+	var pos []int
+	switch placement {
+	case "maxmin":
+		pos = place.MaxMinDispersed(g, min(k, n), rng)
+		for len(pos) < k { // more robots than nodes: stack the extras
+			pos = append(pos, rng.Intn(n))
+		}
+	case "random":
+		pos = place.Random(g, k, rng)
+	case "dispersed":
+		pos = place.RandomDispersed(g, k, rng)
+	case "clustered":
+		pos = place.Clustered(g, k, max(1, k/2), rng)
+	default:
+		return fmt.Errorf("unknown placement %q", placement)
+	}
+
+	sc := &gather.Scenario{G: g, IDs: gather.AssignIDs(k, n, rng), Positions: pos}
+	sc.Certify()
+
+	fmt.Printf("graph: %s (family %s, diameter %d)\n", g, family, g.Diameter())
+	fmt.Printf("robots: k=%d IDs=%v positions=%v (min pairwise distance %d)\n",
+		k, sc.IDs, sc.Positions, sc.MinPairDistance())
+	fmt.Printf("schedule: R1=%d R=%d T=%d B=%d\n",
+		gather.R1(n), gather.R(n), sc.Cfg.UXSLength(n), gather.BitBudget(n))
+
+	if dotFile != "" {
+		byNode := map[int][]int{}
+		for i, p := range sc.Positions {
+			byNode[p] = append(byNode[p], sc.IDs[i])
+		}
+		f, err := os.Create(dotFile)
+		if err != nil {
+			return err
+		}
+		if err := g.WriteDOT(f, byNode); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("scenario graph written to %s\n", dotFile)
+	}
+
+	var (
+		w   *sim.World
+		cap int
+		err error
+	)
+	switch algo {
+	case "faster":
+		w, err = sc.NewFasterWorld()
+		cap = sc.Cfg.FasterBound(n) + 10
+	case "uxs":
+		w, err = sc.NewUXSWorld()
+		cap = sc.Cfg.UXSGatherBound(n) + 2
+	case "undispersed":
+		w, err = sc.NewUndispersedWorld()
+		cap = gather.R(n) + 2
+	case "hopmeet":
+		w, err = sc.NewHopMeetWorld(radius)
+		cap = sc.Cfg.HopDuration(radius, n) + 2
+	case "dessmark":
+		w, err = sc.NewDessmarkWorld()
+		cap = sc.Cfg.FasterBound(n) + 10
+	case "beep":
+		// The beeping-model algorithm is defined for at most two robots.
+		res, berr := sc.RunBeep(sc.Cfg.UXSGatherBound(n) + 2)
+		if berr != nil {
+			return berr
+		}
+		printResult(res)
+		return nil
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return err
+	}
+	if maxRounds > 0 {
+		cap = maxRounds
+	}
+	if trace > 0 {
+		w.SetTracer(&sim.PositionLogger{W: os.Stdout, Every: trace})
+	}
+	printResult(w.Run(cap))
+	return nil
+}
+
+func printResult(res sim.Result) {
+	fmt.Printf("\nresult:\n")
+	fmt.Printf("  rounds:            %d\n", res.Rounds)
+	fmt.Printf("  terminated:        %v\n", res.AllTerminated)
+	fmt.Printf("  gathered:          %v\n", res.Gathered)
+	fmt.Printf("  detection correct: %v\n", res.DetectionCorrect)
+	fmt.Printf("  first meet round:  %d\n", res.FirstMeetRound)
+	fmt.Printf("  first gather:      %d\n", res.FirstGatherRound)
+	fmt.Printf("  total moves:       %d (max per robot %d)\n", res.TotalMoves, res.MaxMoves)
+	fmt.Printf("  final positions:   %v\n", res.FinalPositions)
+}

@@ -1,0 +1,166 @@
+// Package gathering is the public API of the library: a faithful, fully
+// self-contained reproduction of "Fast Deterministic Gathering with
+// Detection on Arbitrary Graphs: The Power of Many Robots" (Molla, Mondal,
+// Moses Jr., IPDPS 2023).
+//
+// The facade re-exports the pieces a downstream user needs: port-labeled
+// anonymous graphs and generators, placement engines, the synchronous
+// robot simulator, and the paper's four algorithms plus baselines. See
+// README.md for a tour and DESIGN.md for the system inventory.
+//
+// Quick start:
+//
+//	g := gathering.Cycle(12)
+//	rng := gathering.NewRNG(1)
+//	g.PermutePorts(rng)
+//	sc := &gathering.Scenario{
+//		G:         g,
+//		IDs:       gathering.AssignIDs(7, g.N(), rng),
+//		Positions: gathering.MaxMinDispersed(g, 7, rng),
+//	}
+//	sc.Certify()
+//	res, err := sc.RunFaster(sc.Cfg.FasterBound(g.N()) + 10)
+//	// res.DetectionCorrect reports gathering with detection.
+package gathering
+
+import (
+	"repro/internal/gather"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/place"
+	"repro/internal/sim"
+	"repro/internal/uxs"
+)
+
+// Core types, re-exported for external use.
+type (
+	// Graph is a connected, undirected, simple, port-labeled graph.
+	Graph = graph.Graph
+	// RNG is the library's deterministic random generator.
+	RNG = graph.RNG
+	// Family names a graph family for sweeps.
+	Family = graph.Family
+	// Scenario is a gathering instance: graph, IDs, positions, config.
+	Scenario = gather.Scenario
+	// Config is the run-wide parameter set every robot derives from n.
+	Config = gather.Config
+	// Result summarizes a run (rounds, detection verdicts, move counts).
+	Result = sim.Result
+	// World is the synchronous round engine, for custom agent work.
+	World = sim.World
+	// Agent is the robot-algorithm interface of the simulator.
+	Agent = sim.Agent
+	// Mode selects scaled or paper-faithful UXS lengths.
+	Mode = uxs.Mode
+	// Tracer observes the world after every round.
+	Tracer = sim.Tracer
+	// OccupancyTracer records distinct occupied nodes per round.
+	OccupancyTracer = sim.OccupancyTracer
+	// PositionLogger logs robot positions every N rounds.
+	PositionLogger = sim.PositionLogger
+	// InvariantTracer validates engine invariants every round.
+	InvariantTracer = sim.InvariantTracer
+	// FinderAgent is a standalone map-building finder (with token helper).
+	FinderAgent = mapping.FinderAgent
+	// TokenAgent is the movable-token helper agent.
+	TokenAgent = mapping.TokenAgent
+)
+
+// UXS length modes.
+const (
+	// Scaled uses verified Θ(n³)-length exploration sequences (default).
+	Scaled = uxs.Scaled
+	// Faithful uses the paper's Θ(n⁵ log n) lengths (tiny n only).
+	Faithful = uxs.Faithful
+)
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed uint64) *RNG { return graph.NewRNG(seed) }
+
+// Graph generators.
+var (
+	// Path returns the path graph on n nodes.
+	Path = graph.Path
+	// Cycle returns the cycle graph on n >= 3 nodes.
+	Cycle = graph.Cycle
+	// Complete returns the complete graph K_n.
+	Complete = graph.Complete
+	// Star returns the star graph on n nodes.
+	Star = graph.Star
+	// Grid returns the rows x cols grid.
+	Grid = graph.Grid
+	// Torus returns the rows x cols torus.
+	Torus = graph.Torus
+	// Hypercube returns the d-dimensional hypercube.
+	Hypercube = graph.Hypercube
+	// Lollipop returns a clique with a path tail.
+	Lollipop = graph.Lollipop
+	// Maze returns a rows x cols maze with extra openings.
+	Maze = graph.Maze
+	// Wheel returns the wheel graph (hub + rim cycle).
+	Wheel = graph.Wheel
+	// Petersen returns the Petersen graph.
+	Petersen = graph.Petersen
+	// Circulant returns the circulant graph C_n(jumps).
+	Circulant = graph.Circulant
+	// Caterpillar returns a caterpillar tree (spine + pendant leaves).
+	Caterpillar = graph.Caterpillar
+	// RandomRegular returns a random connected d-regular graph.
+	RandomRegular = graph.RandomRegular
+	// RandomTree returns a random tree on n nodes.
+	RandomTree = graph.RandomTree
+	// RandomConnected returns a random connected graph with n nodes, m edges.
+	RandomConnected = graph.RandomConnected
+	// FromFamily builds a named-family graph of about n nodes.
+	FromFamily = graph.FromFamily
+	// AllFamilies lists the default sweep families.
+	AllFamilies = graph.AllFamilies
+)
+
+// Placements.
+var (
+	// RandomPlacement places k robots uniformly (repeats allowed).
+	RandomPlacement = place.Random
+	// RandomDispersed places k robots on distinct random nodes.
+	RandomDispersed = place.RandomDispersed
+	// Clustered places k robots into c co-located groups.
+	Clustered = place.Clustered
+	// MaxMinDispersed is the adversarial max-min placement of Lemma 15.
+	MaxMinDispersed = place.MaxMinDispersed
+	// PairAtDistance finds two nodes at an exact hop distance.
+	PairAtDistance = place.PairAtDistance
+	// MinPairwise returns the smallest pairwise robot distance.
+	MinPairwise = place.MinPairwise
+)
+
+// Robot identifiers.
+var (
+	// AssignIDs draws k distinct IDs from the paper's [1, n^b] range.
+	AssignIDs = gather.AssignIDs
+	// MaxID is the top of the ID range for an n-node run.
+	MaxID = gather.MaxID
+)
+
+// Schedule constants (exported for experiment scripting).
+var (
+	// R1 is the Phase 1 (map construction) budget of Theorem 8.
+	R1 = gather.R1
+	// R is the full Undispersed-Gathering budget R1 + 2n.
+	R = gather.R
+	// BitBudget is B(n), the shared ID bit budget.
+	BitBudget = gather.BitBudget
+)
+
+// Simulator and substrate access.
+var (
+	// NewWorld builds a simulator world from custom agents.
+	NewWorld = sim.NewWorld
+	// NewFinderAgent returns a map-building finder robot.
+	NewFinderAgent = mapping.NewFinderAgent
+	// NewTokenAgent returns its movable-token helper.
+	NewTokenAgent = mapping.NewTokenAgent
+	// MappingBudget is the O(n³) round budget of map construction.
+	MappingBudget = mapping.Budget
+	// IsomorphicFrom verifies port-respecting rooted isomorphism.
+	IsomorphicFrom = graph.IsomorphicFrom
+)

@@ -1,0 +1,320 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/gather"
+	"repro/internal/graph"
+	"repro/internal/place"
+	"repro/internal/stats"
+)
+
+// sweepSizes returns the n sweep for an experiment, respecting Quick mode.
+func sweepSizes(o Options, quick, full []int) []int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+func init() {
+	register(Experiment{
+		ID:    "E1",
+		Title: "Undispersed-Gathering scaling",
+		Claim: "Theorem 8: Undispersed-Gathering gathers with detection in O(n^3) rounds",
+		Run:   runE1,
+	})
+	register(Experiment{
+		ID:    "E2",
+		Title: "i-Hop-Meeting scaling",
+		Claim: "Lemmas 9-10: robots at distance i reach an undispersed configuration in O(n^i log n) rounds",
+		Run:   runE2,
+	})
+	register(Experiment{
+		ID:    "E3",
+		Title: "UXS gathering scaling",
+		Claim: "Theorem 6: UXS-based gathering with detection runs in O(T log L) rounds",
+		Run:   runE3,
+	})
+	register(Experiment{
+		ID:    "E4",
+		Title: "Theorem 16 regimes",
+		Claim: "k>=n/2+1 -> O(n^3); n/3+1<=k<n/2+1 -> O(n^4 log n); else ~O(n^5) (UXS tail)",
+		Run:   runE4,
+	})
+	register(Experiment{
+		ID:    "E5",
+		Title: "Lemma 15 distance bound",
+		Claim: "floor(n/c)+1 robots always include a pair within 2c-2 hops, for any placement",
+		Run:   runE5,
+	})
+}
+
+// E1: rounds of Undispersed-Gathering vs n across graph families. The
+// schedule is R(n)+1 by construction (the detection counter), so we fit
+// both the schedule rounds (the guarantee) and the first-gather round (the
+// actual collection time).
+func runE1(w io.Writer, o Options) error {
+	rng := graph.NewRNG(o.Seed + 1)
+	sizes := sweepSizes(o, []int{6, 9, 12}, []int{8, 12, 16, 20, 24})
+	tb := NewTable("family", "n", "rounds", "first-gather", "R(n)+1")
+	fams := []graph.Family{graph.FamCycle, graph.FamGrid, graph.FamRandom, graph.FamTree, graph.FamLollipop}
+	var xs, ys []float64
+	for _, fam := range fams {
+		for _, n := range sizes {
+			g := graph.FromFamily(fam, n, rng)
+			k := max(2, g.N()/2)
+			ids := gather.AssignIDs(k, g.N(), rng)
+			pos := place.Clustered(g, k, max(1, k/2), rng)
+			sc := &gather.Scenario{G: g, IDs: ids, Positions: pos}
+			res, err := sc.RunUndispersed(gather.R(g.N()) + 2)
+			if err != nil {
+				return err
+			}
+			if !res.DetectionCorrect {
+				return fmt.Errorf("E1: %s n=%d: detection failed", fam, g.N())
+			}
+			tb.Add(string(fam), g.N(), res.Rounds, res.FirstGatherRound, gather.R(g.N())+1)
+			xs = append(xs, float64(g.N()))
+			ys = append(ys, float64(res.Rounds))
+		}
+	}
+	tb.Render(w)
+	exp, _, err := stats.FitPowerLaw(xs, ys)
+	if err != nil {
+		return err
+	}
+	verdict(w, exp <= 3.3 && exp >= 2.5, "fitted exponent %.2f vs paper bound n^3", exp)
+	return nil
+}
+
+// E2: duration of i-Hop-Meeting vs n for each radius i, with the pair
+// placed at exactly distance i. Fits the per-i growth exponent.
+func runE2(w io.Writer, o Options) error {
+	rng := graph.NewRNG(o.Seed + 2)
+	radii := []int{1, 2, 3}
+	if !o.Quick {
+		radii = []int{1, 2, 3, 4}
+	}
+	tb := NewTable("i", "n", "met-round", "duration", "bound O(n^i log n)")
+	for _, i := range radii {
+		sizes := sweepSizes(o, []int{8, 10, 12}, []int{8, 12, 16, 20})
+		if i >= 3 {
+			sizes = sweepSizes(o, []int{6, 8}, []int{6, 8, 10, 12})
+		}
+		var xs, ys, bs []float64
+		for _, n := range sizes {
+			g := graph.Cycle(n)
+			g.PermutePorts(rng)
+			u, v, ok := place.PairAtDistance(g, i, rng)
+			if !ok {
+				continue
+			}
+			sc := &gather.Scenario{G: g, IDs: []int{1, 2}, Positions: []int{u, v}}
+			dur := sc.Cfg.HopDuration(i, n)
+			res, err := sc.RunHopMeet(i, dur+1)
+			if err != nil {
+				return err
+			}
+			if res.FirstMeetRound < 0 {
+				return fmt.Errorf("E2: i=%d n=%d: pair never met", i, n)
+			}
+			tb.Add(i, n, res.FirstMeetRound, dur, dur)
+			xs = append(xs, float64(n))
+			ys = append(ys, float64(dur))
+			bs = append(bs, theoryHop(i, n))
+		}
+		exp, _, err := stats.FitPowerLaw(xs, ys)
+		if err != nil {
+			return err
+		}
+		// Compare against the exponent of the n^i log n law fitted on the
+		// same points: at small n the log factor and lower-order terms are
+		// visible, so a fixed cap would misjudge the shape.
+		ref, _, err := stats.FitPowerLaw(xs, bs)
+		if err != nil {
+			return err
+		}
+		verdict(w, exp >= ref-0.5 && exp <= ref+0.5,
+			"radius %d: fitted duration exponent %.2f vs n^%d log n law's %.2f on the same window", i, exp, i, ref)
+	}
+	tb.Render(w)
+	return nil
+}
+
+// E3: UXS gathering rounds vs n, and vs ID magnitude L at fixed n
+// (Theorem 6's O(T log L): rounds scale with the bit length of the
+// largest ID).
+func runE3(w io.Writer, o Options) error {
+	rng := graph.NewRNG(o.Seed + 3)
+	tb := NewTable("n", "k", "maxID", "rounds", "2T(B+1)+1")
+	sizes := sweepSizes(o, []int{5, 6, 7}, []int{5, 6, 7, 8, 9})
+	var xs, ys []float64
+	for _, n := range sizes {
+		g := graph.FromFamily(graph.FamRandom, n, rng)
+		// Fixed equal-length IDs keep the number of 2T phases constant
+		// across the sweep, isolating T's growth (the log L factor is
+		// measured separately below).
+		ids := []int{2, 3}
+		pos := place.MaxMinDispersed(g, 2, rng)
+		sc := &gather.Scenario{G: g, IDs: ids, Positions: pos}
+		sc.Certify()
+		res, err := sc.RunUXS(sc.Cfg.UXSGatherBound(g.N()) + 2)
+		if err != nil {
+			return err
+		}
+		if !res.DetectionCorrect {
+			return fmt.Errorf("E3: n=%d detection failed", g.N())
+		}
+		maxID := ids[0]
+		if ids[1] > maxID {
+			maxID = ids[1]
+		}
+		tb.Add(g.N(), 2, maxID, res.Rounds, sc.Cfg.UXSGatherBound(g.N()))
+		xs = append(xs, float64(g.N()))
+		ys = append(ys, float64(res.Rounds))
+	}
+	// L sweep at fixed n: small vs large IDs change the number of phases.
+	n := 6
+	g := graph.FromFamily(graph.FamCycle, n, rng)
+	var idRounds []int
+	for _, idPair := range [][2]int{{1, 2}, {100, 101}, {MaxIDPair(n)[0], MaxIDPair(n)[1]}} {
+		sc := &gather.Scenario{G: g, IDs: []int{idPair[0], idPair[1]},
+			Positions: place.MaxMinDispersed(g, 2, rng)}
+		sc.Certify()
+		res, err := sc.RunUXS(sc.Cfg.UXSGatherBound(n) + 2)
+		if err != nil {
+			return err
+		}
+		tb.Add(n, 2, idPair[1], res.Rounds, sc.Cfg.UXSGatherBound(n))
+		idRounds = append(idRounds, res.Rounds)
+	}
+	tb.Render(w)
+	exp, _, err := stats.FitPowerLaw(xs, ys)
+	if err != nil {
+		return err
+	}
+	// Scaled mode uses T = Theta(n^3): rounds should track T, i.e. ~n^3.
+	verdict(w, exp >= 2.4 && exp <= 3.6, "fitted exponent %.2f vs scaled T=Theta(n^3) schedule", exp)
+	verdict(w, idRounds[0] < idRounds[2], "rounds grow with log L: %d (L=2) < %d (L=max)", idRounds[0], idRounds[2])
+	return nil
+}
+
+// MaxIDPair returns the two largest legal IDs for an n-node run.
+func MaxIDPair(n int) [2]int { return [2]int{gather.MaxID(n) - 1, gather.MaxID(n)} }
+
+// theoryHop evaluates Lemma 10's exact law Σ_{j<=i}(n-1)^j · log L at n.
+// At experiment-scale n the (n-1)^j geometric sum is visibly steeper than
+// the smooth n^i·log n idealization, so the reference must use the paper's
+// own formula (both are Θ(nⁱ log n)).
+func theoryHop(i, n int) float64 {
+	v, pow := 0.0, 1.0
+	for j := 0; j < i; j++ {
+		pow *= float64(n - 1)
+		v += pow
+	}
+	lg := 0.0
+	for x := n * n * n; x > 0; x >>= 1 {
+		lg++
+	}
+	return v * lg
+}
+
+// E4: the headline Theorem 16 table — three robot-count regimes under
+// adversarial max-min placement, fitted exponents per regime.
+func runE4(w io.Writer, o Options) error {
+	rng := graph.NewRNG(o.Seed + 4)
+	sizes := sweepSizes(o, []int{6, 8}, []int{8, 10, 12})
+	tb := NewTable("regime", "n", "k", "min-dist", "rounds", "first-gather")
+	type regime struct {
+		name string
+		k    func(n int) int
+		// maxDist is Lemma 15's guaranteed worst-case initial distance
+		// for the regime (2c-2); 99 marks the unconditional UXS tail.
+		maxDist int
+	}
+	regimes := []regime{
+		{"k>=n/2+1", func(n int) int { return n/2 + 1 }, 2},
+		{"k>=n/3+1", func(n int) int { return n/3 + 1 }, 4},
+		{"k=2 (tail)", func(n int) int { return 2 }, 99},
+	}
+	for _, rg := range regimes {
+		var xs, ys, bs []float64
+		for _, n := range sizes {
+			g := graph.Cycle(n)
+			g.PermutePorts(rng)
+			k := rg.k(n)
+			ids := gather.AssignIDs(k, n, rng)
+			pos := place.MaxMinDispersed(g, k, rng)
+			sc := &gather.Scenario{G: g, IDs: ids, Positions: pos}
+			sc.Certify()
+			res, err := sc.RunFaster(sc.Cfg.FasterBound(n) + 10)
+			if err != nil {
+				return err
+			}
+			if !res.DetectionCorrect {
+				return fmt.Errorf("E4: %s n=%d: detection failed", rg.name, n)
+			}
+			d := place.MinPairwise(g, pos)
+			if d > rg.maxDist {
+				return fmt.Errorf("E4: %s n=%d: distance %d violates Lemma 15's %d", rg.name, n, d, rg.maxDist)
+			}
+			tb.Add(rg.name, n, k, d, res.Rounds, res.FirstGatherRound)
+			xs = append(xs, float64(n))
+			ys = append(ys, float64(res.Rounds))
+			bs = append(bs, float64(stepBound(sc.Cfg, n, rg.maxDist)))
+		}
+		// Theorem 16's regimes are worst-case schedule shapes: measured
+		// rounds must stay within the regime's guaranteed step bound
+		// (Lemma 15 distance), and grow no faster than that bound.
+		exp, _, err := stats.FitPowerLaw(xs, ys)
+		if err != nil {
+			return err
+		}
+		ref, _, err := stats.FitPowerLaw(xs, bs)
+		if err != nil {
+			return err
+		}
+		withinBound := true
+		for i := range ys {
+			if ys[i] > bs[i] {
+				withinBound = false
+			}
+		}
+		verdict(w, withinBound && exp <= ref+0.5,
+			"%s: fitted exponent %.2f vs regime bound's %.2f; all runs within the Theorem 16 bound: %v",
+			rg.name, exp, ref, withinBound)
+	}
+	tb.Render(w)
+	return nil
+}
+
+// E5: Lemma 15 — adversarial placements cannot keep floor(n/c)+1 robots
+// pairwise farther than 2c-2 apart.
+func runE5(w io.Writer, o Options) error {
+	rng := graph.NewRNG(o.Seed + 5)
+	sizes := sweepSizes(o, []int{9, 12}, []int{9, 12, 16, 20, 25})
+	tb := NewTable("family", "n", "c", "k", "adversarial-min-dist", "bound 2c-2")
+	allOK := true
+	for _, fam := range graph.AllFamilies() {
+		for _, n := range sizes {
+			g := graph.FromFamily(fam, n, rng)
+			for _, c := range []int{2, 3, 4} {
+				k := g.N()/c + 1
+				if k < 2 || k > g.N() {
+					continue
+				}
+				pos := place.MaxMinDispersed(g, k, rng)
+				d := place.MinPairwise(g, pos)
+				tb.Add(string(fam), g.N(), c, k, d, 2*c-2)
+				if d > 2*c-2 {
+					allOK = false
+				}
+			}
+		}
+	}
+	tb.Render(w)
+	verdict(w, allOK, "every adversarial placement obeys the 2c-2 bound")
+	return nil
+}

@@ -1,0 +1,268 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/gather"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/place"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E6",
+		Title: "Rounds vs initial pair distance",
+		Claim: "Theorem 12: distance 0-2 -> O(n^3); distance 3-4 -> O(n^4 log n); distance 5 -> O(n^5 log n); else UXS tail",
+		Run:   runE6,
+	})
+	register(Experiment{
+		ID:    "E7",
+		Title: "Crossover figure: rounds vs k at fixed n",
+		Claim: "More robots => earlier step succeeds => fewer rounds (the power of many robots)",
+		Run:   runE7,
+	})
+	register(Experiment{
+		ID:    "E8",
+		Title: "Who wins: Faster-Gathering vs UXS baseline",
+		Claim: "Faster-Gathering beats the Ta-Shma-Zwick-style UXS algorithm whenever robots are many or close",
+		Run:   runE8,
+	})
+	register(Experiment{
+		ID:    "E9",
+		Title: "Robot memory",
+		Claim: "Theorem 8/16: each robot needs O(m log n) bits (map storage dominates)",
+		Run:   runE9,
+	})
+	register(Experiment{
+		ID:    "E10",
+		Title: "Detection overhead",
+		Claim: "Detection (termination) happens after gathering; overhead is the scheduled tail of the running step",
+		Run:   runE10,
+	})
+}
+
+// stepBound returns the cumulative Faster-Gathering round bound through
+// the step that handles initial pair distance d (d > 5 means the UXS tail).
+func stepBound(cfg gather.Config, n, d int) int {
+	bound := gather.R(n) + 1 // step 1
+	if d <= 0 {
+		return bound
+	}
+	for i := 2; i <= min(d+1, 6); i++ {
+		bound += cfg.HopDuration(i-1, n) + gather.R(n) + 1
+	}
+	if d > 5 {
+		bound += cfg.UXSGatherBound(n) + 1
+	}
+	return bound
+}
+
+// E6: rounds of Faster-Gathering for a pair placed at exact distance d.
+func runE6(w io.Writer, o Options) error {
+	rng := graph.NewRNG(o.Seed + 6)
+	n := 8
+	if !o.Quick {
+		n = 10
+	}
+	tb := NewTable("distance", "rounds", "step-bound", "within-bound")
+	allOK := true
+	dists := []int{0, 1, 2, 3, 4, 5, n - 1}
+	for _, d := range dists {
+		g := graph.Path(n)
+		g.PermutePorts(rng)
+		u, v, ok := place.PairAtDistance(g, d, rng)
+		if !ok {
+			continue
+		}
+		sc := &gather.Scenario{G: g, IDs: []int{1, 2}, Positions: []int{u, v}}
+		sc.Certify()
+		res, err := sc.RunFaster(sc.Cfg.FasterBound(n) + 10)
+		if err != nil {
+			return err
+		}
+		if !res.DetectionCorrect {
+			return fmt.Errorf("E6: d=%d: detection failed", d)
+		}
+		bound := stepBound(sc.Cfg, n, d)
+		within := res.Rounds <= bound
+		allOK = allOK && within
+		tb.Add(d, res.Rounds, bound, within)
+	}
+	tb.Render(w)
+	verdict(w, allOK, "every distance case finishes within its Theorem 12 step bound")
+	return nil
+}
+
+// E7: rounds vs k at fixed n under adversarial placement — the data for
+// the crossover figure (steps of the regime staircase).
+func runE7(w io.Writer, o Options) error {
+	rng := graph.NewRNG(o.Seed + 7)
+	n := 10
+	if !o.Quick {
+		n = 12
+	}
+	g := graph.Cycle(n)
+	g.PermutePorts(rng)
+	tb := NewTable("k", "min-dist", "rounds", "first-gather")
+	prevRounds := -1
+	monotone := true
+	for k := 2; k <= n; k++ {
+		ids := gather.AssignIDs(k, n, rng)
+		pos := place.MaxMinDispersed(g, k, rng)
+		sc := &gather.Scenario{G: g, IDs: ids, Positions: pos}
+		sc.Certify()
+		res, err := sc.RunFaster(sc.Cfg.FasterBound(n) + 10)
+		if err != nil {
+			return err
+		}
+		if !res.DetectionCorrect {
+			return fmt.Errorf("E7: k=%d: detection failed", k)
+		}
+		tb.Add(k, place.MinPairwise(g, pos), res.Rounds, res.FirstGatherRound)
+		if prevRounds >= 0 && res.Rounds > prevRounds {
+			monotone = false
+		}
+		prevRounds = res.Rounds
+	}
+	tb.Render(w)
+	verdict(w, monotone, "rounds are non-increasing in k under adversarial placement (staircase)")
+	return nil
+}
+
+// E8: head-to-head of Faster-Gathering against the UXS-only baseline on
+// the three canonical configurations.
+func runE8(w io.Writer, o Options) error {
+	rng := graph.NewRNG(o.Seed + 8)
+	n := 8
+	if !o.Quick {
+		n = 10
+	}
+	tb := NewTable("config", "faster-rounds", "uxs-rounds", "speedup")
+	type cfgCase struct {
+		name string
+		k    int
+		pos  func(g *graph.Graph) []int
+	}
+	cases := []cfgCase{
+		{"undispersed (clustered)", 4, func(g *graph.Graph) []int { return place.Clustered(g, 4, 2, rng) }},
+		{"many robots (k=n/2+1)", n/2 + 1, func(g *graph.Graph) []int { return place.MaxMinDispersed(g, n/2+1, rng) }},
+		{"two far robots", 2, func(g *graph.Graph) []int { return place.MaxMinDispersed(g, 2, rng) }},
+	}
+	fasterWonCloseCases := true
+	for ci, c := range cases {
+		g := graph.Cycle(n)
+		g.PermutePorts(rng)
+		ids := gather.AssignIDs(c.k, n, rng)
+		pos := c.pos(g)
+		scF := &gather.Scenario{G: g, IDs: ids, Positions: pos}
+		scF.Certify()
+		resF, err := scF.RunFaster(scF.Cfg.FasterBound(n) + 10)
+		if err != nil {
+			return err
+		}
+		scU := &gather.Scenario{G: g, IDs: ids, Positions: pos, Cfg: scF.Cfg}
+		resU, err := scU.RunUXS(scU.Cfg.UXSGatherBound(n) + 2)
+		if err != nil {
+			return err
+		}
+		if !resF.DetectionCorrect || !resU.DetectionCorrect {
+			return fmt.Errorf("E8: %s: detection failed", c.name)
+		}
+		speedup := float64(resU.Rounds) / float64(resF.Rounds)
+		tb.Add(c.name, resF.Rounds, resU.Rounds, speedup)
+		if ci < 2 && speedup <= 1 {
+			fasterWonCloseCases = false
+		}
+	}
+	tb.Render(w)
+	verdict(w, fasterWonCloseCases, "Faster-Gathering wins when robots are clustered or many (paper's headline)")
+	return nil
+}
+
+// E9: robot memory — the learned map dominates and must stay within
+// O(m log n) bits.
+func runE9(w io.Writer, o Options) error {
+	rng := graph.NewRNG(o.Seed + 9)
+	sizes := sweepSizes(o, []int{6, 10, 14}, []int{8, 12, 16, 20, 24})
+	tb := NewTable("n", "m", "map-bits", "m*log2(n)", "ratio")
+	allOK := true
+	for _, n := range sizes {
+		g := graph.FromFamily(graph.FamRandom, n, rng)
+		finder := mapping.NewFinderAgent(1, g.N(), 2)
+		token := mapping.NewTokenAgent(2, 1)
+		w2, err := sim.NewWorld(g, []sim.Agent{finder, token}, []int{0, 0})
+		if err != nil {
+			return err
+		}
+		for r := 0; r < mapping.Budget(g.N()) && !finder.B.Done(); r++ {
+			w2.Step()
+		}
+		if !finder.B.Done() {
+			return fmt.Errorf("E9: n=%d: map not finished", g.N())
+		}
+		bits := finder.B.MemoryBits()
+		logn := 1
+		for v := g.N() - 1; v > 0; v >>= 1 {
+			logn++
+		}
+		bound := g.M() * logn
+		ratio := float64(bits) / float64(bound)
+		tb.Add(g.N(), g.M(), bits, bound, ratio)
+		if ratio > 8 {
+			allOK = false
+		}
+	}
+	tb.Render(w)
+	verdict(w, allOK, "map memory stays within a constant factor of m log n")
+	return nil
+}
+
+// E10: detection overhead — rounds between the first full co-location and
+// termination, for both algorithms.
+func runE10(w io.Writer, o Options) error {
+	rng := graph.NewRNG(o.Seed + 10)
+	n := 8
+	tb := NewTable("algorithm", "config", "gather-round", "detect-round", "overhead")
+	ok := true
+	for _, c := range []struct {
+		name string
+		k    int
+	}{{"clustered", 4}, {"pair", 2}} {
+		g := graph.Cycle(n)
+		g.PermutePorts(rng)
+		ids := gather.AssignIDs(c.k, n, rng)
+		var pos []int
+		if c.name == "clustered" {
+			pos = place.Clustered(g, c.k, 2, rng)
+		} else {
+			pos = place.MaxMinDispersed(g, c.k, rng)
+		}
+		scF := &gather.Scenario{G: g, IDs: ids, Positions: pos}
+		scF.Certify()
+		resF, err := scF.RunFaster(scF.Cfg.FasterBound(n) + 10)
+		if err != nil {
+			return err
+		}
+		scU := &gather.Scenario{G: g, IDs: ids, Positions: pos, Cfg: scF.Cfg}
+		resU, err := scU.RunUXS(scU.Cfg.UXSGatherBound(n) + 2)
+		if err != nil {
+			return err
+		}
+		for _, row := range []struct {
+			algo string
+			res  sim.Result
+		}{{"faster", resF}, {"uxs", resU}} {
+			over := row.res.Rounds - row.res.FirstGatherRound
+			tb.Add(row.algo, c.name, row.res.FirstGatherRound, row.res.Rounds, over)
+			if row.res.FirstGatherRound < 0 || over < 0 {
+				ok = false
+			}
+		}
+	}
+	tb.Render(w)
+	verdict(w, ok, "detection always at or after gathering; overhead is the scheduled step tail")
+	return nil
+}

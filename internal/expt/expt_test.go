@@ -1,0 +1,81 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(all))
+	}
+	for i, e := range all {
+		want := i + 1
+		if idNum(e.ID) != want {
+			t.Errorf("position %d holds %s, want E%d", i, e.ID, want)
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E3"); !ok {
+		t.Error("E3 not found")
+	}
+	if _, ok := ByID("e3"); !ok {
+		t.Error("lookup not case-insensitive")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("phantom experiment found")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("a", "bbbb")
+	tb.Add(1, 2.5)
+	tb.Add("xx", "y")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"a", "bbbb", "2.50", "xx"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4", len(lines))
+	}
+}
+
+// Each fast experiment must run cleanly in quick mode and emit at least
+// one PASS verdict. The heavyweight ones (E2, E4) are exercised by the
+// root-level benchmarks instead.
+func TestQuickExperimentsRun(t *testing.T) {
+	fast := map[string]bool{"E1": true, "E3": true, "E5": true, "E6": true,
+		"E9": true, "E10": true, "E11": true, "E12": true, "E13": true,
+		"E14": true, "E15": true, "E16": true, "E17": true, "E18": true}
+	for _, e := range All() {
+		if !fast[e.ID] {
+			continue
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, Options{Quick: true, Seed: 42}); err != nil {
+				t.Fatalf("%s: %v\n%s", e.ID, err, buf.String())
+			}
+			out := buf.String()
+			if !strings.Contains(out, "[PASS]") {
+				t.Errorf("%s produced no PASS verdict:\n%s", e.ID, out)
+			}
+			if strings.Contains(out, "[FAIL]") {
+				t.Errorf("%s produced a FAIL verdict:\n%s", e.ID, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,41 @@
+package gather
+
+import "repro/internal/sim"
+
+// DessmarkAgent is the simultaneous-start baseline of Dessmark, Fraigniaud,
+// Kowalski and Pelc [17] in the form the paper discusses (§1.4): iterated
+// deepening of the bit-driven neighborhood search, achieving a meeting of
+// two robots at distance D in O(D·Δ^D·log ℓ) rounds — exponential in D on
+// high-degree graphs, which is exactly the weakness Faster-Gathering's
+// map-and-collect design removes. Experiment E13 measures the blow-up.
+//
+// Phase d = 1, 2, ... runs the d-Hop-Meeting procedure; the agent
+// terminates at the end of the first phase in which it met another robot.
+type DessmarkAgent struct {
+	sim.Base
+	cfg Config
+	n   int
+
+	radius int
+	hop    *HopMeet
+}
+
+// NewDessmarkAgent returns a baseline agent with the given ID on an n-node
+// graph.
+func NewDessmarkAgent(cfg Config, n, id int) *DessmarkAgent {
+	a := &DessmarkAgent{Base: sim.NewBase(id), cfg: cfg, n: n, radius: 1}
+	a.hop = NewHopMeet(cfg, 1, n, id)
+	return a
+}
+
+// Decide implements sim.Agent.
+func (a *DessmarkAgent) Decide(env *sim.Env) sim.Action {
+	if a.hop.Done() {
+		if a.hop.Met() || !env.Alone() {
+			return sim.TerminateAction(!env.Alone())
+		}
+		a.radius++
+		a.hop = NewHopMeet(a.cfg, a.radius, a.n, a.ID())
+	}
+	return a.hop.Decide(env)
+}

@@ -1,0 +1,143 @@
+package gather
+
+import "repro/internal/sim"
+
+// Segment kinds of the Faster-Gathering master schedule (§2.3).
+type segKind int
+
+const (
+	segUG segKind = iota
+	segHop
+	segUXS
+)
+
+// segment is one stage of the schedule. UG segments have an implicit
+// detection boundary after their R(n) rounds: a robot that is not alone
+// there terminates (Lemma 11 guarantees all robots agree); a lone robot
+// advances to the next segment in the same round, keeping everyone
+// synchronized.
+type segment struct {
+	kind   segKind
+	radius int // for segHop
+}
+
+// schedule returns the segment list of Faster-Gathering: Step 1 is
+// Undispersed-Gathering alone; Steps 2..6 are (i−1)-Hop-Meeting followed
+// by Undispersed-Gathering; Step 7 is the UXS algorithm, which always
+// finishes the job. With the Remark 13 oracle (cfg.KnownDistance), the
+// schedule jumps directly to the step that handles the known distance.
+func schedule(cfg Config) []segment {
+	if d := cfg.KnownDistance; d > 0 {
+		if d > 5 {
+			return []segment{{kind: segUXS}}
+		}
+		return []segment{{kind: segHop, radius: d}, {kind: segUG}, {kind: segUXS}}
+	}
+	segs := []segment{{kind: segUG}}
+	for i := 2; i <= 6; i++ {
+		segs = append(segs, segment{kind: segHop, radius: i - 1}, segment{kind: segUG})
+	}
+	return append(segs, segment{kind: segUXS})
+}
+
+// FasterAgent is the complete Faster-Gathering robot (Theorems 12 and 16):
+// it walks the master schedule, instantiating fresh controllers per
+// segment, and terminates at the first UG boundary where it is not alone —
+// or inside the final UXS stage, which carries its own detection.
+type FasterAgent struct {
+	sim.Base
+	cfg Config
+	n   int
+
+	segs []segment
+	si   int // current segment index
+	lr   int // local round within the current segment
+
+	ug   *UG
+	hop  *HopMeet
+	uxsg *UXSG
+}
+
+// NewFasterAgent returns a Faster-Gathering robot with the given ID on an
+// n-node graph.
+func NewFasterAgent(cfg Config, n, id int) *FasterAgent {
+	a := &FasterAgent{Base: sim.NewBase(id), cfg: cfg, n: n, segs: schedule(cfg)}
+	a.enter(0)
+	return a
+}
+
+// enter instantiates the controller for segment si.
+func (a *FasterAgent) enter(si int) {
+	a.si = si
+	a.lr = 0
+	a.ug, a.hop, a.uxsg = nil, nil, nil
+	switch s := a.segs[si]; s.kind {
+	case segUG:
+		a.ug = NewUG(a.n, a.ID())
+	case segHop:
+		a.hop = NewHopMeet(a.cfg, s.radius, a.n, a.ID())
+	case segUXS:
+		a.uxsg = NewUXSG(a.cfg, a.n, a.ID())
+	}
+}
+
+// segLen returns the fixed duration of segment si (0 for the self-timed
+// UXS stage).
+func (a *FasterAgent) segLen(si int) int {
+	switch s := a.segs[si]; s.kind {
+	case segUG:
+		return R(a.n)
+	case segHop:
+		return a.cfg.HopDuration(s.radius, a.n)
+	default:
+		return 0
+	}
+}
+
+// Compose implements sim.Agent, routing the communication phase to the
+// active controller.
+func (a *FasterAgent) Compose(env *sim.Env) []sim.Message {
+	switch a.segs[a.si].kind {
+	case segUG:
+		if a.lr < a.segLen(a.si) {
+			msgs := a.ug.Compose(env)
+			a.ug.Sync(&a.Self)
+			return msgs
+		}
+	case segUXS:
+		return a.uxsg.Compose(env)
+	}
+	return nil
+}
+
+// Decide implements sim.Agent.
+func (a *FasterAgent) Decide(env *sim.Env) sim.Action {
+	for {
+		s := a.segs[a.si]
+		switch s.kind {
+		case segHop:
+			if a.lr < a.segLen(a.si) {
+				a.lr++
+				return a.hop.Decide(env)
+			}
+			a.enter(a.si + 1) // hop duration elapsed: same-round fall-through
+
+		case segUG:
+			if a.lr < a.segLen(a.si) {
+				a.lr++
+				act := a.ug.Decide(env)
+				a.ug.Sync(&a.Self)
+				return act
+			}
+			// Detection boundary (Lemma 11): not alone means everyone
+			// gathered; alone means everyone is alone, so advance.
+			if !env.Alone() {
+				return sim.TerminateAction(true)
+			}
+			a.enter(a.si + 1)
+
+		case segUXS:
+			return a.uxsg.Decide(env)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package gather
+
+import "repro/internal/sim"
+
+// dfsEnum enumerates, by physical walking, every port sequence of length
+// <= maxDepth from the start node: the depth-bounded DFS of the paper's
+// i-Hop-Meeting (§2.3). The graph is anonymous, so revisited nodes cannot
+// be recognized and the enumeration is over the full port-sequence tree —
+// this is exactly why the paper's cycle budget is Σ 2(n-1)^j. The walk
+// backtracks over every edge, so it ends where it started.
+type dfsEnum struct {
+	maxDepth int
+	stack    []dfsFrame
+	started  bool
+	lastDown bool
+	finished bool
+}
+
+type dfsFrame struct {
+	arrival  int // port through which this node was entered (-1 at root)
+	nextPort int
+}
+
+func newDFSEnum(maxDepth int) *dfsEnum { return &dfsEnum{maxDepth: maxDepth} }
+
+// Step is called once per round with the degree of the current node and
+// the port through which the robot last arrived anywhere (sim's
+// Env.ArrivalPort). It returns the port to move through this round, or -1
+// when the enumeration is complete.
+func (d *dfsEnum) Step(degree, lastArrival int) int {
+	if d.finished {
+		return -1
+	}
+	if !d.started {
+		d.started = true
+		d.stack = []dfsFrame{{arrival: -1}}
+	} else if d.lastDown {
+		// The previous round moved down into the node on top of the
+		// stack; record how we entered it so we can backtrack.
+		d.stack[len(d.stack)-1].arrival = lastArrival
+	}
+	d.lastDown = false
+
+	top := &d.stack[len(d.stack)-1]
+	// Descend while below the depth bound and candidate ports remain.
+	if len(d.stack)-1 < d.maxDepth && top.nextPort < degree {
+		p := top.nextPort
+		top.nextPort++
+		d.stack = append(d.stack, dfsFrame{arrival: -1})
+		d.lastDown = true
+		return p
+	}
+	// Backtrack.
+	if len(d.stack) == 1 {
+		d.finished = true
+		return -1
+	}
+	up := top.arrival
+	d.stack = d.stack[:len(d.stack)-1]
+	return up
+}
+
+// Done reports whether the enumeration has completed.
+func (d *dfsEnum) Done() bool { return d.finished }
+
+// HopMeet is the i-Hop-Meeting controller (§2.3): the procedure runs in
+// cycles of CycleT(i, n) rounds, one cycle per ID bit read LSB→MSB. In a
+// 1-bit cycle the robot physically enumerates all port sequences of length
+// <= i from its node and returns; in a 0-bit cycle (or once its bits are
+// exhausted) it stays put. A robot freezes permanently the moment it is
+// co-located with any other robot: the met pair is the undispersed seed
+// the following Undispersed-Gathering run needs.
+type HopMeet struct {
+	radius   int
+	cycleLen int
+	total    int
+	bits     []bool
+
+	r      int
+	frozen bool
+	enum   *dfsEnum
+}
+
+// NewHopMeet returns the controller for a robot with the given ID running
+// radius-hop meeting on an n-node graph under cfg.
+func NewHopMeet(cfg Config, radius, n, id int) *HopMeet {
+	return &HopMeet{
+		radius:   radius,
+		cycleLen: cfg.CycleT(radius, n),
+		total:    cfg.HopDuration(radius, n),
+		bits:     Bits(id),
+	}
+}
+
+// Done reports whether the procedure's fixed duration has elapsed.
+func (h *HopMeet) Done() bool { return h.r >= h.total }
+
+// Met reports whether this robot froze after meeting another robot.
+func (h *HopMeet) Met() bool { return h.frozen }
+
+// Decide consumes one round of the procedure.
+func (h *HopMeet) Decide(env *sim.Env) sim.Action {
+	if h.r >= h.total {
+		return sim.StayAction()
+	}
+	cycle := h.r / h.cycleLen
+	off := h.r % h.cycleLen
+	h.r++
+
+	// Meeting check: any co-location at a round boundary freezes the
+	// robot for the remainder of the procedure.
+	if !h.frozen && !env.Alone() {
+		h.frozen = true
+	}
+	if h.frozen {
+		return sim.StayAction()
+	}
+	if cycle >= len(h.bits) || !h.bits[cycle] {
+		return sim.StayAction() // 0-bit or exhausted bits: hold position
+	}
+	if off == 0 {
+		h.enum = newDFSEnum(h.radius)
+	}
+	if p := h.enum.Step(env.Degree, env.ArrivalPort); p >= 0 {
+		return sim.MoveAction(p)
+	}
+	return sim.StayAction() // enumeration finished early; wait out the cycle
+}
+
+// HopMeetAgent is a standalone simulator agent for testing the procedure
+// in isolation; Faster-Gathering embeds HopMeet directly.
+type HopMeetAgent struct {
+	sim.Base
+	H *HopMeet
+}
+
+// NewHopMeetAgent returns a standalone i-Hop-Meeting agent.
+func NewHopMeetAgent(cfg Config, radius, n, id int) *HopMeetAgent {
+	return &HopMeetAgent{Base: sim.NewBase(id), H: NewHopMeet(cfg, radius, n, id)}
+}
+
+// Decide implements sim.Agent.
+func (a *HopMeetAgent) Decide(env *sim.Env) sim.Action {
+	act := a.H.Decide(env)
+	if a.H.Done() {
+		return sim.TerminateAction(!env.Alone())
+	}
+	return act
+}

@@ -1,0 +1,73 @@
+// Package gather implements the paper's gathering-with-detection
+// algorithms: UXS-based gathering (§2.1, Theorem 6), Undispersed-Gathering
+// (§2.2, Theorem 8), i-Hop-Meeting (§2.3, Lemmas 9–10), and the combined
+// Faster-Gathering (§2.3, Theorems 12 and 16), plus the baselines the paper
+// compares against.
+//
+// All algorithms are expressed as explicit per-round state machines driven
+// by the simulator in internal/sim, because their correctness rests on
+// exact shared round budgets computable from n alone.
+package gather
+
+import "repro/internal/graph"
+
+// MaxID returns the top of the ID range [1, n^b] with the library's fixed
+// b = 3 (the paper's b is an arbitrary constant unknown to robots; see
+// DESIGN.md §3.3).
+func MaxID(n int) int {
+	if n < 2 {
+		return 8 // keep a sane non-degenerate range for tiny n
+	}
+	return n * n * n
+}
+
+// BitBudget returns B(n), the number of ID bits every schedule must
+// accommodate: the bit length of the largest possible ID. It plays the role
+// of the paper's "a log n" with a > b (footnote 8).
+func BitBudget(n int) int { return bitLen(MaxID(n)) }
+
+func bitLen(x int) int {
+	b := 0
+	for x > 0 {
+		b++
+		x >>= 1
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// Bits returns the bits of id scanned from least significant to most
+// significant, exactly the order the paper's robots read their labels.
+// The slice length is the position of the most significant set bit, so
+// every ID (>= 1) ends with a true bit.
+func Bits(id int) []bool {
+	if id < 1 {
+		panic("gather: robot IDs start at 1")
+	}
+	bits := make([]bool, 0, bitLen(id))
+	for x := id; x > 0; x >>= 1 {
+		bits = append(bits, x&1 == 1)
+	}
+	return bits
+}
+
+// AssignIDs draws k distinct robot IDs from [1, MaxID(n)] using rng.
+// It panics if k exceeds the range size (cannot happen for n >= 2, k <= n³).
+func AssignIDs(k, n int, rng *graph.RNG) []int {
+	max := MaxID(n)
+	if k > max {
+		panic("gather: more robots than available IDs")
+	}
+	used := make(map[int]bool, k)
+	ids := make([]int, 0, k)
+	for len(ids) < k {
+		id := rng.Intn(max) + 1
+		if !used[id] {
+			used[id] = true
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}

@@ -1,0 +1,134 @@
+package gather
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestBitsLSBFirst(t *testing.T) {
+	cases := []struct {
+		id   int
+		want []bool
+	}{
+		{1, []bool{true}},
+		{2, []bool{false, true}},
+		{5, []bool{true, false, true}},
+		{8, []bool{false, false, false, true}},
+	}
+	for _, c := range cases {
+		got := Bits(c.id)
+		if len(got) != len(c.want) {
+			t.Errorf("Bits(%d) = %v", c.id, got)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Bits(%d)[%d] = %v", c.id, i, got[i])
+			}
+		}
+	}
+}
+
+func TestBitsEndWithOne(t *testing.T) {
+	f := func(raw uint16) bool {
+		id := int(raw)%10000 + 1
+		b := Bits(id)
+		return b[len(b)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		id := int(raw)%100000 + 1
+		b := Bits(id)
+		v := 0
+		for i := len(b) - 1; i >= 0; i-- {
+			v <<= 1
+			if b[i] {
+				v |= 1
+			}
+		}
+		return v == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsPanicsBelowOne(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for id 0")
+		}
+	}()
+	Bits(0)
+}
+
+func TestAssignIDsDistinctInRange(t *testing.T) {
+	rng := graph.NewRNG(99)
+	for _, n := range []int{2, 5, 20} {
+		ids := AssignIDs(n, n, rng)
+		seen := make(map[int]bool)
+		for _, id := range ids {
+			if id < 1 || id > MaxID(n) {
+				t.Errorf("n=%d: ID %d out of [1,%d]", n, id, MaxID(n))
+			}
+			if seen[id] {
+				t.Errorf("n=%d: duplicate ID %d", n, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestBitBudgetCoversAllIDs(t *testing.T) {
+	for _, n := range []int{2, 7, 30, 100} {
+		if got, want := BitBudget(n), len(Bits(MaxID(n))); got < want {
+			t.Errorf("n=%d: budget %d < max bits %d", n, got, want)
+		}
+	}
+}
+
+func TestCycleTFormula(t *testing.T) {
+	cfg := Config{}
+	// n=5: deg=4. T(1)=8, T(2)=8+32=40, T(3)=40+128=168.
+	if got := cfg.CycleT(1, 5); got != 8 {
+		t.Errorf("T(1)=%d, want 8", got)
+	}
+	if got := cfg.CycleT(2, 5); got != 40 {
+		t.Errorf("T(2)=%d, want 40", got)
+	}
+	if got := cfg.CycleT(3, 5); got != 168 {
+		t.Errorf("T(3)=%d, want 168", got)
+	}
+	// Remark 14 ablation: known Δ=2 on any n.
+	d := Config{KnownMaxDegree: 2}
+	if got := d.CycleT(2, 50); got != 4+8 {
+		t.Errorf("Δ-ablated T(2)=%d, want 12", got)
+	}
+}
+
+func TestHopDurationIsCyclesTimesBits(t *testing.T) {
+	cfg := Config{}
+	n := 6
+	if got, want := cfg.HopDuration(2, n), cfg.CycleT(2, n)*BitBudget(n); got != want {
+		t.Errorf("HopDuration = %d, want %d", got, want)
+	}
+}
+
+func TestScheduleBudgetsGrow(t *testing.T) {
+	cfg := Config{}
+	for n := 2; n < 30; n++ {
+		if R(n) <= R1(n) {
+			t.Fatalf("R(%d) <= R1(%d)", n, n)
+		}
+		if cfg.CycleT(3, n+1) <= cfg.CycleT(3, n) {
+			t.Fatalf("CycleT(3) not increasing at n=%d", n)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package gather
+
+import (
+	"repro/internal/sim"
+	"repro/internal/uxs"
+)
+
+// UXSG is the UXS-based gathering-with-detection controller (§2.1,
+// Theorem 6). It works for any number of robots and any initial
+// configuration, in Õ(n⁵) rounds under paper-faithful sequence lengths.
+//
+// Robots operate in phases of 2T rounds, one per ID bit read LSB→MSB: on a
+// 1-bit the group leader explores with the UXS for T rounds then waits T;
+// on a 0-bit the order is reversed. Groups follow their largest-ID robot
+// and merge on any co-location. A leader whose bits are exhausted waits a
+// final 2T rounds; if nobody shows up, gathering is complete (Lemma 2) and
+// it terminates, telling its followers to do the same.
+type UXSG struct {
+	n, id int
+	T     int
+	seq   *uxs.UXS
+	bits  []bool
+
+	r      int
+	leader int // -1 while leading
+	done   bool
+}
+
+// NewUXSG returns the controller for robot id on an n-node graph under cfg.
+func NewUXSG(cfg Config, n, id int) *UXSG {
+	T := cfg.UXSLength(n)
+	return &UXSG{
+		n:      n,
+		id:     id,
+		T:      T,
+		seq:    uxs.WithLength(n, T),
+		bits:   Bits(id),
+		leader: -1,
+	}
+}
+
+// Terminated reports whether the controller decided gathering is complete.
+func (g *UXSG) Terminated() bool { return g.done }
+
+// waitEnd is the round at which this robot's terminal 2T wait expires.
+func (g *UXSG) waitEnd() int { return (len(g.bits) + 1) * 2 * g.T }
+
+// biggestAlive returns the largest co-located live robot ID, and whether a
+// co-located robot has already terminated with a larger ID (which can only
+// mean gathering completed at this node).
+func (g *UXSG) biggest(env *sim.Env) (maxLive int, doneBigger bool) {
+	maxLive = -1
+	for _, c := range env.Others {
+		if c.Done {
+			if c.ID > g.id {
+				doneBigger = true
+			}
+			continue
+		}
+		if c.ID > maxLive {
+			maxLive = c.ID
+		}
+	}
+	return maxLive, doneBigger
+}
+
+// aboutToTerminate reports whether this round is the leader's termination
+// round: terminal wait expired, still leading, and no larger live robot
+// just arrived.
+func (g *UXSG) aboutToTerminate(env *sim.Env) bool {
+	if g.done || g.leader >= 0 || g.r != g.waitEnd() {
+		return false
+	}
+	maxLive, _ := g.biggest(env)
+	return maxLive <= g.id
+}
+
+// Compose broadcasts the termination order to followers in the same round
+// the leader terminates, so the whole group stops together (Lemma 4).
+func (g *UXSG) Compose(env *sim.Env) []sim.Message {
+	if g.aboutToTerminate(env) {
+		return []sim.Message{{To: sim.Broadcast, Kind: sim.MsgTerminate}}
+	}
+	return nil
+}
+
+// Decide consumes one round.
+func (g *UXSG) Decide(env *sim.Env) sim.Action {
+	if g.done {
+		return sim.StayAction()
+	}
+	r := g.r
+	g.r++
+
+	maxLive, doneBigger := g.biggest(env)
+
+	// A terminated larger robot on this node means the gathering already
+	// completed here; join the verdict.
+	if doneBigger {
+		g.done = true
+		return sim.TerminateAction(true)
+	}
+
+	if g.leader >= 0 {
+		// Follower: terminate with the leader, or re-point to a larger
+		// leader after a merge.
+		for _, m := range env.Inbox {
+			if m.Kind == sim.MsgTerminate && m.From == g.leader {
+				g.done = true
+				return sim.TerminateAction(true)
+			}
+		}
+		if maxLive > g.leader {
+			g.leader = maxLive
+		}
+		return sim.FollowAction(g.leader)
+	}
+
+	// Leader: merge into any larger group on contact.
+	if maxLive > g.id {
+		g.leader = maxLive
+		return sim.FollowAction(g.leader)
+	}
+
+	twoT := 2 * g.T
+	phase := r / twoT
+	off := r % twoT
+	if phase < len(g.bits) {
+		bit := g.bits[phase]
+		exploring := off < g.T
+		if !bit {
+			exploring = off >= g.T
+		}
+		if exploring {
+			step := off % g.T
+			entry := env.ArrivalPort
+			if step == 0 {
+				entry = -1 // each exploration restarts the sequence afresh
+			}
+			return sim.MoveAction(g.seq.NextPort(step, entry, env.Degree))
+		}
+		return sim.StayAction()
+	}
+
+	// Terminal wait of 2T rounds, then terminate (Lemma 2 guarantees
+	// correctness: nobody arriving means nobody is still working).
+	if r < g.waitEnd() {
+		return sim.StayAction()
+	}
+	g.done = true
+	return sim.TerminateAction(true)
+}
+
+// UXSGAgent is the standalone §2.1 agent. It doubles as the Ta-Shma–Zwick
+// style baseline for gathering *without* detection: the harness reads
+// Result.FirstGatherRound for the gather time and Result.Rounds for the
+// detect time.
+type UXSGAgent struct {
+	sim.Base
+	G *UXSG
+}
+
+// NewUXSGAgent returns a standalone UXS-gathering agent.
+func NewUXSGAgent(cfg Config, n, id int) *UXSGAgent {
+	return &UXSGAgent{Base: sim.NewBase(id), G: NewUXSG(cfg, n, id)}
+}
+
+// Compose implements sim.Agent.
+func (a *UXSGAgent) Compose(env *sim.Env) []sim.Message { return a.G.Compose(env) }
+
+// Decide implements sim.Agent.
+func (a *UXSGAgent) Decide(env *sim.Env) sim.Action {
+	act := a.G.Decide(env)
+	a.Self.Leader = a.G.leader
+	return act
+}

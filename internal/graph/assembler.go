@@ -1,0 +1,120 @@
+package graph
+
+import "fmt"
+
+// Assembler builds a port-labeled graph with *prescribed* port numbers, as
+// opposed to AddEdge's insertion-order assignment. The map-construction
+// algorithm uses it to materialize the learned map, whose port numbers are
+// dictated by observation, not by construction order.
+type Assembler struct {
+	adj [][]Half
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler { return &Assembler{} }
+
+// EnsureNode declares node v with the given degree. Redeclaring with a
+// different degree is an error (a robot observing two degrees for one node
+// indicates an algorithm bug).
+func (a *Assembler) EnsureNode(v, degree int) error {
+	if v < 0 {
+		return fmt.Errorf("assembler: negative node %d", v)
+	}
+	for v >= len(a.adj) {
+		a.adj = append(a.adj, nil)
+	}
+	if a.adj[v] == nil {
+		a.adj[v] = make([]Half, degree)
+		for p := range a.adj[v] {
+			a.adj[v][p] = Half{To: -1, RevPort: -1}
+		}
+		return nil
+	}
+	if len(a.adj[v]) != degree {
+		return fmt.Errorf("assembler: node %d redeclared with degree %d (was %d)", v, degree, len(a.adj[v]))
+	}
+	return nil
+}
+
+// NumNodes returns the number of declared nodes.
+func (a *Assembler) NumNodes() int { return len(a.adj) }
+
+// Degree returns the declared degree of v, or -1 if undeclared.
+func (a *Assembler) Degree(v int) int {
+	if v >= len(a.adj) || a.adj[v] == nil {
+		return -1
+	}
+	return len(a.adj[v])
+}
+
+// EdgeKnown reports whether port p of node v has been assigned.
+func (a *Assembler) EdgeKnown(v, p int) bool {
+	return v < len(a.adj) && a.adj[v] != nil && p < len(a.adj[v]) && a.adj[v][p].To >= 0
+}
+
+// Peek returns the Half at (v, p); To is -1 when unassigned.
+func (a *Assembler) Peek(v, p int) Half { return a.adj[v][p] }
+
+// SetEdge records the edge joining (u, pu) and (v, pv). Both nodes must be
+// declared; conflicting reassignment is an error.
+func (a *Assembler) SetEdge(u, pu, v, pv int) error {
+	if err := a.checkSlot(u, pu); err != nil {
+		return err
+	}
+	if err := a.checkSlot(v, pv); err != nil {
+		return err
+	}
+	if h := a.adj[u][pu]; h.To >= 0 && (h.To != v || h.RevPort != pv) {
+		return fmt.Errorf("assembler: port (%d,%d) already set to (%d,%d)", u, pu, h.To, h.RevPort)
+	}
+	if h := a.adj[v][pv]; h.To >= 0 && (h.To != u || h.RevPort != pu) {
+		return fmt.Errorf("assembler: port (%d,%d) already set to (%d,%d)", v, pv, h.To, h.RevPort)
+	}
+	a.adj[u][pu] = Half{To: v, RevPort: pv}
+	a.adj[v][pv] = Half{To: u, RevPort: pu}
+	return nil
+}
+
+func (a *Assembler) checkSlot(v, p int) error {
+	if v < 0 || v >= len(a.adj) || a.adj[v] == nil {
+		return fmt.Errorf("assembler: node %d undeclared", v)
+	}
+	if p < 0 || p >= len(a.adj[v]) {
+		return fmt.Errorf("assembler: port %d out of range for node %d (degree %d)", p, v, len(a.adj[v]))
+	}
+	return nil
+}
+
+// Complete reports whether every declared port has been assigned.
+func (a *Assembler) Complete() bool {
+	for _, ports := range a.adj {
+		if ports == nil {
+			return false
+		}
+		for _, h := range ports {
+			if h.To < 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Graph finalizes the assembled graph, verifying completeness and the
+// port-consistency invariants.
+func (a *Assembler) Graph() (*Graph, error) {
+	if !a.Complete() {
+		return nil, fmt.Errorf("assembler: graph incomplete")
+	}
+	g := &Graph{adj: make([][]Half, len(a.adj))}
+	half := 0
+	for v, ports := range a.adj {
+		g.adj[v] = append([]Half(nil), ports...)
+		half += len(ports)
+	}
+	g.m = half / 2
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

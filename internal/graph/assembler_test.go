@@ -1,0 +1,146 @@
+package graph
+
+import "testing"
+
+func TestAssemblerBuildsPath(t *testing.T) {
+	a := NewAssembler()
+	if err := a.EnsureNode(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.EnsureNode(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.EnsureNode(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if a.Complete() {
+		t.Fatal("incomplete assembler claims completeness")
+	}
+	if err := a.SetEdge(0, 0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetEdge(1, 0, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	g, err := a.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("assembled %v", g)
+	}
+	// Port structure must match exactly what was prescribed.
+	if v, rev := g.Neighbor(0, 0); v != 1 || rev != 1 {
+		t.Errorf("(0,0) -> %d@%d", v, rev)
+	}
+	if v, rev := g.Neighbor(1, 0); v != 2 || rev != 0 {
+		t.Errorf("(1,0) -> %d@%d", v, rev)
+	}
+}
+
+func TestAssemblerSetEdgeIdempotent(t *testing.T) {
+	a := NewAssembler()
+	a.EnsureNode(0, 1)
+	a.EnsureNode(1, 1)
+	if err := a.SetEdge(0, 0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetEdge(0, 0, 1, 0); err != nil {
+		t.Errorf("re-setting the identical edge should be fine: %v", err)
+	}
+	if err := a.SetEdge(1, 0, 0, 0); err != nil {
+		t.Errorf("symmetric re-set should be fine: %v", err)
+	}
+}
+
+func TestAssemblerRejectsConflicts(t *testing.T) {
+	a := NewAssembler()
+	a.EnsureNode(0, 2)
+	a.EnsureNode(1, 1)
+	a.EnsureNode(2, 1)
+	if err := a.SetEdge(0, 0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetEdge(0, 0, 2, 0); err == nil {
+		t.Error("conflicting reassignment accepted")
+	}
+	if err := a.SetEdge(0, 5, 1, 0); err == nil {
+		t.Error("out-of-range port accepted")
+	}
+	if err := a.SetEdge(0, 1, 7, 0); err == nil {
+		t.Error("undeclared node accepted")
+	}
+}
+
+func TestAssemblerRedeclareDegree(t *testing.T) {
+	a := NewAssembler()
+	if err := a.EnsureNode(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.EnsureNode(0, 2); err != nil {
+		t.Errorf("same-degree redeclare should pass: %v", err)
+	}
+	if err := a.EnsureNode(0, 3); err == nil {
+		t.Error("degree change accepted")
+	}
+	if err := a.EnsureNode(-1, 1); err == nil {
+		t.Error("negative node accepted")
+	}
+}
+
+func TestAssemblerGraphRequiresCompleteness(t *testing.T) {
+	a := NewAssembler()
+	a.EnsureNode(0, 1)
+	a.EnsureNode(1, 1)
+	if _, err := a.Graph(); err == nil {
+		t.Error("incomplete graph finalized")
+	}
+}
+
+func TestAssemblerDegreeQueries(t *testing.T) {
+	a := NewAssembler()
+	a.EnsureNode(0, 3)
+	if a.Degree(0) != 3 {
+		t.Errorf("Degree(0) = %d", a.Degree(0))
+	}
+	if a.Degree(5) != -1 {
+		t.Errorf("Degree(5) = %d, want -1", a.Degree(5))
+	}
+	if a.EdgeKnown(0, 0) {
+		t.Error("unset edge reported known")
+	}
+	if a.NumNodes() != 1 {
+		t.Errorf("NumNodes = %d", a.NumNodes())
+	}
+}
+
+func TestAssemblerRoundTripsRandomGraphs(t *testing.T) {
+	// Decompose a random graph into (node, port) facts and reassemble it;
+	// the result must be identical.
+	rng := NewRNG(77)
+	for _, n := range []int{2, 6, 12} {
+		g := RandomConnected(n, min(2*n, n*(n-1)/2), rng)
+		g.PermutePorts(rng)
+		a := NewAssembler()
+		for v := 0; v < n; v++ {
+			if err := a.EnsureNode(v, g.Degree(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for v := 0; v < n; v++ {
+			for p := 0; p < g.Degree(v); p++ {
+				to, rev := g.Neighbor(v, p)
+				if err := a.SetEdge(v, p, to, rev); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		h, err := a.Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsomorphicFrom(g, 0, h, 0) {
+			t.Fatalf("n=%d: reassembled graph differs", n)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format, with edges labeled by
+// their port numbers at each endpoint ("pu:pv"). Optional robot positions
+// are rendered as node labels, so a scenario snapshot can be visualized:
+//
+//	g.WriteDOT(w, map[int][]int{3: {17, 4}})   // robots 17 and 4 on node 3
+func (g *Graph) WriteDOT(w io.Writer, robots map[int][]int) error {
+	var b strings.Builder
+	b.WriteString("graph G {\n  node [shape=circle];\n")
+	for v := 0; v < g.N(); v++ {
+		label := fmt.Sprintf("%d", v)
+		if ids := robots[v]; len(ids) > 0 {
+			sorted := append([]int(nil), ids...)
+			sort.Ints(sorted)
+			parts := make([]string, len(sorted))
+			for i, id := range sorted {
+				parts[i] = fmt.Sprintf("r%d", id)
+			}
+			label = fmt.Sprintf("%d\\n%s", v, strings.Join(parts, ","))
+			fmt.Fprintf(&b, "  %d [label=\"%s\", style=filled, fillcolor=lightblue];\n", v, label)
+			continue
+		}
+		fmt.Fprintf(&b, "  %d [label=\"%s\"];\n", v, label)
+	}
+	for u := 0; u < g.N(); u++ {
+		for p, h := range g.adj[u] {
+			if u < h.To {
+				fmt.Fprintf(&b, "  %d -- %d [label=\"%d:%d\"];\n", u, h.To, p, h.RevPort)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

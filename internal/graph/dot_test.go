@@ -1,0 +1,41 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTShape(t *testing.T) {
+	g := Path(3)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, map[int][]int{1: {7, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"graph G {",
+		"0 -- 1",
+		"1 -- 2",
+		"r3,r7",               // robots sorted on the occupied node
+		"fillcolor=lightblue", // occupied nodes highlighted
+		"label=\"0:0\"",       // port labels on edges
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, " -- ") != g.M() {
+		t.Errorf("DOT has %d edges, want %d", strings.Count(out, " -- "), g.M())
+	}
+}
+
+func TestWriteDOTNoRobots(t *testing.T) {
+	g := Cycle(4)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "fillcolor") {
+		t.Error("no robots, but highlighted nodes present")
+	}
+}

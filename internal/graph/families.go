@@ -1,0 +1,115 @@
+package graph
+
+import "fmt"
+
+// Additional named graph families beyond generators.go: classic topologies
+// used to stress particular aspects of gathering (degree spread, symmetry,
+// long tendrils).
+
+// Wheel returns the wheel graph W_n: a cycle of n-1 nodes (1..n-1) plus a
+// hub (node 0) adjacent to all of them. High-degree hub, diameter 2.
+func Wheel(n int) *Graph {
+	if n < 4 {
+		panic("graph: Wheel needs n >= 4")
+	}
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustEdge(0, v)
+	}
+	for v := 1; v < n-1; v++ {
+		g.MustEdge(v, v+1)
+	}
+	g.MustEdge(n-1, 1)
+	return g
+}
+
+// Petersen returns the Petersen graph: 10 nodes, 15 edges, 3-regular,
+// vertex-transitive — a classic worst case for local exploration
+// heuristics. Nodes 0-4 form the outer cycle, 5-9 the inner pentagram.
+func Petersen() *Graph {
+	g := New(10)
+	for v := 0; v < 5; v++ {
+		g.MustEdge(v, (v+1)%5) // outer cycle
+		g.MustEdge(v, v+5)     // spokes
+	}
+	for v := 0; v < 5; v++ {
+		g.MustEdge(5+v, 5+(v+2)%5) // inner pentagram
+	}
+	return g
+}
+
+// Circulant returns the circulant graph C_n(jumps): node v is adjacent to
+// v±j (mod n) for every jump j. Jumps must be in [1, n/2] and distinct.
+func Circulant(n int, jumps []int) *Graph {
+	g := New(n)
+	for _, j := range jumps {
+		if j < 1 || 2*j > n {
+			panic(fmt.Sprintf("graph: circulant jump %d out of range for n=%d", j, n))
+		}
+		for v := 0; v < n; v++ {
+			u := (v + j) % n
+			if !g.HasEdge(v, u) {
+				g.MustEdge(v, u)
+			}
+		}
+	}
+	if !g.IsConnected() {
+		panic("graph: circulant jumps do not generate a connected graph")
+	}
+	return g
+}
+
+// Caterpillar returns a caterpillar tree: a spine path of `spine` nodes,
+// each with `legs` pendant leaves. Long diameter plus local bushiness.
+func Caterpillar(spine, legs int) *Graph {
+	if spine < 1 || legs < 0 {
+		panic("graph: Caterpillar needs spine >= 1, legs >= 0")
+	}
+	g := New(spine * (1 + legs))
+	for i := 0; i+1 < spine; i++ {
+		g.MustEdge(i, i+1)
+	}
+	leaf := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			g.MustEdge(i, leaf)
+			leaf++
+		}
+	}
+	return g
+}
+
+// RandomRegular returns a random d-regular graph on n nodes via the
+// pairing model with rejection (n·d must be even, d < n). For the small
+// d and n the experiments use, a valid pairing is found quickly.
+func RandomRegular(n, d int, rng *RNG) *Graph {
+	if n*d%2 != 0 || d >= n || d < 1 {
+		panic(fmt.Sprintf("graph: no %d-regular graph on %d nodes", d, n))
+	}
+	for attempt := 0; attempt < 1000; attempt++ {
+		g, ok := tryPairing(n, d, rng)
+		if ok && g.IsConnected() {
+			return g
+		}
+	}
+	panic("graph: RandomRegular failed to find a connected pairing")
+}
+
+func tryPairing(n, d int, rng *RNG) (*Graph, bool) {
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	rng.Shuffle(stubs)
+	g := New(n)
+	for i := 0; i < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v || g.HasEdge(u, v) {
+			return nil, false // reject multi-edges/self-loops, retry
+		}
+		g.MustEdge(u, v)
+	}
+	return g, true
+}

@@ -1,0 +1,137 @@
+package graph
+
+import "testing"
+
+func TestWheel(t *testing.T) {
+	g := Wheel(7)
+	if g.N() != 7 || g.M() != 12 {
+		t.Fatalf("wheel: %v, want n=7 m=12", g)
+	}
+	if g.Degree(0) != 6 {
+		t.Errorf("hub degree = %d, want 6", g.Degree(0))
+	}
+	for v := 1; v < 7; v++ {
+		if g.Degree(v) != 3 {
+			t.Errorf("rim degree = %d at %d, want 3", g.Degree(v), v)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Diameter() != 2 {
+		t.Errorf("wheel diameter = %d, want 2", g.Diameter())
+	}
+}
+
+func TestPetersen(t *testing.T) {
+	g := Petersen()
+	if g.N() != 10 || g.M() != 15 {
+		t.Fatalf("petersen: %v", g)
+	}
+	for v := 0; v < 10; v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("degree %d at node %d, want 3", g.Degree(v), v)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := g.Diameter(); d != 2 {
+		t.Errorf("petersen diameter = %d, want 2", d)
+	}
+	// Girth 5: no triangles or 4-cycles. Check no two adjacent nodes
+	// share a neighbor (no triangles).
+	for u := 0; u < 10; u++ {
+		for p := 0; p < 3; p++ {
+			v, _ := g.Neighbor(u, p)
+			for q := 0; q < 3; q++ {
+				x, _ := g.Neighbor(v, q)
+				if x != u && g.HasEdge(u, x) {
+					t.Fatalf("triangle %d-%d-%d in Petersen graph", u, v, x)
+				}
+			}
+		}
+	}
+}
+
+func TestCirculant(t *testing.T) {
+	g := Circulant(8, []int{1, 2})
+	if g.N() != 8 || g.M() != 16 {
+		t.Fatalf("circulant: %v, want n=8 m=16", g)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 8; v++ {
+		if g.Degree(v) != 4 {
+			t.Errorf("degree %d at %d, want 4", g.Degree(v), v)
+		}
+	}
+	// Jump n/2 contributes a single edge per node pair: C8(1,4) is the
+	// Möbius–Kantor-like circulant with degree 3.
+	h := Circulant(8, []int{1, 4})
+	if h.M() != 12 {
+		t.Errorf("C8(1,4) has %d edges, want 12", h.M())
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCirculantPanicsOnBadJumps(t *testing.T) {
+	for _, bad := range [][]int{{0}, {5}, {2}} {
+		func() {
+			defer func() { recover() }()
+			g := Circulant(8, bad)
+			if bad[0] == 2 {
+				// jump 2 on n=8 gives two components: must panic.
+				t.Fatalf("disconnected circulant accepted: %v", g)
+			}
+		}()
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(4, 2)
+	if g.N() != 12 || g.M() != 11 {
+		t.Fatalf("caterpillar: %v, want n=12 m=11 (tree)", g)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := g.Diameter(); d != 5 {
+		t.Errorf("diameter = %d, want 5 (leg-spine*3-leg)", d)
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := NewRNG(55)
+	for _, c := range []struct{ n, d int }{{8, 3}, {10, 4}, {12, 3}} {
+		g := RandomRegular(c.n, c.d, rng)
+		if g.N() != c.n {
+			t.Fatalf("n = %d", g.N())
+		}
+		for v := 0; v < c.n; v++ {
+			if g.Degree(v) != c.d {
+				t.Fatalf("n=%d d=%d: degree %d at %d", c.n, c.d, g.Degree(v), v)
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRandomRegularRejectsInfeasible(t *testing.T) {
+	rng := NewRNG(1)
+	for _, c := range []struct{ n, d int }{{5, 3}, {4, 4}, {3, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RandomRegular(%d,%d) did not panic", c.n, c.d)
+				}
+			}()
+			RandomRegular(c.n, c.d, rng)
+		}()
+	}
+}

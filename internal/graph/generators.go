@@ -1,0 +1,266 @@
+package graph
+
+import "fmt"
+
+// This file provides the graph families used by the paper's experiments and
+// examples. All generators produce connected simple graphs with canonical
+// port numbering (insertion order); callers that want adversarial port
+// labels follow up with PermutePorts.
+
+// Path returns the path graph on n nodes: 0-1-2-...-(n-1).
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustEdge(i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph on n >= 3 nodes.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: Cycle needs n >= 3")
+	}
+	g := Path(n)
+	g.MustEdge(n-1, 0)
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Star returns the star graph with node 0 at the center and n-1 leaves.
+func Star(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustEdge(0, v)
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid graph. Node (r, c) has index r*cols+c.
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := r*cols + c
+			if c+1 < cols {
+				g.MustEdge(u, u+1)
+			}
+			if r+1 < rows {
+				g.MustEdge(u, u+cols)
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns the rows x cols torus (grid with wraparound), rows, cols >= 3.
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic("graph: Torus needs rows, cols >= 3")
+	}
+	g := New(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := r*cols + c
+			g.MustEdge(u, r*cols+(c+1)%cols)
+			g.MustEdge(u, ((r+1)%rows)*cols+c)
+		}
+	}
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d nodes.
+func Hypercube(d int) *Graph {
+	if d < 1 || d > 20 {
+		panic("graph: Hypercube dimension out of range")
+	}
+	n := 1 << d
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < d; b++ {
+			v := u ^ (1 << b)
+			if u < v {
+				g.MustEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b} with parts {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			g.MustEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Lollipop returns a clique of size clique joined by a path of tail extra
+// nodes: the classic hard instance for walk-based exploration. Node
+// clique-1 is the attachment point; the far end of the tail is node
+// clique+tail-1.
+func Lollipop(clique, tail int) *Graph {
+	if clique < 2 {
+		panic("graph: Lollipop needs clique >= 2")
+	}
+	g := New(clique + tail)
+	for u := 0; u < clique; u++ {
+		for v := u + 1; v < clique; v++ {
+			g.MustEdge(u, v)
+		}
+	}
+	prev := clique - 1
+	for i := 0; i < tail; i++ {
+		g.MustEdge(prev, clique+i)
+		prev = clique + i
+	}
+	return g
+}
+
+// Barbell returns two cliques of size clique connected by a path of bridge
+// nodes (bridge may be 0 for a direct edge).
+func Barbell(clique, bridge int) *Graph {
+	if clique < 2 {
+		panic("graph: Barbell needs clique >= 2")
+	}
+	n := 2*clique + bridge
+	g := New(n)
+	for u := 0; u < clique; u++ {
+		for v := u + 1; v < clique; v++ {
+			g.MustEdge(u, v)
+		}
+	}
+	off := clique + bridge
+	for u := off; u < off+clique; u++ {
+		for v := u + 1; v < off+clique; v++ {
+			g.MustEdge(u, v)
+		}
+	}
+	prev := clique - 1
+	for i := 0; i < bridge; i++ {
+		g.MustEdge(prev, clique+i)
+		prev = clique + i
+	}
+	g.MustEdge(prev, off)
+	return g
+}
+
+// BinaryTree returns the complete-ish binary tree on n nodes with node 0 as
+// the root and node i's children at 2i+1 and 2i+2.
+func BinaryTree(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		if l := 2*i + 1; l < n {
+			g.MustEdge(i, l)
+		}
+		if r := 2*i + 2; r < n {
+			g.MustEdge(i, r)
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniform-ish random tree on n nodes built by attaching
+// each node i >= 1 to a random earlier node.
+func RandomTree(n int, rng *RNG) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.MustEdge(i, rng.Intn(i))
+	}
+	return g
+}
+
+// RandomConnected returns a random connected graph with n nodes and exactly
+// m edges (n-1 <= m <= n(n-1)/2): a random tree plus m-(n-1) random extra
+// edges.
+func RandomConnected(n, m int, rng *RNG) *Graph {
+	if m < n-1 || m > n*(n-1)/2 {
+		panic(fmt.Sprintf("graph: RandomConnected infeasible m=%d for n=%d", m, n))
+	}
+	g := RandomTree(n, rng)
+	for g.M() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustEdge(u, v)
+	}
+	return g
+}
+
+// Family identifies a named graph family for sweeps and tables.
+type Family string
+
+// Families used across the experiment harness.
+const (
+	FamPath      Family = "path"
+	FamCycle     Family = "cycle"
+	FamGrid      Family = "grid"
+	FamTree      Family = "tree"
+	FamRandom    Family = "random"
+	FamComplete  Family = "complete"
+	FamLollipop  Family = "lollipop"
+	FamStar      Family = "star"
+	FamHypercube Family = "hypercube"
+)
+
+// FromFamily builds a member of the family with about n nodes (exact for
+// all families except grid/hypercube, which round to the nearest feasible
+// shape). The rng drives random families and, in all cases, adversarial
+// port permutation so that canonical labelings don't leak structure.
+func FromFamily(f Family, n int, rng *RNG) *Graph {
+	var g *Graph
+	switch f {
+	case FamPath:
+		g = Path(n)
+	case FamCycle:
+		g = Cycle(max(n, 3))
+	case FamGrid:
+		r := 1
+		for r*r < n {
+			r++
+		}
+		c := (n + r - 1) / r
+		g = Grid(r, c)
+	case FamTree:
+		g = RandomTree(n, rng)
+	case FamRandom:
+		m := min(2*n, n*(n-1)/2)
+		g = RandomConnected(n, m, rng)
+	case FamComplete:
+		g = Complete(n)
+	case FamLollipop:
+		c := max(n/2, 2)
+		g = Lollipop(c, n-c)
+	case FamStar:
+		g = Star(n)
+	case FamHypercube:
+		d := 1
+		for 1<<d < n {
+			d++
+		}
+		g = Hypercube(d)
+	default:
+		panic("graph: unknown family " + string(f))
+	}
+	g.PermutePorts(rng)
+	return g
+}
+
+// AllFamilies lists the families exercised by the default sweeps.
+func AllFamilies() []Family {
+	return []Family{FamPath, FamCycle, FamGrid, FamTree, FamRandom, FamComplete, FamLollipop}
+}

@@ -1,0 +1,208 @@
+// Package graph implements the anonymous, port-labeled, undirected graph
+// substrate used throughout the gathering library.
+//
+// Nodes are unlabeled from the robots' point of view: the only structure a
+// robot can sense at a node is its degree and the port numbers 0..δ-1 of its
+// incident edges. The two endpoints of an edge may assign it different port
+// numbers, exactly as in the paper's model (§1.1). Internally nodes are
+// indexed 0..n-1 so that the simulator and the harness can observe runs.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Half is one endpoint's view of an edge: the node reached by leaving
+// through a port, and the port number the edge carries at that node.
+type Half struct {
+	To      int // neighbor reached through this port
+	RevPort int // port number of the same edge at To
+}
+
+// Graph is a connected, undirected, simple, port-labeled graph.
+// The zero value is an empty graph; use New to allocate nodes.
+type Graph struct {
+	adj [][]Half
+	m   int
+}
+
+// New returns a graph with n isolated nodes and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Graph{adj: make([][]Half, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// MaxDegree returns the maximum degree Δ of the graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for u := range g.adj {
+		if d := len(g.adj[u]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Neighbor returns the node reached by leaving u through port, together
+// with the port number assigned to the traversed edge at the destination.
+// It panics if the port is out of range, mirroring a robot attempting to
+// use a port that does not exist.
+func (g *Graph) Neighbor(u, port int) (v, revPort int) {
+	h := g.adj[u][port]
+	return h.To, h.RevPort
+}
+
+// Half returns the Half record for (u, port).
+func (g *Graph) Half(u, port int) Half { return g.adj[u][port] }
+
+// AddEdge inserts an undirected edge between u and v, assigning it the next
+// free port number at each endpoint. It returns an error for self-loops,
+// duplicate edges, or out-of-range nodes; the model assumes simple graphs.
+func (g *Graph) AddEdge(u, v int) error {
+	n := len(g.adj)
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	for _, h := range g.adj[u] {
+		if h.To == v {
+			return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+		}
+	}
+	pu, pv := len(g.adj[u]), len(g.adj[v])
+	g.adj[u] = append(g.adj[u], Half{To: v, RevPort: pv})
+	g.adj[v] = append(g.adj[v], Half{To: u, RevPort: pu})
+	g.m++
+	return nil
+}
+
+// MustEdge is AddEdge that panics on error, for use in generators whose
+// inputs are valid by construction.
+func (g *Graph) MustEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether u and v are adjacent.
+func (g *Graph) HasEdge(u, v int) bool {
+	for _, h := range g.adj[u] {
+		if h.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// PortTo returns the port at u leading to v, or -1 if u and v are not
+// adjacent.
+func (g *Graph) PortTo(u, v int) int {
+	for p, h := range g.adj[u] {
+		if h.To == v {
+			return p
+		}
+	}
+	return -1
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([][]Half, len(g.adj)), m: g.m}
+	for u := range g.adj {
+		c.adj[u] = append([]Half(nil), g.adj[u]...)
+	}
+	return c
+}
+
+// Validate checks the structural invariants of a port-labeled graph:
+// every Half record must be mirrored exactly by its counterpart, ports are
+// dense in 0..δ-1 by construction, and the graph must be simple.
+func (g *Graph) Validate() error {
+	seen := 0
+	for u := range g.adj {
+		dup := make(map[int]bool, len(g.adj[u]))
+		for p, h := range g.adj[u] {
+			if h.To < 0 || h.To >= len(g.adj) {
+				return fmt.Errorf("graph: node %d port %d points to invalid node %d", u, p, h.To)
+			}
+			if h.To == u {
+				return fmt.Errorf("graph: self-loop at node %d port %d", u, p)
+			}
+			if dup[h.To] {
+				return fmt.Errorf("graph: parallel edge between %d and %d", u, h.To)
+			}
+			dup[h.To] = true
+			if h.RevPort < 0 || h.RevPort >= len(g.adj[h.To]) {
+				return fmt.Errorf("graph: node %d port %d has invalid reverse port %d", u, p, h.RevPort)
+			}
+			back := g.adj[h.To][h.RevPort]
+			if back.To != u || back.RevPort != p {
+				return fmt.Errorf("graph: edge (%d,%d) port mismatch: (%d,%d) vs (%d,%d)",
+					u, h.To, p, h.RevPort, back.RevPort, back.To)
+			}
+			seen++
+		}
+	}
+	if seen != 2*g.m {
+		return fmt.Errorf("graph: edge count mismatch: %d half-edges, m=%d", seen, g.m)
+	}
+	if !g.IsConnected() {
+		return errors.New("graph: not connected")
+	}
+	return nil
+}
+
+// PermutePorts relabels the ports of every node with an independent
+// permutation drawn from rng. This models the adversary's freedom to choose
+// port numbers; algorithms must be correct for every labeling. The graph's
+// structure (adjacency) is unchanged.
+func (g *Graph) PermutePorts(rng *RNG) {
+	for u := range g.adj {
+		d := len(g.adj[u])
+		if d < 2 {
+			continue
+		}
+		perm := rng.Perm(d) // perm[p] = new label of old port p
+		// Fix the reverse-port references held by neighbors first.
+		for p, h := range g.adj[u] {
+			g.adj[h.To][h.RevPort].RevPort = perm[p]
+		}
+		next := make([]Half, d)
+		for p, h := range g.adj[u] {
+			next[perm[p]] = h
+		}
+		g.adj[u] = next
+	}
+}
+
+// Edges returns all edges as pairs (u,v) with u < v, in deterministic order.
+func (g *Graph) Edges() [][2]int {
+	es := make([][2]int, 0, g.m)
+	for u := range g.adj {
+		for _, h := range g.adj[u] {
+			if u < h.To {
+				es = append(es, [2]int{u, h.To})
+			}
+		}
+	}
+	return es
+}
+
+// String returns a compact description, e.g. "graph(n=5, m=4)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d)", g.N(), g.M())
+}

@@ -1,0 +1,306 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeAssignsDensePorts(t *testing.T) {
+	g := New(3)
+	g.MustEdge(0, 1)
+	g.MustEdge(0, 2)
+	if g.Degree(0) != 2 || g.Degree(1) != 1 || g.Degree(2) != 1 {
+		t.Fatalf("degrees = %d,%d,%d", g.Degree(0), g.Degree(1), g.Degree(2))
+	}
+	v, rev := g.Neighbor(0, 0)
+	if v != 1 || rev != 0 {
+		t.Fatalf("Neighbor(0,0) = %d,%d", v, rev)
+	}
+	v, rev = g.Neighbor(0, 1)
+	if v != 2 || rev != 0 {
+		t.Fatalf("Neighbor(0,1) = %d,%d", v, rev)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeRejectsBadEdges(t *testing.T) {
+	g := New(2)
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 2); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	g.MustEdge(0, 1)
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestGeneratorsShape(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		n, m int
+	}{
+		{"path", Path(5), 5, 4},
+		{"cycle", Cycle(5), 5, 5},
+		{"complete", Complete(5), 5, 10},
+		{"star", Star(6), 6, 5},
+		{"grid", Grid(3, 4), 12, 17},
+		{"torus", Torus(3, 4), 12, 24},
+		{"hypercube", Hypercube(3), 8, 12},
+		{"bipartite", CompleteBipartite(2, 3), 5, 6},
+		{"lollipop", Lollipop(4, 3), 7, 9},
+		{"barbell", Barbell(3, 2), 8, 9},
+		{"binarytree", BinaryTree(7), 7, 6},
+	}
+	for _, c := range cases {
+		if c.g.N() != c.n || c.g.M() != c.m {
+			t.Errorf("%s: got n=%d m=%d, want n=%d m=%d", c.name, c.g.N(), c.g.M(), c.n, c.m)
+		}
+		if err := c.g.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	rng := NewRNG(7)
+	for _, n := range []int{2, 5, 10, 20} {
+		m := min(2*n, n*(n-1)/2)
+		g := RandomConnected(n, m, rng)
+		if g.M() != m {
+			t.Errorf("n=%d: m=%d want %d", n, g.M(), m)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestPermutePortsPreservesStructure(t *testing.T) {
+	rng := NewRNG(42)
+	for _, n := range []int{5, 9, 16} {
+		g := RandomConnected(n, min(2*n, n*(n-1)/2), rng)
+		before := g.Clone()
+		g.PermutePorts(rng)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d: invalid after permute: %v", n, err)
+		}
+		if g.M() != before.M() {
+			t.Fatalf("n=%d: edge count changed", n)
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if before.HasEdge(u, v) != g.HasEdge(u, v) {
+					t.Fatalf("n=%d: adjacency changed at (%d,%d)", n, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBFSDistancesOnPath(t *testing.T) {
+	g := Path(6)
+	d := g.BFSDistances(0)
+	for i, want := range []int{0, 1, 2, 3, 4, 5} {
+		if d[i] != want {
+			t.Errorf("dist[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+	if g.Diameter() != 5 {
+		t.Errorf("diameter = %d, want 5", g.Diameter())
+	}
+}
+
+func TestShortestPathPorts(t *testing.T) {
+	rng := NewRNG(3)
+	g := RandomConnected(12, 20, rng)
+	g.PermutePorts(rng)
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			ports := g.ShortestPathPorts(u, v)
+			if got := g.Walk(u, ports); got != v {
+				t.Fatalf("walk from %d via %v ends at %d, want %d", u, ports, got, v)
+			}
+			if len(ports) != g.Distance(u, v) {
+				t.Fatalf("path length %d != distance %d", len(ports), g.Distance(u, v))
+			}
+		}
+	}
+}
+
+func TestEulerTourVisitsAllNodesAndReturns(t *testing.T) {
+	rng := NewRNG(11)
+	for _, n := range []int{1, 2, 5, 17} {
+		g := RandomConnected(n, min(2*n, max(n-1, n*(n-1)/2)), rng)
+		if n > 1 {
+			g = RandomConnected(n, min(2*n, n*(n-1)/2), rng)
+		}
+		g.PermutePorts(rng)
+		tree := g.BFSTree(0)
+		ports := tree.EulerTourPorts()
+		if len(ports) != 2*(n-1) {
+			t.Fatalf("n=%d: tour length %d, want %d", n, len(ports), 2*(n-1))
+		}
+		visited := make([]bool, n)
+		cur := 0
+		visited[0] = true
+		for _, p := range ports {
+			cur, _ = g.Neighbor(cur, p)
+			visited[cur] = true
+		}
+		if cur != 0 {
+			t.Fatalf("n=%d: tour ends at %d, want 0", n, cur)
+		}
+		for v, ok := range visited {
+			if !ok {
+				t.Fatalf("n=%d: node %d not visited", n, v)
+			}
+		}
+	}
+}
+
+func TestPathToRootPorts(t *testing.T) {
+	g := Grid(3, 3)
+	rng := NewRNG(5)
+	g.PermutePorts(rng)
+	tree := g.BFSTree(4)
+	for u := 0; u < g.N(); u++ {
+		ports := tree.PathToRootPorts(u)
+		if got := g.Walk(u, ports); got != 4 {
+			t.Errorf("path from %d ends at %d, want 4", u, got)
+		}
+	}
+}
+
+func TestIsomorphicFromSelf(t *testing.T) {
+	rng := NewRNG(9)
+	g := RandomConnected(10, 18, rng)
+	g.PermutePorts(rng)
+	if !IsomorphicFrom(g, 3, g.Clone(), 3) {
+		t.Error("graph not isomorphic to its own clone")
+	}
+	// A different rooting of an asymmetric graph should fail.
+	h := Path(4)
+	if IsomorphicFrom(h, 0, h, 1) {
+		t.Error("path rooted at end matched path rooted at middle")
+	}
+}
+
+func TestIsomorphicFromRejectsDifferentGraphs(t *testing.T) {
+	if IsomorphicFrom(Path(4), 0, Cycle(4), 0) {
+		t.Error("path matched cycle")
+	}
+	if IsomorphicFrom(Cycle(5), 0, Cycle(6), 0) {
+		t.Error("different sizes matched")
+	}
+}
+
+func TestMazeConnectedAndSized(t *testing.T) {
+	rng := NewRNG(21)
+	for _, extra := range []int{0, 5, 20} {
+		g := Maze(5, 6, extra, rng)
+		if g.N() != 30 {
+			t.Fatalf("maze n=%d, want 30", g.N())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("extra=%d: %v", extra, err)
+		}
+		if g.M() < 29 {
+			t.Fatalf("maze has %d edges, want >= 29 (spanning tree)", g.M())
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(123), NewRNG(123)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	if NewRNG(0).Uint64() == 0 {
+		t.Error("zero seed produced zero output")
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		p := NewRNG(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, x := range p {
+			if x < 0 || x >= n || seen[x] {
+				return false
+			}
+			seen[x] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromFamilyAllValid(t *testing.T) {
+	rng := NewRNG(77)
+	for _, f := range AllFamilies() {
+		for _, n := range []int{4, 9, 16} {
+			g := FromFamily(f, n, rng)
+			if err := g.Validate(); err != nil {
+				t.Errorf("%s n=%d: %v", f, n, err)
+			}
+			if g.N() < n/2 {
+				t.Errorf("%s n=%d: produced only %d nodes", f, n, g.N())
+			}
+		}
+	}
+}
+
+func TestWalkEmptyPath(t *testing.T) {
+	g := Path(3)
+	if g.Walk(1, nil) != 1 {
+		t.Error("empty walk moved")
+	}
+}
+
+func TestEdgesDeterministicOrder(t *testing.T) {
+	g := Cycle(4)
+	es := g.Edges()
+	if len(es) != 4 {
+		t.Fatalf("got %d edges", len(es))
+	}
+	for _, e := range es {
+		if e[0] >= e[1] {
+			t.Errorf("edge %v not normalized", e)
+		}
+	}
+}
+
+// Property: in any random connected graph, BFS distances satisfy the
+// triangle inequality along edges (adjacent nodes differ by at most 1).
+func TestBFSDistancesLipschitz(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		rng := NewRNG(seed)
+		m := min(2*n, n*(n-1)/2)
+		g := RandomConnected(n, m, rng)
+		d := g.BFSDistances(rng.Intn(n))
+		for u := 0; u < n; u++ {
+			for p := 0; p < g.Degree(u); p++ {
+				v, _ := g.Neighbor(u, p)
+				if d[u]-d[v] > 1 || d[v]-d[u] > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

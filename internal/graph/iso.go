@@ -1,0 +1,54 @@
+package graph
+
+// IsomorphicFrom reports whether h, rooted at hRoot, is port-respecting
+// isomorphic to g rooted at gRoot. In a connected port-labeled graph a
+// port-respecting isomorphism that fixes a root is unique if it exists, so
+// a single BFS pairing decides the question. This is how tests verify that
+// the map a finder learns in Phase 1 is a faithful copy of the true graph.
+func IsomorphicFrom(g *Graph, gRoot int, h *Graph, hRoot int) bool {
+	if g.N() != h.N() || g.M() != h.M() {
+		return false
+	}
+	if g.N() == 0 {
+		return true
+	}
+	match := make([]int, g.N()) // g node -> h node
+	for i := range match {
+		match[i] = -1
+	}
+	match[gRoot] = hRoot
+	queue := []int{gRoot}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		hu := match[u]
+		if g.Degree(u) != h.Degree(hu) {
+			return false
+		}
+		for p := 0; p < g.Degree(u); p++ {
+			gv, gRev := g.Neighbor(u, p)
+			hv, hRev := h.Neighbor(hu, p)
+			if gRev != hRev {
+				return false
+			}
+			switch match[gv] {
+			case -1:
+				match[gv] = hv
+				queue = append(queue, gv)
+			case hv:
+				// consistent, nothing to do
+			default:
+				return false
+			}
+		}
+	}
+	// Injectivity: all g nodes matched to distinct h nodes.
+	seen := make([]bool, h.N())
+	for _, hv := range match {
+		if hv < 0 || seen[hv] {
+			return false
+		}
+		seen[hv] = true
+	}
+	return true
+}

@@ -1,0 +1,51 @@
+package graph
+
+// Maze returns a rows x cols maze: a grid whose passages form a random
+// spanning tree (carved by randomized DFS) plus extra random openings.
+// This is the paper's motivating scenario of "a maze with rooms and
+// corridors between them" (§1). extra controls how many additional grid
+// walls are opened beyond the tree (0 yields a perfect maze).
+func Maze(rows, cols, extra int, rng *RNG) *Graph {
+	n := rows * cols
+	g := New(n)
+	id := func(r, c int) int { return r*cols + c }
+
+	visited := make([]bool, n)
+	type cell struct{ r, c int }
+	stack := []cell{{rng.Intn(rows), rng.Intn(cols)}}
+	visited[id(stack[0].r, stack[0].c)] = true
+	dirs := [4][2]int{{0, 1}, {1, 0}, {0, -1}, {-1, 0}}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		// Collect unvisited neighbors.
+		var options []cell
+		for _, d := range dirs {
+			nr, nc := cur.r+d[0], cur.c+d[1]
+			if nr >= 0 && nr < rows && nc >= 0 && nc < cols && !visited[id(nr, nc)] {
+				options = append(options, cell{nr, nc})
+			}
+		}
+		if len(options) == 0 {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		next := options[rng.Intn(len(options))]
+		g.MustEdge(id(cur.r, cur.c), id(next.r, next.c))
+		visited[id(next.r, next.c)] = true
+		stack = append(stack, next)
+	}
+
+	// Open extra walls to create cycles (rooms with several doors).
+	for added := 0; added < extra; {
+		r, c := rng.Intn(rows), rng.Intn(cols)
+		d := dirs[rng.Intn(4)]
+		nr, nc := r+d[0], c+d[1]
+		if nr < 0 || nr >= rows || nc < 0 || nc >= cols || g.HasEdge(id(r, c), id(nr, nc)) {
+			added++ // bounded attempts: count misses too so dense mazes terminate
+			continue
+		}
+		g.MustEdge(id(r, c), id(nr, nc))
+		added++
+	}
+	return g
+}

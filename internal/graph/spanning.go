@@ -1,0 +1,77 @@
+package graph
+
+// SpanningTree is a rooted spanning tree of a graph, represented by parent
+// pointers and the ports used to traverse tree edges in both directions.
+type SpanningTree struct {
+	Root       int
+	Parent     []int // Parent[root] = -1
+	PortUp     []int // port at node leading to its parent
+	PortDown   []int // port at parent leading to this node
+	childOrder [][]int
+}
+
+// BFSTree builds a breadth-first spanning tree rooted at root. Children of
+// each node are ordered by the parent's port number, which makes the Euler
+// tour deterministic.
+func (g *Graph) BFSTree(root int) *SpanningTree {
+	n := g.N()
+	t := &SpanningTree{
+		Root:       root,
+		Parent:     make([]int, n),
+		PortUp:     make([]int, n),
+		PortDown:   make([]int, n),
+		childOrder: make([][]int, n),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+		t.PortUp[i] = -1
+		t.PortDown[i] = -1
+	}
+	visited := make([]bool, n)
+	visited[root] = true
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for p, h := range g.adj[u] {
+			if !visited[h.To] {
+				visited[h.To] = true
+				t.Parent[h.To] = u
+				t.PortDown[h.To] = p
+				t.PortUp[h.To] = h.RevPort
+				t.childOrder[u] = append(t.childOrder[u], h.To)
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return t
+}
+
+// EulerTourPorts returns the port sequence of the closed Euler tour of the
+// tree starting and ending at the root: each tree edge is crossed exactly
+// twice, so the walk has length 2(n-1) and visits every node. This is the
+// walk the paper's Phase 2 finder performs ("exploration along the edges of
+// the spanning tree ... exactly 2n rounds").
+func (t *SpanningTree) EulerTourPorts() []int {
+	var ports []int
+	var dfs func(u int)
+	dfs = func(u int) {
+		for _, c := range t.childOrder[u] {
+			ports = append(ports, t.PortDown[c])
+			dfs(c)
+			ports = append(ports, t.PortUp[c])
+		}
+	}
+	dfs(t.Root)
+	return ports
+}
+
+// PathToRootPorts returns the port sequence leading from u up to the root.
+func (t *SpanningTree) PathToRootPorts(u int) []int {
+	var ports []int
+	for u != t.Root {
+		ports = append(ports, t.PortUp[u])
+		u = t.Parent[u]
+	}
+	return ports
+}

@@ -1,0 +1,42 @@
+package mapping
+
+import "repro/internal/sim"
+
+// FinderAgent is a standalone simulator agent wrapping a Builder: it builds
+// the map and then idles. Used by tests, the mapbuild example, and as the
+// reference for how gathering agents drive a Builder during Phase 1.
+type FinderAgent struct {
+	sim.Base
+	B *Builder
+}
+
+// NewFinderAgent returns a finder with the given robot ID commanding the
+// helper with ID tokenID on an n-node graph.
+func NewFinderAgent(id, n, tokenID int) *FinderAgent {
+	return &FinderAgent{Base: sim.NewBase(id), B: NewBuilder(n, tokenID)}
+}
+
+// Compose implements sim.Agent.
+func (f *FinderAgent) Compose(env *sim.Env) []sim.Message { return f.B.Compose(env) }
+
+// Decide implements sim.Agent.
+func (f *FinderAgent) Decide(env *sim.Env) sim.Action { return f.B.Decide(env) }
+
+// TokenAgent is a standalone simulator agent for the helper acting as a
+// movable token.
+type TokenAgent struct {
+	sim.Base
+	T Token
+}
+
+// NewTokenAgent returns a token helper with the given robot ID obeying the
+// finder with ID owner.
+func NewTokenAgent(id, owner int) *TokenAgent {
+	return &TokenAgent{Base: sim.NewBase(id), T: NewToken(owner)}
+}
+
+// Decide implements sim.Agent.
+func (t *TokenAgent) Decide(env *sim.Env) sim.Action {
+	t.T.Update(env.Inbox)
+	return t.T.Action()
+}

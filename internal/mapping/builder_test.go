@@ -1,0 +1,209 @@
+package mapping
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// buildMap runs a finder+token pair from startNode on g until the map is
+// complete and returns the learned map and the rounds consumed.
+func buildMap(t *testing.T, g *graph.Graph, startNode int) (*graph.Graph, int) {
+	t.Helper()
+	finder := NewFinderAgent(1, g.N(), 2)
+	token := NewTokenAgent(2, 1)
+	w, err := sim.NewWorld(g, []sim.Agent{finder, token}, []int{startNode, startNode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := Budget(g.N())
+	for r := 0; r < budget && !finder.B.Done(); r++ {
+		w.Step()
+	}
+	if !finder.B.Done() {
+		t.Fatalf("map construction exceeded budget %d on %v", budget, g)
+	}
+	m, err := finder.B.Map()
+	if err != nil {
+		t.Fatalf("map finalize: %v", err)
+	}
+	return m, finder.B.Rounds()
+}
+
+func TestBuildMapOnFamilies(t *testing.T) {
+	rng := graph.NewRNG(17)
+	for _, fam := range graph.AllFamilies() {
+		for _, n := range []int{2, 5, 9, 14} {
+			if fam == graph.FamCycle && n < 3 {
+				continue
+			}
+			g := graph.FromFamily(fam, n, rng)
+			start := rng.Intn(g.N())
+			m, _ := buildMap(t, g, start)
+			if !graph.IsomorphicFrom(g, start, m, 0) {
+				t.Errorf("%s n=%d start=%d: learned map not isomorphic", fam, n, start)
+			}
+		}
+	}
+}
+
+func TestBuildMapSingleEdge(t *testing.T) {
+	g := graph.Path(2)
+	m, rounds := buildMap(t, g, 0)
+	if m.N() != 2 || m.M() != 1 {
+		t.Fatalf("map = %v", m)
+	}
+	if rounds > Budget(2) {
+		t.Fatalf("rounds %d > budget %d", rounds, Budget(2))
+	}
+}
+
+func TestBuildMapSingleNode(t *testing.T) {
+	g := graph.New(1)
+	finder := NewFinderAgent(1, 1, 2)
+	token := NewTokenAgent(2, 1)
+	w, err := sim.NewWorld(g, []sim.Agent{finder, token}, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 5 && !finder.B.Done(); r++ {
+		w.Step()
+	}
+	if !finder.B.Done() {
+		t.Fatal("n=1 map not done")
+	}
+	m, err := finder.B.Map()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 1 || m.M() != 0 {
+		t.Fatalf("map = %v", m)
+	}
+}
+
+func TestRoundsWithinCubicBudget(t *testing.T) {
+	rng := graph.NewRNG(23)
+	for _, n := range []int{4, 8, 12, 16, 20} {
+		g := graph.FromFamily(graph.FamRandom, n, rng)
+		_, rounds := buildMap(t, g, 0)
+		if rounds > Budget(n) {
+			t.Errorf("n=%d: %d rounds > budget %d", n, rounds, Budget(n))
+		}
+	}
+}
+
+func TestBuilderEndsAtHome(t *testing.T) {
+	rng := graph.NewRNG(29)
+	g := graph.FromFamily(graph.FamGrid, 9, rng)
+	finder := NewFinderAgent(1, g.N(), 2)
+	token := NewTokenAgent(2, 1)
+	start := 3
+	w, _ := sim.NewWorld(g, []sim.Agent{finder, token}, []int{start, start})
+	for r := 0; r < Budget(g.N()) && !finder.B.Done(); r++ {
+		w.Step()
+	}
+	pos := w.Positions()
+	if pos[0] != start {
+		t.Errorf("finder ended at %d, want home %d", pos[0], start)
+	}
+	if pos[1] != start {
+		t.Errorf("token ended at %d, want home %d", pos[1], start)
+	}
+}
+
+func TestMemoryBitsWithinMLogN(t *testing.T) {
+	rng := graph.NewRNG(31)
+	for _, n := range []int{6, 12, 18} {
+		g := graph.FromFamily(graph.FamRandom, n, rng)
+		finder := NewFinderAgent(1, g.N(), 2)
+		token := NewTokenAgent(2, 1)
+		w, _ := sim.NewWorld(g, []sim.Agent{finder, token}, []int{0, 0})
+		for r := 0; r < Budget(g.N()) && !finder.B.Done(); r++ {
+			w.Step()
+		}
+		bits := finder.B.MemoryBits()
+		logn := 1
+		for v := n - 1; v > 0; v >>= 1 {
+			logn++
+		}
+		bound := 8 * g.M() * logn
+		if bits > bound {
+			t.Errorf("n=%d: memory %d bits > %d (8·m·log n)", n, bits, bound)
+		}
+		if bits == 0 {
+			t.Errorf("n=%d: zero memory recorded", n)
+		}
+	}
+}
+
+func TestMapBeforeDoneErrors(t *testing.T) {
+	b := NewBuilder(5, 2)
+	if _, err := b.Map(); err == nil {
+		t.Error("Map() before Done() should error")
+	}
+}
+
+func TestTokenObeysOnlyOwner(t *testing.T) {
+	tok := NewToken(7)
+	tok.Update([]sim.Message{{From: 3, Kind: sim.MsgTake}})
+	if tok.Following != -1 {
+		t.Error("token obeyed a stranger")
+	}
+	tok.Update([]sim.Message{{From: 7, Kind: sim.MsgTake}})
+	if tok.Following != 7 {
+		t.Error("token ignored its owner")
+	}
+	tok.Update([]sim.Message{{From: 7, Kind: sim.MsgStayHere}})
+	if tok.Following != -1 {
+		t.Error("token did not park")
+	}
+	if a := tok.Action(); a.Kind != sim.Stay {
+		t.Errorf("parked token action = %v", a)
+	}
+}
+
+func TestTwoPairsBuildIndependently(t *testing.T) {
+	// Two finder+token pairs on the same graph must not disturb each
+	// other: each learns a correct map (Phase 1 runs many pairs in
+	// parallel in Undispersed-Gathering).
+	rng := graph.NewRNG(41)
+	g := graph.FromFamily(graph.FamRandom, 10, rng)
+	f1 := NewFinderAgent(1, g.N(), 2)
+	t1 := NewTokenAgent(2, 1)
+	f2 := NewFinderAgent(3, g.N(), 4)
+	t2 := NewTokenAgent(4, 3)
+	s1, s2 := 0, g.N()-1
+	w, err := sim.NewWorld(g, []sim.Agent{f1, t1, f2, t2}, []int{s1, s1, s2, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < Budget(g.N()) && !(f1.B.Done() && f2.B.Done()); r++ {
+		w.Step()
+	}
+	if !f1.B.Done() || !f2.B.Done() {
+		t.Fatal("parallel pairs did not finish in budget")
+	}
+	m1, err1 := f1.B.Map()
+	m2, err2 := f2.B.Map()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("finalize: %v %v", err1, err2)
+	}
+	if !graph.IsomorphicFrom(g, s1, m1, 0) {
+		t.Error("pair 1 learned a wrong map")
+	}
+	if !graph.IsomorphicFrom(g, s2, m2, 0) {
+		t.Error("pair 2 learned a wrong map")
+	}
+}
+
+func TestBudgetMonotone(t *testing.T) {
+	prev := 0
+	for n := 1; n <= 40; n++ {
+		b := Budget(n)
+		if b <= prev {
+			t.Fatalf("Budget not increasing at n=%d", n)
+		}
+		prev = b
+	}
+}

@@ -1,0 +1,331 @@
+package mapping
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// NaiveBuilder is the ablation counterpart of Builder: it classifies each
+// frontier node by testing every known node *individually* — park the
+// token on candidate x, walk back, cross the probe port, and see whether
+// the token is waiting there — instead of parking the token on the
+// frontier once and touring the known map.
+//
+// Per probe this costs O(n) moves for each of up to n candidates, so the
+// total is O(n⁴) rounds versus Builder's O(n³). Experiment E17 measures
+// the gap; its existence is why the paper's R₁ = O(n³) budget needs the
+// tour-based identification Builder implements.
+type NaiveBuilder struct {
+	n       int
+	tokenID int
+
+	asm *graph.Assembler
+	cur int
+
+	ops     []op
+	nextSeq int
+	sentFor int
+
+	probeFrom, probePort int
+	frontierDeg          int
+	frontierArr          int
+	candidate            int
+
+	phase   naivePhase
+	started bool
+	done    bool
+	rounds  int
+}
+
+type naivePhase int
+
+const (
+	nvIdle     naivePhase = iota
+	nvDiscover            // crossing the probe port to observe the frontier
+	nvObserve             // at the frontier: record degree/arrival, step back
+	nvTest                // candidate walk planned; crossing checks the token
+	nvCheck               // at the frontier with a parked candidate token
+	nvHome                // all ports explored; walking home
+)
+
+// naive op kinds reuse the op struct; opParkStay detaches the token while
+// the finder holds position for one round.
+const opParkStay opKind = 100
+
+// NaiveBudget is the worst-case round budget of NaiveBuilder: each of the
+// <= n(n-1) probes runs <= n candidate tests of <= 3n+8 rounds each plus
+// a discovery trip, with constant slack.
+func NaiveBudget(n int) int {
+	if n < 1 {
+		panic("mapping: NaiveBudget of non-positive n")
+	}
+	return (3*n+8)*n*n*(n-1) + (2*n+8)*n*(n-1) + 4*n + 16
+}
+
+// NewNaiveBuilder returns the ablation builder; same interface contract
+// as NewBuilder (token co-located at the first round).
+func NewNaiveBuilder(n, tokenID int) *NaiveBuilder {
+	b := &NaiveBuilder{n: n, tokenID: tokenID, asm: graph.NewAssembler(), sentFor: -1, candidate: -1}
+	b.push(op{kind: opTake})
+	return b
+}
+
+func (b *NaiveBuilder) push(o op) {
+	o.seq = b.nextSeq
+	b.nextSeq++
+	b.ops = append(b.ops, o)
+}
+
+// Done reports whether the map is complete and the finder is home.
+func (b *NaiveBuilder) Done() bool { return b.done }
+
+// Rounds returns the rounds consumed so far.
+func (b *NaiveBuilder) Rounds() int { return b.rounds }
+
+// Map finalizes the learned map; call only after Done.
+func (b *NaiveBuilder) Map() (*graph.Graph, error) {
+	if !b.done {
+		return nil, fmt.Errorf("mapping: naive map requested before construction finished")
+	}
+	return b.asm.Graph()
+}
+
+// Compose emits the token command required by the head op.
+func (b *NaiveBuilder) Compose(env *sim.Env) []sim.Message {
+	if b.done || len(b.ops) == 0 {
+		return nil
+	}
+	switch head := b.ops[0]; head.kind {
+	case opTake:
+		b.sentFor = head.seq
+		return []sim.Message{{To: b.tokenID, Kind: sim.MsgTake}}
+	case opParkStay:
+		b.sentFor = head.seq
+		return []sim.Message{{To: b.tokenID, Kind: sim.MsgStayHere}}
+	}
+	return nil
+}
+
+// Decide consumes one round.
+func (b *NaiveBuilder) Decide(env *sim.Env) sim.Action {
+	b.rounds++
+	if b.done {
+		return sim.StayAction()
+	}
+	if !b.started {
+		b.started = true
+		mustEnsure(b.asm, 0, env.Degree)
+		b.cur = 0
+		if env.Degree == 0 {
+			b.ops = nil
+			b.done = true
+			return sim.StayAction()
+		}
+	}
+
+	// Frontier arrivals carry observations.
+	switch b.phase {
+	case nvObserve:
+		// Just crossed for discovery: record the frontier's shape and
+		// plan the walk back; candidate testing starts afterwards.
+		b.frontierDeg = env.Degree
+		b.frontierArr = env.ArrivalPort
+		b.phase = nvTest
+		b.candidate = 0
+		b.push(op{kind: opMove, port: env.ArrivalPort, dest: b.probeFrom})
+		b.planCandidateTest()
+	case nvCheck:
+		// Just crossed with the candidate's token parked: resolve.
+		if _, here := env.OtherByID(b.tokenID); here {
+			x := b.candidate
+			mustSet(b.asm, b.probeFrom, b.probePort, x, b.frontierArr)
+			b.cur = x
+			b.candidate = -1
+			b.phase = nvIdle
+			b.ops = nil
+			b.push(op{kind: opTake})
+			break
+		}
+		// Wrong candidate: walk back, fetch the token, try the next.
+		b.ops = nil
+		b.push(op{kind: opMove, port: b.frontierArr, dest: b.probeFrom})
+		b.planWalk(b.probeFrom, b.candidate)
+		b.push(op{kind: opTake})
+		b.candidate++
+		if b.candidate < b.asm.NumNodes() {
+			b.planCandidateTestFrom(b.candidatePrev())
+			b.phase = nvTest
+		} else {
+			b.planAdmitNew() // leaves phase at nvIdle
+		}
+	}
+
+	for len(b.ops) == 0 {
+		switch b.phase {
+		case nvIdle, nvTest:
+			if !b.planNextProbe() {
+				return sim.StayAction()
+			}
+		case nvHome:
+			b.done = true
+			return sim.StayAction()
+		default:
+			return sim.StayAction()
+		}
+	}
+
+	head := b.ops[0]
+	switch head.kind {
+	case opMove:
+		b.ops = b.ops[1:]
+		b.cur = head.dest
+		return sim.MoveAction(head.port)
+	case opCross:
+		b.ops = b.ops[1:]
+		if b.phase == nvDiscover {
+			b.phase = nvObserve
+		} else if b.phase == nvTest {
+			b.phase = nvCheck
+		}
+		b.cur = -1
+		return sim.MoveAction(head.port)
+	case opParkStay:
+		if b.sentFor != head.seq {
+			return sim.StayAction()
+		}
+		b.ops = b.ops[1:]
+		return sim.StayAction()
+	case opTake:
+		if b.sentFor != head.seq {
+			return sim.StayAction()
+		}
+		b.ops = b.ops[1:]
+		return sim.StayAction()
+	}
+	panic("mapping: unknown op")
+}
+
+// candidatePrev is the node holding the token when the next candidate
+// test begins: the failed candidate just fetched from.
+func (b *NaiveBuilder) candidatePrev() int { return b.candidate - 1 }
+
+// planNextProbe starts the next probe (discovery cross) or heads home.
+func (b *NaiveBuilder) planNextProbe() bool {
+	for v := 0; v < b.asm.NumNodes(); v++ {
+		for p := 0; p < b.asm.Degree(v); p++ {
+			if b.asm.EdgeKnown(v, p) {
+				continue
+			}
+			b.probeFrom, b.probePort = v, p
+			b.planWalk(b.cur, v)
+			b.push(op{kind: opCross, port: p})
+			b.phase = nvDiscover
+			return true
+		}
+	}
+	b.planWalk(b.cur, 0)
+	b.phase = nvHome
+	if len(b.ops) == 0 {
+		b.done = true
+		return false
+	}
+	return true
+}
+
+// planCandidateTest plans one candidate test assuming finder+token start
+// together at b.probeFrom's side (the ops already queued walk there).
+func (b *NaiveBuilder) planCandidateTest() {
+	b.planCandidateTestFrom(b.probeFrom)
+}
+
+// planCandidateTestFrom plans: walk (with token) from `from` to the
+// candidate, detach the token there, walk to the probe origin, and cross
+// the probe port; the arrival resolves the test (phase nvCheck).
+func (b *NaiveBuilder) planCandidateTestFrom(from int) {
+	x := b.candidate
+	b.planWalk(from, x)
+	b.push(op{kind: opParkStay})
+	b.planWalk(x, b.probeFrom)
+	b.push(op{kind: opCross, port: b.probePort})
+}
+
+// planAdmitNew records the frontier as a new node once every candidate
+// failed, and plans the move onto it (the queued ops have already fetched
+// the token from the last candidate). The final step is a plain opMove —
+// the destination is known now — so no check fires on arrival.
+func (b *NaiveBuilder) planAdmitNew() {
+	id := b.asm.NumNodes()
+	mustEnsure(b.asm, id, b.frontierDeg)
+	mustSet(b.asm, b.probeFrom, b.probePort, id, b.frontierArr)
+	last := b.candidate - 1 // token is being fetched from here
+	b.planWalk(last, b.probeFrom)
+	b.push(op{kind: opMove, port: b.probePort, dest: id})
+	b.candidate = -1
+	b.phase = nvIdle
+}
+
+// planWalk plans a shortest known-map walk src -> dst.
+func (b *NaiveBuilder) planWalk(src, dst int) {
+	if src == dst {
+		return
+	}
+	nextPort := b.bfsNext(dst)
+	cur := src
+	for cur != dst {
+		p := nextPort[cur]
+		if p < 0 {
+			panic("mapping: naive partial map disconnected")
+		}
+		next := b.asm.Peek(cur, p).To
+		b.push(op{kind: opMove, port: p, dest: next})
+		cur = next
+	}
+}
+
+// bfsNext returns, per node, the port of the next hop toward dst over
+// known edges (-1 when unreachable).
+func (b *NaiveBuilder) bfsNext(dst int) []int {
+	nn := b.asm.NumNodes()
+	next := make([]int, nn)
+	for i := range next {
+		next[i] = -1
+	}
+	seen := make([]bool, nn)
+	seen[dst] = true
+	queue := []int{dst}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for p := 0; p < b.asm.Degree(u); p++ {
+			if !b.asm.EdgeKnown(u, p) {
+				continue
+			}
+			h := b.asm.Peek(u, p)
+			if !seen[h.To] {
+				seen[h.To] = true
+				next[h.To] = h.RevPort
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return next
+}
+
+// NaiveFinderAgent wraps NaiveBuilder as a standalone simulator agent.
+type NaiveFinderAgent struct {
+	sim.Base
+	B *NaiveBuilder
+}
+
+// NewNaiveFinderAgent returns a standalone naive-mapping finder.
+func NewNaiveFinderAgent(id, n, tokenID int) *NaiveFinderAgent {
+	return &NaiveFinderAgent{Base: sim.NewBase(id), B: NewNaiveBuilder(n, tokenID)}
+}
+
+// Compose implements sim.Agent.
+func (f *NaiveFinderAgent) Compose(env *sim.Env) []sim.Message { return f.B.Compose(env) }
+
+// Decide implements sim.Agent.
+func (f *NaiveFinderAgent) Decide(env *sim.Env) sim.Action { return f.B.Decide(env) }

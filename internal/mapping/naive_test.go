@@ -1,0 +1,91 @@
+package mapping
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// buildNaiveMap runs a naive finder+token pair until the map completes.
+func buildNaiveMap(t *testing.T, g *graph.Graph, startNode int) (*graph.Graph, int) {
+	t.Helper()
+	finder := NewNaiveFinderAgent(1, g.N(), 2)
+	token := NewTokenAgent(2, 1)
+	w, err := sim.NewWorld(g, []sim.Agent{finder, token}, []int{startNode, startNode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := NaiveBudget(g.N())
+	for r := 0; r < budget && !finder.B.Done(); r++ {
+		w.Step()
+	}
+	if !finder.B.Done() {
+		t.Fatalf("naive map construction exceeded budget %d on %v", budget, g)
+	}
+	m, err := finder.B.Map()
+	if err != nil {
+		t.Fatalf("naive map finalize: %v", err)
+	}
+	return m, finder.B.Rounds()
+}
+
+func TestNaiveBuildMapOnFamilies(t *testing.T) {
+	rng := graph.NewRNG(19)
+	for _, fam := range []graph.Family{graph.FamPath, graph.FamCycle, graph.FamGrid, graph.FamRandom, graph.FamComplete} {
+		for _, n := range []int{2, 5, 8, 11} {
+			if fam == graph.FamCycle && n < 3 {
+				continue
+			}
+			g := graph.FromFamily(fam, n, rng)
+			start := rng.Intn(g.N())
+			m, _ := buildNaiveMap(t, g, start)
+			if !graph.IsomorphicFrom(g, start, m, 0) {
+				t.Errorf("%s n=%d start=%d: naive map not isomorphic", fam, g.N(), start)
+			}
+		}
+	}
+}
+
+func TestNaiveBuildMapSingleNode(t *testing.T) {
+	g := graph.New(1)
+	finder := NewNaiveFinderAgent(1, 1, 2)
+	token := NewTokenAgent(2, 1)
+	w, _ := sim.NewWorld(g, []sim.Agent{finder, token}, []int{0, 0})
+	for r := 0; r < 5 && !finder.B.Done(); r++ {
+		w.Step()
+	}
+	if !finder.B.Done() {
+		t.Fatal("n=1 naive map not done")
+	}
+}
+
+func TestNaiveSlowerThanTourBuilder(t *testing.T) {
+	// The whole point of the ablation: the naive per-candidate strategy
+	// costs asymptotically more. At n=14 the gap must already be clear.
+	rng := graph.NewRNG(23)
+	g := graph.FromFamily(graph.FamRandom, 14, rng)
+	_, tourRounds := buildMap(t, g, 0)
+	_, naiveRounds := buildNaiveMap(t, g, 0)
+	if naiveRounds <= tourRounds {
+		t.Errorf("naive (%d rounds) not slower than tour-based (%d rounds)", naiveRounds, tourRounds)
+	}
+}
+
+func TestNaiveRoundsWithinQuarticBudget(t *testing.T) {
+	rng := graph.NewRNG(29)
+	for _, n := range []int{4, 8, 12} {
+		g := graph.FromFamily(graph.FamRandom, n, rng)
+		_, rounds := buildNaiveMap(t, g, 0)
+		if rounds > NaiveBudget(n) {
+			t.Errorf("n=%d: %d rounds > budget %d", n, rounds, NaiveBudget(n))
+		}
+	}
+}
+
+func TestNaiveMapBeforeDoneErrors(t *testing.T) {
+	b := NewNaiveBuilder(5, 2)
+	if _, err := b.Map(); err == nil {
+		t.Error("Map() before Done() should error")
+	}
+}

@@ -1,0 +1,38 @@
+package mapping
+
+import "repro/internal/sim"
+
+// Token is the helper-side behaviour of the movable token: stay where you
+// are, follow your finder when told MsgTake, and hold position when told
+// MsgStayHere. Both the standalone TokenAgent and the gathering algorithm's
+// helper state embed it.
+type Token struct {
+	Owner     int // finder ID whose commands are obeyed
+	Following int // current leader ID, or -1 when parked
+}
+
+// NewToken returns a parked token obeying the given finder.
+func NewToken(owner int) Token { return Token{Owner: owner, Following: -1} }
+
+// Update processes this round's inbox, honoring commands from the owner.
+func (t *Token) Update(inbox []sim.Message) {
+	for _, m := range inbox {
+		if m.From != t.Owner {
+			continue
+		}
+		switch m.Kind {
+		case sim.MsgTake:
+			t.Following = t.Owner
+		case sim.MsgStayHere:
+			t.Following = -1
+		}
+	}
+}
+
+// Action returns the movement decision implied by the token's state.
+func (t *Token) Action() sim.Action {
+	if t.Following >= 0 {
+		return sim.FollowAction(t.Following)
+	}
+	return sim.StayAction()
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Combined fault-model tests: crashes interacting with follows, delays
+// and each other.
+
+func TestFollowerOfCrashedLeaderStays(t *testing.T) {
+	g := graph.Path(3)
+	leader := newScripted(1, MoveAction(0), MoveAction(1))
+	follower := newScripted(2, FollowAction(1), FollowAction(1), FollowAction(1))
+	w, _ := NewWorld(g, []Agent{leader, follower}, []int{1, 1})
+	if err := w.CrashAt(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	w.Step() // both move 1 -> 0
+	w.Step() // leader crashes at node 0; follower's Follow resolves to stay
+	w.Step()
+	pos := w.Positions()
+	if pos[1] != 0 {
+		t.Fatalf("follower of crashed leader moved: %v", pos)
+	}
+}
+
+func TestCrashBeforeWakeOfDelayedRobot(t *testing.T) {
+	g := graph.Path(2)
+	inner := newScripted(1, MoveAction(0))
+	d := Delayed(inner, 5)
+	w, _ := NewWorld(g, []Agent{d}, []int{0})
+	if err := w.CrashAt(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run(10)
+	if res.Crashed != 1 {
+		t.Fatalf("crashed = %d", res.Crashed)
+	}
+	if res.FinalPositions[0] != 0 {
+		t.Fatal("crashed sleeper moved")
+	}
+	if len(inner.envs) != 0 {
+		t.Fatal("crashed sleeper's inner agent was invoked")
+	}
+	// A world whose only robot crashed is trivially done.
+	if !res.AllTerminated {
+		t.Fatal("all-crashed world not considered done")
+	}
+}
+
+func TestCrashedRobotReceivesNoMessages(t *testing.T) {
+	g := graph.Path(2)
+	talkerA := &talker{Base: NewBase(1)}
+	victim := &talker{Base: NewBase(2)}
+	w, _ := NewWorld(g, []Agent{talkerA, victim}, []int{0, 0})
+	if err := w.CrashAt(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	w.Step()
+	w.Step()
+	if len(victim.heard) != 0 {
+		t.Fatalf("crashed robot heard %d messages", len(victim.heard))
+	}
+}
+
+func TestDirectedMessageToCrashedRobotDropped(t *testing.T) {
+	g := graph.Path(2)
+	sender := &directed{Base: NewBase(1), to: 2}
+	victim := &talker{Base: NewBase(2)}
+	w, _ := NewWorld(g, []Agent{sender, victim}, []int{0, 0})
+	if err := w.CrashAt(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	w.Step()
+	if len(victim.heard) != 0 {
+		t.Fatal("message delivered to a crashed robot")
+	}
+}
+
+func TestTwoSimultaneousCrashes(t *testing.T) {
+	g := graph.Cycle(4)
+	a := newScripted(1, MoveAction(0), MoveAction(0))
+	b := newScripted(2, MoveAction(1), MoveAction(1))
+	c := newScripted(3, TerminateAction(true))
+	w, _ := NewWorld(g, []Agent{a, b, c}, []int{0, 0, 0})
+	if err := w.CrashAt(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CrashAt(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run(10)
+	if res.Crashed != 2 {
+		t.Fatalf("crashed = %d, want 2", res.Crashed)
+	}
+	if !res.AllTerminated || !res.Gathered {
+		t.Fatalf("surviving robot outcome: %+v", res)
+	}
+}
+
+func TestInvariantTracerCatchesNothingOnCleanRun(t *testing.T) {
+	g := graph.Cycle(5)
+	a := newScripted(1, MoveAction(0), MoveAction(0), TerminateAction(true))
+	w, _ := NewWorld(g, []Agent{a}, []int{0})
+	inv := &InvariantTracer{}
+	w.SetTracer(inv)
+	w.Run(10)
+	if inv.Err != nil {
+		t.Fatalf("clean run flagged: %v", inv.Err)
+	}
+}
+
+func TestDelayedAgentComposeSuppressed(t *testing.T) {
+	g := graph.Path(2)
+	inner := &talker{Base: NewBase(1)}
+	listener := &talker{Base: NewBase(2)}
+	w, _ := NewWorld(g, []Agent{Delayed(inner, 3), listener}, []int{0, 0})
+	w.Step()
+	w.Step()
+	if len(listener.heard) != 0 {
+		t.Fatalf("sleeping robot talked: %d messages", len(listener.heard))
+	}
+	w.Step() // round 2: still asleep
+	w.Step() // round 3: wakes, composes
+	if len(listener.heard) == 0 {
+		t.Fatal("woken robot never talked")
+	}
+}

@@ -1,0 +1,57 @@
+package sim
+
+import "fmt"
+
+// InvariantTracer validates global execution invariants after every
+// round; integration tests attach it to catch engine or algorithm bugs
+// that individual assertions would miss:
+//
+//   - every robot occupies a valid node;
+//   - a terminated robot never moves again;
+//   - the round counter advances by exactly one per observation.
+//
+// The first violation is recorded in Err and subsequent rounds are
+// ignored.
+type InvariantTracer struct {
+	Err error
+
+	prevPos   []int
+	prevDone  []bool
+	prevRound int
+	started   bool
+}
+
+// Observe implements Tracer.
+func (t *InvariantTracer) Observe(w *World) {
+	if t.Err != nil {
+		return
+	}
+	pos := w.Positions()
+	n := w.Graph().N()
+	for i, p := range pos {
+		if p < 0 || p >= n {
+			t.Err = fmt.Errorf("invariant: robot %d at invalid node %d (round %d)", i, p, w.Round())
+			return
+		}
+	}
+	if t.started {
+		if w.Round() != t.prevRound+1 {
+			t.Err = fmt.Errorf("invariant: round jumped %d -> %d", t.prevRound, w.Round())
+			return
+		}
+		for i := range pos {
+			if t.prevDone[i] && pos[i] != t.prevPos[i] {
+				t.Err = fmt.Errorf("invariant: terminated robot %d moved %d -> %d (round %d)",
+					i, t.prevPos[i], pos[i], w.Round())
+				return
+			}
+		}
+	}
+	t.prevPos = pos
+	if t.prevDone == nil {
+		t.prevDone = make([]bool, len(pos))
+	}
+	copy(t.prevDone, w.done)
+	t.prevRound = w.Round()
+	t.started = true
+}

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// Tracer observes the world after every round. Implementations must not
+// mutate the world.
+type Tracer interface {
+	Observe(w *World)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(w *World)
+
+// Observe implements Tracer.
+func (f TracerFunc) Observe(w *World) { f(w) }
+
+// PositionLogger writes one line per sampled round with all robot
+// positions — handy in examples and debugging. Every -th round is logged
+// (Every <= 1 logs all rounds).
+type PositionLogger struct {
+	W     io.Writer
+	Every int
+}
+
+// Observe implements Tracer.
+func (l *PositionLogger) Observe(w *World) {
+	every := l.Every
+	if every < 1 {
+		every = 1
+	}
+	if w.Round()%every != 0 {
+		return
+	}
+	fmt.Fprintf(l.W, "round %6d: positions %v\n", w.Round(), w.Positions())
+}
+
+// OccupancyTracer records, per round, the number of distinct occupied
+// nodes. Experiments use it to visualize convergence toward gathering.
+type OccupancyTracer struct {
+	Counts []int
+}
+
+// Observe implements Tracer.
+func (o *OccupancyTracer) Observe(w *World) {
+	seen := make(map[int]bool)
+	for _, p := range w.Positions() {
+		seen[p] = true
+	}
+	o.Counts = append(o.Counts, len(seen))
+}
+
+// MultiTracer fans out to several tracers in order.
+type MultiTracer []Tracer
+
+// Observe implements Tracer.
+func (m MultiTracer) Observe(w *World) {
+	for _, t := range m {
+		t.Observe(w)
+	}
+}

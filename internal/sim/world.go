@@ -1,0 +1,460 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// World is the synchronous execution engine: a graph, a set of robots with
+// positions, and the round loop. It owns all mutable run state so a single
+// World can be stepped, inspected and traced deterministically.
+type World struct {
+	g       *graph.Graph
+	agents  []Agent
+	pos     []int // node of each robot (by agent index)
+	arrival []int // port through which each robot last entered its node
+	done    []bool
+	verdict []bool
+	moves   []int64
+	round   int
+
+	idIndex map[int]int // robot ID -> agent index
+	tracer  Tracer
+
+	crashAt []int // round at which each robot fail-stops (-1 = never)
+	crashed []bool
+
+	firstGather int // first round (boundary) at which all robots co-located
+	firstMeet   int // first round (boundary) at which any two robots co-located
+
+	// Per-round scratch, reused across Step calls: the engine runs for
+	// millions of rounds in the deeper experiment regimes, so the hot
+	// loop must not allocate. Env.Others and Env.Inbox slices handed to
+	// agents alias this scratch and are only valid during the callback.
+	scratch struct {
+		cards    []Card
+		order    []int // live robots sorted by (node, ID): groups are runs
+		groupOf  []int // group index per robot, -1 for crashed
+		groups   [][2]int
+		others   [][]Card
+		inbox    [][]Message
+		acts     []Action
+		resolved []mv
+		state    []int
+	}
+}
+
+type mv struct {
+	node    int
+	arrival int
+	moved   bool
+}
+
+// NewWorld creates an engine for the given graph, agents and starting
+// positions (positions[i] is the node of agents[i]). Agent IDs must be
+// unique and positive.
+func NewWorld(g *graph.Graph, agents []Agent, positions []int) (*World, error) {
+	if len(agents) != len(positions) {
+		return nil, fmt.Errorf("sim: %d agents but %d positions", len(agents), len(positions))
+	}
+	if len(agents) == 0 {
+		return nil, fmt.Errorf("sim: no agents")
+	}
+	w := &World{
+		g:           g,
+		agents:      agents,
+		pos:         append([]int(nil), positions...),
+		arrival:     make([]int, len(agents)),
+		done:        make([]bool, len(agents)),
+		verdict:     make([]bool, len(agents)),
+		moves:       make([]int64, len(agents)),
+		idIndex:     make(map[int]int, len(agents)),
+		crashAt:     make([]int, len(agents)),
+		crashed:     make([]bool, len(agents)),
+		firstGather: -1,
+		firstMeet:   -1,
+	}
+	for i := range w.crashAt {
+		w.crashAt[i] = -1
+	}
+	for i, a := range agents {
+		if a.ID() <= 0 {
+			return nil, fmt.Errorf("sim: agent %d has non-positive ID %d", i, a.ID())
+		}
+		if _, dup := w.idIndex[a.ID()]; dup {
+			return nil, fmt.Errorf("sim: duplicate robot ID %d", a.ID())
+		}
+		w.idIndex[a.ID()] = i
+		if positions[i] < 0 || positions[i] >= g.N() {
+			return nil, fmt.Errorf("sim: agent %d starts at invalid node %d", i, positions[i])
+		}
+		w.arrival[i] = -1
+	}
+	w.noteGather()
+	return w, nil
+}
+
+// SetTracer installs an observer invoked after every round.
+func (w *World) SetTracer(t Tracer) { w.tracer = t }
+
+// CrashAt schedules a fail-stop fault: at the start of the given round the
+// robot with the given ID stops operating and disappears from the system
+// (it no longer communicates, moves, or appears co-located). The paper's
+// algorithms assume fault-free robots; experiment E15 uses this to probe
+// what breaks under crashes.
+func (w *World) CrashAt(robotID, round int) error {
+	i, ok := w.idIndex[robotID]
+	if !ok {
+		return fmt.Errorf("sim: no robot with ID %d", robotID)
+	}
+	if round < 0 {
+		return fmt.Errorf("sim: crash round %d invalid", round)
+	}
+	w.crashAt[i] = round
+	return nil
+}
+
+// CrashedCount returns how many robots have fail-stopped so far.
+func (w *World) CrashedCount() int {
+	c := 0
+	for _, x := range w.crashed {
+		if x {
+			c++
+		}
+	}
+	return c
+}
+
+// DoneCount returns how many robots have terminated so far.
+func (w *World) DoneCount() int {
+	c := 0
+	for _, d := range w.done {
+		if d {
+			c++
+		}
+	}
+	return c
+}
+
+// Round returns the number of completed rounds.
+func (w *World) Round() int { return w.round }
+
+// Positions returns a copy of the robots' current nodes.
+func (w *World) Positions() []int { return append([]int(nil), w.pos...) }
+
+// Moves returns a copy of the per-robot edge-traversal counts.
+func (w *World) Moves() []int64 { return append([]int64(nil), w.moves...) }
+
+// Graph returns the underlying graph.
+func (w *World) Graph() *graph.Graph { return w.g }
+
+// AllDone reports whether every live (non-crashed) robot has terminated.
+func (w *World) AllDone() bool {
+	for i, d := range w.done {
+		if !d && !w.crashed[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllColocated reports whether all live robots currently share one node.
+func (w *World) AllColocated() bool {
+	first := -1
+	for i, p := range w.pos {
+		if w.crashed[i] {
+			continue
+		}
+		if first < 0 {
+			first = p
+		} else if p != first {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *World) noteGather() {
+	if w.firstGather < 0 && w.AllColocated() {
+		w.firstGather = w.round
+	}
+	if w.firstMeet < 0 {
+		seen := make(map[int]bool, len(w.pos))
+		for i, p := range w.pos {
+			if w.crashed[i] {
+				continue
+			}
+			if seen[p] {
+				w.firstMeet = w.round
+				break
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// Step executes one synchronous round: snapshot cards, group robots by
+// node, run the communication phase (Compose + delivery), run the decision
+// phase, then resolve Follow chains and apply all movements simultaneously.
+func (w *World) Step() {
+	n := len(w.agents)
+
+	// Apply scheduled fail-stop faults.
+	for i := range w.agents {
+		if w.crashAt[i] == w.round {
+			w.crashed[i] = true
+		}
+	}
+
+	// Prepare (or reuse) the per-round scratch.
+	s := &w.scratch
+	if s.cards == nil {
+		s.cards = make([]Card, n)
+		s.order = make([]int, 0, n)
+		s.groupOf = make([]int, n)
+		s.groups = make([][2]int, 0, n)
+		s.others = make([][]Card, n)
+		s.inbox = make([][]Message, n)
+		s.acts = make([]Action, n)
+		s.resolved = make([]mv, n)
+		s.state = make([]int, n)
+	}
+	cards := s.cards
+
+	// Snapshot public cards so every observation this round is simultaneous.
+	for i, a := range w.agents {
+		cards[i] = a.Card()
+		cards[i].Done = w.done[i]
+		cards[i].Gathered = w.verdict[i]
+	}
+
+	// Group live robots by node: sort live indices by (node, ID) so each
+	// group is a contiguous run, already in ID order. Crashed robots are
+	// invisible.
+	order := s.order[:0]
+	for i := range w.agents {
+		s.groupOf[i] = -1
+		if !w.crashed[i] {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if w.pos[ia] != w.pos[ib] {
+			return w.pos[ia] < w.pos[ib]
+		}
+		return w.agents[ia].ID() < w.agents[ib].ID()
+	})
+	s.order = order
+	groups := s.groups[:0]
+	for a := 0; a < len(order); {
+		b := a + 1
+		for b < len(order) && w.pos[order[b]] == w.pos[order[a]] {
+			b++
+		}
+		for _, i := range order[a:b] {
+			s.groupOf[i] = len(groups)
+		}
+		groups = append(groups, [2]int{a, b})
+		a = b
+	}
+	s.groups = groups
+	others := s.others
+	for gi := range groups {
+		members := order[groups[gi][0]:groups[gi][1]]
+		for _, i := range members {
+			list := others[i][:0]
+			for _, j := range members {
+				if j != i {
+					list = append(list, cards[j])
+				}
+			}
+			others[i] = list
+		}
+	}
+	for i := range w.agents {
+		if w.crashed[i] {
+			others[i] = others[i][:0]
+		}
+	}
+
+	env := func(i int) *Env {
+		return &Env{
+			Round:       w.round,
+			Degree:      w.g.Degree(w.pos[i]),
+			ArrivalPort: w.arrival[i],
+			Others:      others[i],
+		}
+	}
+
+	// Communication phase: collect and deliver messages among co-located
+	// robots. Delivery order is deterministic: by sender agent index, then
+	// compose order.
+	inbox := s.inbox
+	for i := range inbox {
+		inbox[i] = inbox[i][:0]
+	}
+	for i, a := range w.agents {
+		if w.done[i] || w.crashed[i] {
+			continue
+		}
+		for _, m := range a.Compose(env(i)) {
+			m.From = a.ID()
+			if m.To == Broadcast {
+				g := groups[s.groupOf[i]]
+				for _, j := range order[g[0]:g[1]] {
+					if j != i {
+						inbox[j] = append(inbox[j], m)
+					}
+				}
+				continue
+			}
+			j, ok := w.idIndex[m.To]
+			if !ok || j == i || w.crashed[j] || w.pos[j] != w.pos[i] {
+				continue // non-co-located destination: F2F model drops it
+			}
+			inbox[j] = append(inbox[j], m)
+		}
+	}
+
+	// Decision phase.
+	acts := s.acts
+	for i, a := range w.agents {
+		if w.done[i] || w.crashed[i] {
+			acts[i] = StayAction()
+			continue
+		}
+		e := env(i)
+		e.Inbox = inbox[i]
+		acts[i] = a.Decide(e)
+	}
+
+	// Resolve actions to concrete destination nodes.
+	resolved := s.resolved
+	state := s.state // 0 unresolved (follow), 1 resolved
+	for i := range state {
+		state[i] = 0
+	}
+	for i := range w.agents {
+		switch acts[i].Kind {
+		case Stay:
+			resolved[i] = mv{node: w.pos[i], arrival: w.arrival[i]}
+			state[i] = 1
+		case Terminate:
+			w.done[i] = true
+			w.verdict[i] = acts[i].Gathered
+			resolved[i] = mv{node: w.pos[i], arrival: w.arrival[i]}
+			state[i] = 1
+		case Move:
+			p := acts[i].Port
+			if p < 0 || p >= w.g.Degree(w.pos[i]) {
+				panic(fmt.Sprintf("sim: robot %d used invalid port %d at degree-%d node (round %d)",
+					w.agents[i].ID(), p, w.g.Degree(w.pos[i]), w.round))
+			}
+			to, rev := w.g.Neighbor(w.pos[i], p)
+			resolved[i] = mv{node: to, arrival: rev, moved: true}
+			state[i] = 1
+		case Follow:
+			state[i] = 0
+		}
+	}
+	// Resolve follow chains: a follower copies the edge its (co-located)
+	// target traverses. Chains resolve in at most n passes; robots in
+	// follow cycles or with invalid targets stay put.
+	for pass := 0; pass < n; pass++ {
+		progress := false
+		for i := range w.agents {
+			if state[i] != 0 {
+				continue
+			}
+			j, ok := w.idIndex[acts[i].Target]
+			if !ok || w.pos[j] != w.pos[i] || j == i {
+				resolved[i] = mv{node: w.pos[i], arrival: w.arrival[i]}
+				state[i] = 1
+				progress = true
+				continue
+			}
+			if state[j] == 1 {
+				r := resolved[j]
+				if r.moved {
+					resolved[i] = r // same edge, same destination and arrival port
+				} else {
+					resolved[i] = mv{node: w.pos[i], arrival: w.arrival[i]}
+				}
+				state[i] = 1
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	for i := range w.agents {
+		if state[i] == 0 { // follow cycle: everyone in it stays
+			resolved[i] = mv{node: w.pos[i], arrival: w.arrival[i]}
+		}
+	}
+
+	// Apply all movements simultaneously.
+	for i := range w.agents {
+		if resolved[i].moved {
+			w.moves[i]++
+		}
+		w.pos[i] = resolved[i].node
+		w.arrival[i] = resolved[i].arrival
+	}
+	w.round++
+	w.noteGather()
+	if w.tracer != nil {
+		w.tracer.Observe(w)
+	}
+}
+
+// Result summarizes a finished (or aborted) run.
+type Result struct {
+	Rounds           int   // rounds executed
+	AllTerminated    bool  // every robot reached Terminate
+	Gathered         bool  // all robots on one node at the end
+	DetectionCorrect bool  // terminated, gathered, and every verdict is true
+	FirstGatherRound int   // first round boundary with all robots co-located, -1 if never
+	FirstMeetRound   int   // first round boundary with any two robots co-located, -1 if never
+	TotalMoves       int64 // sum of edge traversals
+	MaxMoves         int64 // max edge traversals by any robot
+	Crashed          int   // robots that fail-stopped during the run
+	FinalPositions   []int
+}
+
+// Run steps the world until every robot terminates or maxRounds elapses,
+// and returns the run summary.
+func (w *World) Run(maxRounds int) Result {
+	for w.round < maxRounds && !w.AllDone() {
+		w.Step()
+	}
+	return w.Summary()
+}
+
+// Summary returns the current run summary without stepping.
+func (w *World) Summary() Result {
+	res := Result{
+		Rounds:           w.round,
+		AllTerminated:    w.AllDone(),
+		Gathered:         w.AllColocated(),
+		FirstGatherRound: w.firstGather,
+		FirstMeetRound:   w.firstMeet,
+		Crashed:          w.CrashedCount(),
+		FinalPositions:   w.Positions(),
+	}
+	res.DetectionCorrect = res.AllTerminated && res.Gathered
+	for i := range w.agents {
+		if !w.verdict[i] && !w.crashed[i] {
+			res.DetectionCorrect = false
+		}
+		res.TotalMoves += w.moves[i]
+		if w.moves[i] > res.MaxMoves {
+			res.MaxMoves = w.moves[i]
+		}
+	}
+	return res
+}

@@ -1,0 +1,327 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// scripted is a test agent that replays a fixed list of actions, then stays.
+type scripted struct {
+	Base
+	script []Action
+	step   int
+	envs   []Env // recorded observations
+}
+
+func newScripted(id int, script ...Action) *scripted {
+	return &scripted{Base: NewBase(id), script: script}
+}
+
+func (s *scripted) Decide(env *Env) Action {
+	cp := *env
+	cp.Others = append([]Card(nil), env.Others...)
+	cp.Inbox = append([]Message(nil), env.Inbox...)
+	s.envs = append(s.envs, cp)
+	if s.step < len(s.script) {
+		a := s.script[s.step]
+		s.step++
+		return a
+	}
+	return StayAction()
+}
+
+// talker broadcasts a MsgShareN every round and records its inbox.
+type talker struct {
+	Base
+	heard []Message
+}
+
+func (t *talker) Compose(env *Env) []Message {
+	return []Message{{To: Broadcast, Kind: MsgShareN, A: 42}}
+}
+
+func (t *talker) Decide(env *Env) Action {
+	t.heard = append(t.heard, env.Inbox...)
+	return StayAction()
+}
+
+func TestMoveUpdatesPositionAndArrival(t *testing.T) {
+	g := graph.Path(3) // ports: at node1, port0 -> node0, port1 -> node2
+	a := newScripted(1, MoveAction(0), MoveAction(0))
+	w, err := NewWorld(g, []Agent{a}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Step()
+	if got := w.Positions()[0]; got != 0 {
+		t.Fatalf("after move: at %d, want 0", got)
+	}
+	w.Step() // moves back: node0 has only port0 -> node1
+	if got := w.Positions()[0]; got != 1 {
+		t.Fatalf("after second move: at %d, want 1", got)
+	}
+	w.Step() // third round observes the arrival back at node1
+	// Arrival port at node1 coming from node0 is port 0.
+	if ap := a.envs[2].ArrivalPort; ap != 0 {
+		t.Fatalf("arrival port = %d, want 0 (envs %+v)", ap, a.envs)
+	}
+}
+
+func TestInitialEnvHasNoArrival(t *testing.T) {
+	g := graph.Path(2)
+	a := newScripted(1, StayAction())
+	w, _ := NewWorld(g, []Agent{a}, []int{0})
+	w.Step()
+	if a.envs[0].ArrivalPort != -1 {
+		t.Errorf("initial arrival port = %d, want -1", a.envs[0].ArrivalPort)
+	}
+	if a.envs[0].Degree != 1 {
+		t.Errorf("degree = %d, want 1", a.envs[0].Degree)
+	}
+}
+
+func TestCoLocatedCardsSortedAndExcludeSelf(t *testing.T) {
+	g := graph.Path(2)
+	a := newScripted(5, StayAction())
+	b := newScripted(2, StayAction())
+	c := newScripted(9, StayAction())
+	w, _ := NewWorld(g, []Agent{a, b, c}, []int{0, 0, 0})
+	w.Step()
+	env := a.envs[0]
+	if len(env.Others) != 2 || env.Others[0].ID != 2 || env.Others[1].ID != 9 {
+		t.Fatalf("others = %+v, want IDs [2 9]", env.Others)
+	}
+	if !b.envs[0].Alone() == true && len(b.envs[0].Others) != 2 {
+		t.Fatalf("b sees %d others", len(b.envs[0].Others))
+	}
+}
+
+func TestBroadcastDeliveredOnlyCoLocated(t *testing.T) {
+	g := graph.Path(3)
+	tk := &talker{Base: NewBase(1)}
+	near := &talker{Base: NewBase(2)}
+	far := &talker{Base: NewBase(3)}
+	w, _ := NewWorld(g, []Agent{tk, near, far}, []int{0, 0, 2})
+	w.Step()
+	if len(near.heard) != 1 || near.heard[0].A != 42 || near.heard[0].From != 1 {
+		t.Fatalf("near heard %+v", near.heard)
+	}
+	if len(far.heard) != 0 {
+		t.Fatalf("far heard %+v despite distance", far.heard)
+	}
+}
+
+func TestDirectedMessageToAbsentRobotDropped(t *testing.T) {
+	g := graph.Path(3)
+	a := &directed{Base: NewBase(1), to: 3}
+	b := &talker{Base: NewBase(3)}
+	w, _ := NewWorld(g, []Agent{a, b}, []int{0, 2})
+	w.Step()
+	if len(b.heard) != 0 {
+		t.Fatalf("message crossed distance: %+v", b.heard)
+	}
+}
+
+type directed struct {
+	Base
+	to int
+}
+
+func (d *directed) Compose(env *Env) []Message {
+	return []Message{{To: d.to, Kind: MsgTake}}
+}
+func (d *directed) Decide(env *Env) Action { return StayAction() }
+
+func TestFollowMovesWithLeaderSameRound(t *testing.T) {
+	g := graph.Path(3)
+	leader := newScripted(1, MoveAction(0)) // from node1 to node0
+	follower := newScripted(2, FollowAction(1), FollowAction(1))
+	w, _ := NewWorld(g, []Agent{leader, follower}, []int{1, 1})
+	w.Step()
+	pos := w.Positions()
+	if pos[0] != 0 || pos[1] != 0 {
+		t.Fatalf("positions after follow = %v, want [0 0]", pos)
+	}
+	// Leader stays next round; follower following a stationary leader stays.
+	w.Step()
+	pos = w.Positions()
+	if pos[0] != 0 || pos[1] != 0 {
+		t.Fatalf("positions = %v, want [0 0]", pos)
+	}
+}
+
+func TestFollowChainResolvesTransitively(t *testing.T) {
+	g := graph.Path(2)
+	a := newScripted(1, MoveAction(0))
+	b := newScripted(2, FollowAction(1))
+	c := newScripted(3, FollowAction(2))
+	w, _ := NewWorld(g, []Agent{a, b, c}, []int{0, 0, 0})
+	w.Step()
+	for i, p := range w.Positions() {
+		if p != 1 {
+			t.Fatalf("robot %d at %d, want 1", i, p)
+		}
+	}
+}
+
+func TestFollowCycleStays(t *testing.T) {
+	g := graph.Path(2)
+	a := newScripted(1, FollowAction(2))
+	b := newScripted(2, FollowAction(1))
+	w, _ := NewWorld(g, []Agent{a, b}, []int{0, 0})
+	w.Step()
+	for i, p := range w.Positions() {
+		if p != 0 {
+			t.Fatalf("robot %d moved to %d in a follow cycle", i, p)
+		}
+	}
+}
+
+func TestFollowNonCoLocatedTargetStays(t *testing.T) {
+	g := graph.Path(3)
+	a := newScripted(1, MoveAction(0))
+	b := newScripted(2, FollowAction(1))
+	w, _ := NewWorld(g, []Agent{a, b}, []int{1, 2})
+	w.Step()
+	if w.Positions()[1] != 2 {
+		t.Fatalf("follower moved despite target elsewhere: %v", w.Positions())
+	}
+}
+
+func TestTerminateFreezesRobot(t *testing.T) {
+	g := graph.Path(2)
+	a := newScripted(1, TerminateAction(true), MoveAction(0))
+	w, _ := NewWorld(g, []Agent{a}, []int{0})
+	res := w.Run(10)
+	if !res.AllTerminated {
+		t.Fatal("not terminated")
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("ran %d rounds, want 1", res.Rounds)
+	}
+	if res.FinalPositions[0] != 0 {
+		t.Fatal("terminated robot moved")
+	}
+	if !res.DetectionCorrect {
+		t.Fatal("single gathered robot should be detection-correct")
+	}
+}
+
+func TestDetectionIncorrectWhenNotGathered(t *testing.T) {
+	g := graph.Path(3)
+	a := newScripted(1, TerminateAction(true))
+	b := newScripted(2, TerminateAction(true))
+	w, _ := NewWorld(g, []Agent{a, b}, []int{0, 2})
+	res := w.Run(10)
+	if !res.AllTerminated || res.Gathered || res.DetectionCorrect {
+		t.Fatalf("result = %+v, want terminated but incorrect", res)
+	}
+}
+
+func TestFirstGatherRoundTracked(t *testing.T) {
+	g := graph.Path(3) // node1 port0->0  port1->2 ; node2 port0->1
+	a := newScripted(1, StayAction(), StayAction())
+	b := newScripted(2, MoveAction(0), MoveAction(0)) // 2 -> 1 -> 0
+	w, _ := NewWorld(g, []Agent{a, b}, []int{1, 2})
+	w.Step()
+	w.Step()
+	// After round 1: positions [1,1] -> gathered at round 1.
+	if got := w.Summary().FirstGatherRound; got != 1 {
+		t.Fatalf("FirstGatherRound = %d, want 1", got)
+	}
+}
+
+func TestMoveCounting(t *testing.T) {
+	g := graph.Cycle(4)
+	a := newScripted(1, MoveAction(0), MoveAction(0), StayAction(), MoveAction(0))
+	w, _ := NewWorld(g, []Agent{a}, []int{0})
+	for i := 0; i < 4; i++ {
+		w.Step()
+	}
+	res := w.Summary()
+	if res.TotalMoves != 3 || res.MaxMoves != 3 {
+		t.Fatalf("moves = %d/%d, want 3/3", res.TotalMoves, res.MaxMoves)
+	}
+}
+
+func TestInvalidPortPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on invalid port")
+		}
+	}()
+	g := graph.Path(2)
+	a := newScripted(1, MoveAction(5))
+	w, _ := NewWorld(g, []Agent{a}, []int{0})
+	w.Step()
+}
+
+func TestNewWorldValidation(t *testing.T) {
+	g := graph.Path(2)
+	if _, err := NewWorld(g, []Agent{newScripted(1)}, []int{0, 1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := NewWorld(g, nil, nil); err == nil {
+		t.Error("empty world accepted")
+	}
+	if _, err := NewWorld(g, []Agent{newScripted(1), newScripted(1)}, []int{0, 1}); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+	if _, err := NewWorld(g, []Agent{newScripted(0)}, []int{0}); err == nil {
+		t.Error("non-positive ID accepted")
+	}
+	if _, err := NewWorld(g, []Agent{newScripted(1)}, []int{7}); err == nil {
+		t.Error("invalid start node accepted")
+	}
+}
+
+func TestTracersObserveEveryRound(t *testing.T) {
+	g := graph.Cycle(4)
+	a := newScripted(1, MoveAction(0), MoveAction(0), MoveAction(0))
+	w, _ := NewWorld(g, []Agent{a}, []int{0})
+	occ := &OccupancyTracer{}
+	var sb strings.Builder
+	w.SetTracer(MultiTracer{occ, &PositionLogger{W: &sb, Every: 1}})
+	for i := 0; i < 3; i++ {
+		w.Step()
+	}
+	if len(occ.Counts) != 3 {
+		t.Fatalf("occupancy observed %d rounds, want 3", len(occ.Counts))
+	}
+	if !strings.Contains(sb.String(), "round") {
+		t.Fatal("position logger wrote nothing")
+	}
+}
+
+func TestSimultaneousSwapIsAllowed(t *testing.T) {
+	// Two robots crossing the same edge in opposite directions pass each
+	// other (the model has no edge collisions) and must NOT be considered
+	// co-located at any round boundary.
+	g := graph.Path(2)
+	a := newScripted(1, MoveAction(0))
+	b := newScripted(2, MoveAction(0))
+	w, _ := NewWorld(g, []Agent{a, b}, []int{0, 1})
+	w.Step()
+	pos := w.Positions()
+	if pos[0] != 1 || pos[1] != 0 {
+		t.Fatalf("positions = %v, want swap [1 0]", pos)
+	}
+	if w.Summary().FirstGatherRound >= 0 {
+		t.Fatal("swap registered as gathering")
+	}
+}
+
+func TestDoneRobotsStillVisibleToOthers(t *testing.T) {
+	g := graph.Path(2)
+	a := newScripted(1, TerminateAction(true), StayAction())
+	b := newScripted(2, StayAction(), StayAction())
+	w, _ := NewWorld(g, []Agent{a, b}, []int{0, 0})
+	w.Step()
+	w.Step()
+	env := b.envs[1]
+	if len(env.Others) != 1 || !env.Others[0].Done {
+		t.Fatalf("terminated robot not visible with Done flag: %+v", env.Others)
+	}
+}

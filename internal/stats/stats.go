@@ -1,0 +1,82 @@
+// Package stats provides the small numerical toolkit the experiment
+// harness needs: power-law fitting on (n, rounds) series to estimate
+// growth exponents, and basic summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// FitPowerLaw fits y = c·x^e by least squares on log-log values and
+// returns the exponent e and coefficient c. It needs at least two points
+// with positive coordinates.
+func FitPowerLaw(xs, ys []float64) (exponent, coeff float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, fmt.Errorf("stats: need >= 2 paired points, have %d/%d", len(xs), len(ys))
+	}
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, fmt.Errorf("stats: power-law fit needs positive data (point %d)", i)
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		n++
+	}
+	den := float64(n)*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("stats: degenerate x values")
+	}
+	exponent = (float64(n)*sxy - sx*sy) / den
+	coeff = math.Exp((sy - exponent*sx) / float64(n))
+	return exponent, coeff, nil
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MinMax returns the extremes of xs; it panics on empty input.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitPowerLawExact(t *testing.T) {
+	xs := []float64{2, 4, 8, 16, 32}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x * x // y = 3 x^3
+	}
+	e, c, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-3) > 1e-9 {
+		t.Errorf("exponent %g, want 3", e)
+	}
+	if math.Abs(c-3) > 1e-6 {
+		t.Errorf("coeff %g, want 3", c)
+	}
+}
+
+func TestFitPowerLawRecoversRandomParams(t *testing.T) {
+	f := func(eRaw, cRaw uint8) bool {
+		e := 0.5 + float64(eRaw%50)/10 // 0.5 .. 5.4
+		c := 1 + float64(cRaw%100)
+		xs := []float64{3, 5, 9, 17, 33}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = c * math.Pow(x, e)
+		}
+		ge, gc, err := FitPowerLaw(xs, ys)
+		return err == nil && math.Abs(ge-e) < 1e-6 && math.Abs(gc-c)/c < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitPowerLawErrors(t *testing.T) {
+	if _, _, err := FitPowerLaw([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, _, err := FitPowerLaw([]float64{1, 2}, []float64{0, 3}); err == nil {
+		t.Error("non-positive y accepted")
+	}
+	if _, _, err := FitPowerLaw([]float64{2, 2}, []float64{3, 4}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestMeanAndMinMax(t *testing.T) {
+	xs := []float64{4, 1, 7}
+	if Mean(xs) != 4 {
+		t.Errorf("mean = %g", Mean(xs))
+	}
+	lo, hi := MinMax(xs)
+	if lo != 1 || hi != 7 {
+		t.Errorf("minmax = %g,%g", lo, hi)
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean not 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean = %g, want 4", g)
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("non-positive input should yield 0")
+	}
+}

@@ -1,0 +1,57 @@
+package uxs
+
+import "repro/internal/graph"
+
+// CoverageRounds simulates the sequence-driven walk on g from start and
+// returns the first step index (1-based) at which every node has been
+// visited, or -1 if the full sequence does not cover the graph. The
+// harness uses it to certify a sequence before a run (see package doc).
+func (u *UXS) CoverageRounds(g *graph.Graph, start int) int {
+	n := g.N()
+	if n == 1 {
+		return 1
+	}
+	visited := make([]bool, n)
+	visited[start] = true
+	left := n - 1
+	cur, entry := start, -1
+	for i := 0; i < u.length; i++ {
+		p := u.NextPort(i, entry, g.Degree(cur))
+		cur, entry = g.Neighbor(cur, p)
+		if !visited[cur] {
+			visited[cur] = true
+			left--
+			if left == 0 {
+				return i + 1
+			}
+		}
+	}
+	return -1
+}
+
+// Covers reports whether the walk from every start node visits all nodes
+// within the sequence length. Gathering correctness needs coverage from
+// every possible position, because a waiting robot can sit anywhere.
+func (u *UXS) Covers(g *graph.Graph) bool {
+	for s := 0; s < g.N(); s++ {
+		if u.CoverageRounds(g, s) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Certify returns a sequence for g.N() nodes, of at least the given mode's
+// length, that covers g from every start node: it doubles the length until
+// coverage holds. The result is still a deterministic function of (n,
+// final length), so handing the same certified length to every robot
+// preserves the "computable from n" contract; the harness records the
+// length used. For all standard families the initial length suffices.
+func Certify(g *graph.Graph, m Mode) *UXS {
+	n := g.N()
+	u := New(n, m)
+	for !u.Covers(g) {
+		u = WithLength(n, u.length*2)
+	}
+	return u
+}
