@@ -16,6 +16,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/place"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/uxs"
 )
@@ -52,6 +53,51 @@ func BenchmarkE15CrashFaults(b *testing.B)         { benchExperiment(b, "E15") }
 func BenchmarkE16StartupDelays(b *testing.B)       { benchExperiment(b, "E16") }
 func BenchmarkE17MappingAblation(b *testing.B)     { benchExperiment(b, "E17") }
 func BenchmarkE18BeepingModel(b *testing.B)        { benchExperiment(b, "E18") }
+
+// BenchmarkRunnerSerialVsParallel runs a representative E-series sweep
+// (the E1 shape: Undispersed-Gathering across families and sizes) as one
+// runner batch per iteration, serial vs all-cores. On a multi-core
+// machine the parallel case should finish the batch several times faster;
+// both produce bit-identical results.
+func BenchmarkRunnerSerialVsParallel(b *testing.B) {
+	sweepJobs := func() []runner.Job {
+		fams := []graph.Family{graph.FamCycle, graph.FamGrid, graph.FamRandom, graph.FamTree, graph.FamLollipop}
+		sizes := []int{8, 10, 12, 14}
+		var jobs []runner.Job
+		for _, fam := range fams {
+			for _, n := range sizes {
+				fam, n := fam, n
+				jobs = append(jobs, runner.Job{Build: func(seed uint64) (*sim.World, int, error) {
+					rng := graph.NewRNG(seed)
+					g := graph.FromFamily(fam, n, rng)
+					k := max(2, g.N()/2)
+					sc := &gather.Scenario{G: g,
+						IDs:       gather.AssignIDs(k, g.N(), rng),
+						Positions: place.Clustered(g, k, max(1, k/2), rng)}
+					w, err := sc.NewUndispersedWorld()
+					return w, gather.R(g.N()) + 2, err
+				}})
+			}
+		}
+		return jobs
+	}
+	for _, workers := range []int{1, 0} { // 1 = serial reference, 0 = GOMAXPROCS
+		name := "serial"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			r := runner.New(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, _ := r.Run(42, sweepJobs())
+				if err := runner.FirstErr(results); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // --- Micro-benchmarks of the substrates ---
 

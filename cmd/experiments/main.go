@@ -5,6 +5,11 @@
 //	experiments -quick       # smaller sweeps (seconds instead of minutes)
 //	experiments -run E4,E8   # selected experiments only
 //	experiments -list        # show the registry
+//	experiments -parallel 8  # sweep worker-pool size (0 = all cores)
+//
+// Sweeps run on the internal/runner worker pool. Tables are bit-identical
+// at every -parallel setting: each sweep point derives its randomness from
+// (seed, submission index), never from scheduling order.
 package main
 
 import (
@@ -21,11 +26,12 @@ import (
 
 func main() {
 	var (
-		runIDs = flag.String("run", "", "comma-separated experiment IDs (empty = all)")
-		quick  = flag.Bool("quick", false, "use reduced sweeps")
-		seed   = flag.Uint64("seed", 42, "random seed")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		outDir = flag.String("outdir", "", "also write each experiment's output to <outdir>/<ID>.txt")
+		runIDs   = flag.String("run", "", "comma-separated experiment IDs (empty = all)")
+		quick    = flag.Bool("quick", false, "use reduced sweeps")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		outDir   = flag.String("outdir", "", "also write each experiment's output to <outdir>/<ID>.txt")
+		parallel = flag.Int("parallel", 0, "sweep worker-pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -57,7 +63,7 @@ func main() {
 		}
 	}
 
-	opts := expt.Options{Quick: *quick, Seed: *seed}
+	opts := expt.Options{Quick: *quick, Seed: *seed, Parallelism: *parallel}
 	failed := 0
 	for _, e := range selected {
 		fmt.Printf("\n== %s: %s ==\n   claim: %s\n\n", e.ID, e.Title, e.Claim)

@@ -4,16 +4,26 @@
 //	gathersim -family cycle -n 12 -k 7 -algo faster -seed 1
 //	gathersim -family grid -n 16 -k 2 -algo uxs -trace 500
 //	gathersim -family random -n 10 -k 5 -algo undispersed -placement clustered
+//
+// With -seeds N it becomes a batch harness: the same scenario shape is
+// instantiated for N consecutive seeds and executed on the internal/runner
+// worker pool (-parallel sets the pool size; 0 = all cores), printing one
+// summary row per seed plus aggregate stats. The per-seed rows are
+// bit-identical at every -parallel setting.
+//
+//	gathersim -family cycle -n 12 -k 7 -seeds 32 -parallel 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/gather"
 	"repro/internal/graph"
 	"repro/internal/place"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -26,24 +36,36 @@ func main() {
 		radius    = flag.Int("radius", 2, "radius for -algo hopmeet")
 		placement = flag.String("placement", "maxmin", "placement: maxmin|random|dispersed|clustered")
 		seed      = flag.Uint64("seed", 1, "random seed (drives graph, ports, IDs, placement)")
+		seeds     = flag.Int("seeds", 1, "run this many consecutive seeds as a parallel batch")
+		parallel  = flag.Int("parallel", 0, "batch worker-pool size (0 = GOMAXPROCS, 1 = serial)")
 		maxRounds = flag.Int("max-rounds", 0, "round cap (0 = algorithm-derived bound)")
 		trace     = flag.Int("trace", 0, "log positions every N rounds (0 = off)")
 		dotFile   = flag.String("dot", "", "write the scenario graph (with start positions) as Graphviz DOT to this file")
 	)
 	flag.Parse()
 
-	if err := run(*family, *algo, *placement, *dotFile, *n, *k, *radius, *seed, *maxRounds, *trace); err != nil {
+	var err error
+	if *seeds > 1 {
+		if *trace > 0 || *dotFile != "" {
+			fmt.Fprintln(os.Stderr, "gathersim: -trace and -dot apply to single runs only; ignored in -seeds batch mode")
+		}
+		err = runBatch(*family, *algo, *placement, *n, *k, *radius, *seed, *seeds, *parallel, *maxRounds)
+	} else {
+		err = run(*family, *algo, *placement, *dotFile, *n, *k, *radius, *seed, *maxRounds, *trace)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gathersim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(family, algo, placement, dotFile string, n, k, radius int, seed uint64, maxRounds, trace int) error {
+// buildScenario instantiates the requested scenario shape from one seed.
+func buildScenario(family, placement string, n, k int, seed uint64) (*gather.Scenario, error) {
 	rng := graph.NewRNG(seed)
 	g := graph.FromFamily(graph.Family(family), n, rng)
 	n = g.N()
 	if k < 1 {
-		return fmt.Errorf("need at least one robot")
+		return nil, fmt.Errorf("need at least one robot")
 	}
 
 	var pos []int
@@ -60,13 +82,51 @@ func run(family, algo, placement, dotFile string, n, k, radius int, seed uint64,
 	case "clustered":
 		pos = place.Clustered(g, k, max(1, k/2), rng)
 	default:
-		return fmt.Errorf("unknown placement %q", placement)
+		return nil, fmt.Errorf("unknown placement %q", placement)
 	}
 
 	sc := &gather.Scenario{G: g, IDs: gather.AssignIDs(k, n, rng), Positions: pos}
 	sc.Certify()
+	return sc, nil
+}
 
-	fmt.Printf("graph: %s (family %s, diameter %d)\n", g, family, g.Diameter())
+// buildWorld loads the scenario into a world for the requested algorithm
+// and returns it with the algorithm-derived round cap.
+func buildWorld(sc *gather.Scenario, algo string, radius int) (*sim.World, int, error) {
+	n := sc.G.N()
+	switch algo {
+	case "faster":
+		w, err := sc.NewFasterWorld()
+		return w, sc.Cfg.FasterBound(n) + 10, err
+	case "uxs":
+		w, err := sc.NewUXSWorld()
+		return w, sc.Cfg.UXSGatherBound(n) + 2, err
+	case "undispersed":
+		w, err := sc.NewUndispersedWorld()
+		return w, gather.R(n) + 2, err
+	case "hopmeet":
+		w, err := sc.NewHopMeetWorld(radius)
+		return w, sc.Cfg.HopDuration(radius, n) + 2, err
+	case "dessmark":
+		w, err := sc.NewDessmarkWorld()
+		return w, sc.Cfg.FasterBound(n) + 10, err
+	case "beep":
+		// The beeping-model algorithm is defined for at most two robots.
+		w, err := sc.NewBeepWorld()
+		return w, sc.Cfg.UXSGatherBound(n) + 2, err
+	default:
+		return nil, 0, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+func run(family, algo, placement, dotFile string, n, k, radius int, seed uint64, maxRounds, trace int) error {
+	sc, err := buildScenario(family, placement, n, k, seed)
+	if err != nil {
+		return err
+	}
+	n = sc.G.N()
+
+	fmt.Printf("graph: %s (family %s, diameter %d)\n", sc.G, family, sc.G.Diameter())
 	fmt.Printf("robots: k=%d IDs=%v positions=%v (min pairwise distance %d)\n",
 		k, sc.IDs, sc.Positions, sc.MinPairDistance())
 	fmt.Printf("schedule: R1=%d R=%d T=%d B=%d\n",
@@ -81,7 +141,7 @@ func run(family, algo, placement, dotFile string, n, k, radius int, seed uint64,
 		if err != nil {
 			return err
 		}
-		if err := g.WriteDOT(f, byNode); err != nil {
+		if err := sc.G.WriteDOT(f, byNode); err != nil {
 			f.Close()
 			return err
 		}
@@ -91,38 +151,7 @@ func run(family, algo, placement, dotFile string, n, k, radius int, seed uint64,
 		fmt.Printf("scenario graph written to %s\n", dotFile)
 	}
 
-	var (
-		w   *sim.World
-		cap int
-		err error
-	)
-	switch algo {
-	case "faster":
-		w, err = sc.NewFasterWorld()
-		cap = sc.Cfg.FasterBound(n) + 10
-	case "uxs":
-		w, err = sc.NewUXSWorld()
-		cap = sc.Cfg.UXSGatherBound(n) + 2
-	case "undispersed":
-		w, err = sc.NewUndispersedWorld()
-		cap = gather.R(n) + 2
-	case "hopmeet":
-		w, err = sc.NewHopMeetWorld(radius)
-		cap = sc.Cfg.HopDuration(radius, n) + 2
-	case "dessmark":
-		w, err = sc.NewDessmarkWorld()
-		cap = sc.Cfg.FasterBound(n) + 10
-	case "beep":
-		// The beeping-model algorithm is defined for at most two robots.
-		res, berr := sc.RunBeep(sc.Cfg.UXSGatherBound(n) + 2)
-		if berr != nil {
-			return berr
-		}
-		printResult(res)
-		return nil
-	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
-	}
+	w, cap, err := buildWorld(sc, algo, radius)
 	if err != nil {
 		return err
 	}
@@ -133,6 +162,49 @@ func run(family, algo, placement, dotFile string, n, k, radius int, seed uint64,
 		w.SetTracer(&sim.PositionLogger{W: os.Stdout, Every: trace})
 	}
 	printResult(w.Run(cap))
+	return nil
+}
+
+// runBatch executes the scenario shape across consecutive seeds on the
+// parallel runner and prints a per-seed summary table.
+func runBatch(family, algo, placement string, n, k, radius int, base uint64, seeds, parallel, maxRounds int) error {
+	jobs := make([]runner.Job, seeds)
+	for i := range jobs {
+		scSeed := base + uint64(i)
+		jobs[i] = runner.Job{Meta: scSeed,
+			Build: func(uint64) (*sim.World, int, error) {
+				sc, err := buildScenario(family, placement, n, k, scSeed)
+				if err != nil {
+					return nil, 0, err
+				}
+				w, cap, err := buildWorld(sc, algo, radius)
+				if maxRounds > 0 {
+					cap = maxRounds
+				}
+				return w, cap, err
+			}}
+	}
+	r := runner.New(parallel)
+	fmt.Printf("batch: %d seeds (%d..%d), algo %s, family %s, n=%d k=%d, %d workers\n\n",
+		seeds, base, base+uint64(seeds)-1, algo, family, n, k, r.Workers())
+	results, st := r.Run(base, jobs)
+
+	fmt.Printf("%8s %8s %6s %8s %10s %8s\n", "seed", "rounds", "gather", "detect", "moves", "time")
+	detected := 0
+	for _, res := range results {
+		if res.Err != nil {
+			return fmt.Errorf("seed %d: %w", res.Meta.(uint64), res.Err)
+		}
+		if res.Res.DetectionCorrect {
+			detected++
+		}
+		fmt.Printf("%8d %8d %6v %8v %10d %8s\n", res.Meta.(uint64), res.Res.Rounds,
+			res.Res.Gathered, res.Res.DetectionCorrect, res.Res.TotalMoves, res.Elapsed.Round(time.Microsecond))
+	}
+	fmt.Printf("\naggregate: %d/%d detection-correct, %d total rounds, %d total moves\n",
+		detected, st.Jobs, st.Rounds, st.Moves)
+	fmt.Printf("wall %s, summed job time %s on %d workers\n",
+		st.Wall.Round(time.Millisecond), st.Work.Round(time.Millisecond), r.Workers())
 	return nil
 }
 

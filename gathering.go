@@ -28,6 +28,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/place"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/uxs"
 )
@@ -64,6 +65,17 @@ type (
 	FinderAgent = mapping.FinderAgent
 	// TokenAgent is the movable-token helper agent.
 	TokenAgent = mapping.TokenAgent
+	// Runner is the sharded parallel scenario-execution engine: batches
+	// of independent worlds run on a bounded worker pool with results in
+	// submission order, bit-identical at any worker count.
+	Runner = runner.Runner
+	// Job is one unit of parallel work: a world builder (fed a
+	// deterministic per-job seed) plus the round cap.
+	Job = runner.Job
+	// JobResult pairs a job's outcome with its submission index and seed.
+	JobResult = runner.JobResult
+	// RunnerStats aggregates a finished batch (rounds, moves, wall/work time).
+	RunnerStats = runner.Stats
 )
 
 // UXS length modes.
@@ -149,6 +161,16 @@ var (
 	R = gather.R
 	// BitBudget is B(n), the shared ID bit budget.
 	BitBudget = gather.BitBudget
+)
+
+// Parallel sweep engine.
+var (
+	// NewRunner returns a runner with the given worker count; 0 selects
+	// GOMAXPROCS, 1 is the serial reference executor.
+	NewRunner = runner.New
+	// JobSeed derives the deterministic seed of the i-th job of a batch,
+	// for reproducing a single sweep point in isolation.
+	JobSeed = runner.JobSeed
 )
 
 // Simulator and substrate access.

@@ -80,3 +80,36 @@ func TestModesDistinct(t *testing.T) {
 		t.Error("modes must differ")
 	}
 }
+
+func TestFacadeRunner(t *testing.T) {
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		n := 8 + i
+		jobs[i] = Job{Meta: n, Build: func(seed uint64) (*World, int, error) {
+			rng := NewRNG(seed)
+			g := Cycle(n)
+			g.PermutePorts(rng)
+			k := n/2 + 1
+			sc := &Scenario{G: g, IDs: AssignIDs(k, n, rng), Positions: MaxMinDispersed(g, k, rng)}
+			sc.Certify()
+			w, err := sc.NewFasterWorld()
+			return w, sc.Cfg.FasterBound(n) + 10, err
+		}}
+	}
+	serial, _ := NewRunner(1).Run(9, jobs)
+	parallel, st := NewRunner(4).Run(9, jobs)
+	for i := range jobs {
+		if serial[i].Err != nil || !serial[i].Res.DetectionCorrect {
+			t.Fatalf("job %d: %v %+v", i, serial[i].Err, serial[i].Res)
+		}
+		if serial[i].Res.Rounds != parallel[i].Res.Rounds || serial[i].Seed != parallel[i].Seed {
+			t.Errorf("job %d: serial and parallel runs diverge", i)
+		}
+		if serial[i].Seed != JobSeed(9, i) {
+			t.Errorf("job %d: unexpected seed", i)
+		}
+	}
+	if st.Jobs != len(jobs) || st.Failed != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}

@@ -1,5 +1,10 @@
 package expt
 
+// E6-E10 run through the parallel runner. Head-to-head experiments (E8,
+// E10) submit one job per (instance, algorithm): both jobs of a pair
+// rebuild the identical scenario from a shared per-case seed, so the
+// comparison stays apples-to-apples while the runs themselves parallelize.
+
 import (
 	"fmt"
 	"io"
@@ -8,6 +13,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/place"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -62,34 +68,53 @@ func stepBound(cfg gather.Config, n, d int) int {
 
 // E6: rounds of Faster-Gathering for a pair placed at exact distance d.
 func runE6(w io.Writer, o Options) error {
-	rng := graph.NewRNG(o.Seed + 6)
 	n := 8
 	if !o.Quick {
 		n = 10
 	}
+	type e6meta struct {
+		d     int
+		found bool
+		cfg   gather.Config
+	}
+	var jobs []runner.Job
+	for _, d := range []int{0, 1, 2, 3, 4, 5, n - 1} {
+		d := d
+		m := &e6meta{d: d}
+		jobs = append(jobs, runner.Job{Meta: m,
+			Build: func(seed uint64) (*sim.World, int, error) {
+				rng := graph.NewRNG(seed)
+				g := graph.Path(n)
+				g.PermutePorts(rng)
+				u, v, ok := place.PairAtDistance(g, d, rng)
+				if !ok {
+					return nil, 0, nil
+				}
+				sc := &gather.Scenario{G: g, IDs: []int{1, 2}, Positions: []int{u, v}}
+				sc.Certify()
+				m.found, m.cfg = true, sc.Cfg
+				world, err := sc.NewFasterWorld()
+				return world, sc.Cfg.FasterBound(n) + 10, err
+			}})
+	}
+	results, err := sweep(o, o.Seed+6, jobs)
+	if err != nil {
+		return err
+	}
 	tb := NewTable("distance", "rounds", "step-bound", "within-bound")
 	allOK := true
-	dists := []int{0, 1, 2, 3, 4, 5, n - 1}
-	for _, d := range dists {
-		g := graph.Path(n)
-		g.PermutePorts(rng)
-		u, v, ok := place.PairAtDistance(g, d, rng)
-		if !ok {
+	for _, r := range results {
+		m := r.Meta.(*e6meta)
+		if !m.found {
 			continue
 		}
-		sc := &gather.Scenario{G: g, IDs: []int{1, 2}, Positions: []int{u, v}}
-		sc.Certify()
-		res, err := sc.RunFaster(sc.Cfg.FasterBound(n) + 10)
-		if err != nil {
-			return err
+		if !r.Res.DetectionCorrect {
+			return fmt.Errorf("E6: d=%d: detection failed", m.d)
 		}
-		if !res.DetectionCorrect {
-			return fmt.Errorf("E6: d=%d: detection failed", d)
-		}
-		bound := stepBound(sc.Cfg, n, d)
-		within := res.Rounds <= bound
+		bound := stepBound(m.cfg, n, m.d)
+		within := r.Res.Rounds <= bound
 		allOK = allOK && within
-		tb.Add(d, res.Rounds, bound, within)
+		tb.Add(m.d, r.Res.Rounds, bound, within)
 	}
 	tb.Render(w)
 	verdict(w, allOK, "every distance case finishes within its Theorem 12 step bound")
@@ -97,7 +122,9 @@ func runE6(w io.Writer, o Options) error {
 }
 
 // E7: rounds vs k at fixed n under adversarial placement — the data for
-// the crossover figure (steps of the regime staircase).
+// the crossover figure (steps of the regime staircase). All k share one
+// graph (built serially before submission, then captured read-only by the
+// jobs) so the staircase is measured on a fixed instance.
 func runE7(w io.Writer, o Options) error {
 	rng := graph.NewRNG(o.Seed + 7)
 	n := 10
@@ -106,26 +133,42 @@ func runE7(w io.Writer, o Options) error {
 	}
 	g := graph.Cycle(n)
 	g.PermutePorts(rng)
+	type e7meta struct {
+		k, minDist int
+	}
+	var jobs []runner.Job
+	for k := 2; k <= n; k++ {
+		k := k
+		m := &e7meta{k: k}
+		jobs = append(jobs, runner.Job{Meta: m,
+			Build: func(seed uint64) (*sim.World, int, error) {
+				jrng := graph.NewRNG(seed)
+				ids := gather.AssignIDs(k, n, jrng)
+				pos := place.MaxMinDispersed(g, k, jrng)
+				sc := &gather.Scenario{G: g, IDs: ids, Positions: pos}
+				sc.Certify()
+				m.minDist = place.MinPairwise(g, pos)
+				world, err := sc.NewFasterWorld()
+				return world, sc.Cfg.FasterBound(n) + 10, err
+			}})
+	}
+	results, err := sweep(o, o.Seed+7, jobs)
+	if err != nil {
+		return err
+	}
 	tb := NewTable("k", "min-dist", "rounds", "first-gather")
 	prevRounds := -1
 	monotone := true
-	for k := 2; k <= n; k++ {
-		ids := gather.AssignIDs(k, n, rng)
-		pos := place.MaxMinDispersed(g, k, rng)
-		sc := &gather.Scenario{G: g, IDs: ids, Positions: pos}
-		sc.Certify()
-		res, err := sc.RunFaster(sc.Cfg.FasterBound(n) + 10)
-		if err != nil {
-			return err
+	for _, r := range results {
+		m := r.Meta.(*e7meta)
+		if !r.Res.DetectionCorrect {
+			return fmt.Errorf("E7: k=%d: detection failed", m.k)
 		}
-		if !res.DetectionCorrect {
-			return fmt.Errorf("E7: k=%d: detection failed", k)
-		}
-		tb.Add(k, place.MinPairwise(g, pos), res.Rounds, res.FirstGatherRound)
-		if prevRounds >= 0 && res.Rounds > prevRounds {
+		tb.Add(m.k, m.minDist, r.Res.Rounds, r.Res.FirstGatherRound)
+		if prevRounds >= 0 && r.Res.Rounds > prevRounds {
 			monotone = false
 		}
-		prevRounds = res.Rounds
+		prevRounds = r.Res.Rounds
 	}
 	tb.Render(w)
 	verdict(w, monotone, "rounds are non-increasing in k under adversarial placement (staircase)")
@@ -135,39 +178,55 @@ func runE7(w io.Writer, o Options) error {
 // E8: head-to-head of Faster-Gathering against the UXS-only baseline on
 // the three canonical configurations.
 func runE8(w io.Writer, o Options) error {
-	rng := graph.NewRNG(o.Seed + 8)
 	n := 8
 	if !o.Quick {
 		n = 10
 	}
-	tb := NewTable("config", "faster-rounds", "uxs-rounds", "speedup")
 	type cfgCase struct {
 		name string
 		k    int
-		pos  func(g *graph.Graph) []int
+		pos  func(g *graph.Graph, rng *graph.RNG) []int
 	}
 	cases := []cfgCase{
-		{"undispersed (clustered)", 4, func(g *graph.Graph) []int { return place.Clustered(g, 4, 2, rng) }},
-		{"many robots (k=n/2+1)", n/2 + 1, func(g *graph.Graph) []int { return place.MaxMinDispersed(g, n/2+1, rng) }},
-		{"two far robots", 2, func(g *graph.Graph) []int { return place.MaxMinDispersed(g, 2, rng) }},
+		{"undispersed (clustered)", 4, func(g *graph.Graph, rng *graph.RNG) []int { return place.Clustered(g, 4, 2, rng) }},
+		{"many robots (k=n/2+1)", n/2 + 1, func(g *graph.Graph, rng *graph.RNG) []int { return place.MaxMinDispersed(g, n/2+1, rng) }},
+		{"two far robots", 2, func(g *graph.Graph, rng *graph.RNG) []int { return place.MaxMinDispersed(g, 2, rng) }},
 	}
-	fasterWonCloseCases := true
-	for ci, c := range cases {
+	// Both algorithms of a case rebuild the identical scenario from the
+	// case seed; only the agent type differs.
+	scenario := func(c cfgCase, caseSeed uint64) *gather.Scenario {
+		rng := graph.NewRNG(caseSeed)
 		g := graph.Cycle(n)
 		g.PermutePorts(rng)
 		ids := gather.AssignIDs(c.k, n, rng)
-		pos := c.pos(g)
-		scF := &gather.Scenario{G: g, IDs: ids, Positions: pos}
-		scF.Certify()
-		resF, err := scF.RunFaster(scF.Cfg.FasterBound(n) + 10)
-		if err != nil {
-			return err
-		}
-		scU := &gather.Scenario{G: g, IDs: ids, Positions: pos, Cfg: scF.Cfg}
-		resU, err := scU.RunUXS(scU.Cfg.UXSGatherBound(n) + 2)
-		if err != nil {
-			return err
-		}
+		sc := &gather.Scenario{G: g, IDs: ids, Positions: c.pos(g, rng)}
+		sc.Certify()
+		return sc
+	}
+	var jobs []runner.Job
+	for ci, c := range cases {
+		c := c
+		caseSeed := runner.JobSeed(o.Seed+8, ci)
+		jobs = append(jobs,
+			runner.Job{Build: func(uint64) (*sim.World, int, error) {
+				sc := scenario(c, caseSeed)
+				world, err := sc.NewFasterWorld()
+				return world, sc.Cfg.FasterBound(n) + 10, err
+			}},
+			runner.Job{Build: func(uint64) (*sim.World, int, error) {
+				sc := scenario(c, caseSeed)
+				world, err := sc.NewUXSWorld()
+				return world, sc.Cfg.UXSGatherBound(n) + 2, err
+			}})
+	}
+	results, err := sweep(o, o.Seed+8, jobs)
+	if err != nil {
+		return err
+	}
+	tb := NewTable("config", "faster-rounds", "uxs-rounds", "speedup")
+	fasterWonCloseCases := true
+	for ci, c := range cases {
+		resF, resU := results[2*ci].Res, results[2*ci+1].Res
 		if !resF.DetectionCorrect || !resU.DetectionCorrect {
 			return fmt.Errorf("E8: %s: detection failed", c.name)
 		}
@@ -183,34 +242,49 @@ func runE8(w io.Writer, o Options) error {
 }
 
 // E9: robot memory — the learned map dominates and must stay within
-// O(m log n) bits.
+// O(m log n) bits. The map builders never issue Terminate, so the jobs
+// stop on the builder's own Done signal via the runner's Stop predicate.
 func runE9(w io.Writer, o Options) error {
-	rng := graph.NewRNG(o.Seed + 9)
 	sizes := sweepSizes(o, []int{6, 10, 14}, []int{8, 12, 16, 20, 24})
+	type e9meta struct {
+		n, m   int
+		finder *mapping.FinderAgent
+	}
+	var jobs []runner.Job
+	for _, n := range sizes {
+		n := n
+		m := &e9meta{}
+		jobs = append(jobs, runner.Job{Meta: m,
+			Stop: func(*sim.World) bool { return m.finder.B.Done() },
+			Build: func(seed uint64) (*sim.World, int, error) {
+				rng := graph.NewRNG(seed)
+				g := graph.FromFamily(graph.FamRandom, n, rng)
+				m.n, m.m = g.N(), g.M()
+				m.finder = mapping.NewFinderAgent(1, g.N(), 2)
+				token := mapping.NewTokenAgent(2, 1)
+				world, err := sim.NewWorld(g, []sim.Agent{m.finder, token}, []int{0, 0})
+				return world, mapping.Budget(g.N()), err
+			}})
+	}
+	results, err := sweep(o, o.Seed+9, jobs)
+	if err != nil {
+		return err
+	}
 	tb := NewTable("n", "m", "map-bits", "m*log2(n)", "ratio")
 	allOK := true
-	for _, n := range sizes {
-		g := graph.FromFamily(graph.FamRandom, n, rng)
-		finder := mapping.NewFinderAgent(1, g.N(), 2)
-		token := mapping.NewTokenAgent(2, 1)
-		w2, err := sim.NewWorld(g, []sim.Agent{finder, token}, []int{0, 0})
-		if err != nil {
-			return err
+	for _, r := range results {
+		m := r.Meta.(*e9meta)
+		if !m.finder.B.Done() {
+			return fmt.Errorf("E9: n=%d: map not finished", m.n)
 		}
-		for r := 0; r < mapping.Budget(g.N()) && !finder.B.Done(); r++ {
-			w2.Step()
-		}
-		if !finder.B.Done() {
-			return fmt.Errorf("E9: n=%d: map not finished", g.N())
-		}
-		bits := finder.B.MemoryBits()
+		bits := m.finder.B.MemoryBits()
 		logn := 1
-		for v := g.N() - 1; v > 0; v >>= 1 {
+		for v := m.n - 1; v > 0; v >>= 1 {
 			logn++
 		}
-		bound := g.M() * logn
+		bound := m.m * logn
 		ratio := float64(bits) / float64(bound)
-		tb.Add(g.N(), g.M(), bits, bound, ratio)
+		tb.Add(m.n, m.m, bits, bound, ratio)
 		if ratio > 8 {
 			allOK = false
 		}
@@ -223,41 +297,55 @@ func runE9(w io.Writer, o Options) error {
 // E10: detection overhead — rounds between the first full co-location and
 // termination, for both algorithms.
 func runE10(w io.Writer, o Options) error {
-	rng := graph.NewRNG(o.Seed + 10)
 	n := 8
-	tb := NewTable("algorithm", "config", "gather-round", "detect-round", "overhead")
-	ok := true
-	for _, c := range []struct {
+	cases := []struct {
 		name string
 		k    int
-	}{{"clustered", 4}, {"pair", 2}} {
+	}{{"clustered", 4}, {"pair", 2}}
+	scenario := func(k int, clustered bool, caseSeed uint64) *gather.Scenario {
+		rng := graph.NewRNG(caseSeed)
 		g := graph.Cycle(n)
 		g.PermutePorts(rng)
-		ids := gather.AssignIDs(c.k, n, rng)
+		ids := gather.AssignIDs(k, n, rng)
 		var pos []int
-		if c.name == "clustered" {
-			pos = place.Clustered(g, c.k, 2, rng)
+		if clustered {
+			pos = place.Clustered(g, k, 2, rng)
 		} else {
-			pos = place.MaxMinDispersed(g, c.k, rng)
+			pos = place.MaxMinDispersed(g, k, rng)
 		}
-		scF := &gather.Scenario{G: g, IDs: ids, Positions: pos}
-		scF.Certify()
-		resF, err := scF.RunFaster(scF.Cfg.FasterBound(n) + 10)
-		if err != nil {
-			return err
-		}
-		scU := &gather.Scenario{G: g, IDs: ids, Positions: pos, Cfg: scF.Cfg}
-		resU, err := scU.RunUXS(scU.Cfg.UXSGatherBound(n) + 2)
-		if err != nil {
-			return err
-		}
-		for _, row := range []struct {
-			algo string
-			res  sim.Result
-		}{{"faster", resF}, {"uxs", resU}} {
-			over := row.res.Rounds - row.res.FirstGatherRound
-			tb.Add(row.algo, c.name, row.res.FirstGatherRound, row.res.Rounds, over)
-			if row.res.FirstGatherRound < 0 || over < 0 {
+		sc := &gather.Scenario{G: g, IDs: ids, Positions: pos}
+		sc.Certify()
+		return sc
+	}
+	var jobs []runner.Job
+	for ci, c := range cases {
+		c := c
+		clustered := c.name == "clustered"
+		caseSeed := runner.JobSeed(o.Seed+10, ci)
+		jobs = append(jobs,
+			runner.Job{Build: func(uint64) (*sim.World, int, error) {
+				sc := scenario(c.k, clustered, caseSeed)
+				world, err := sc.NewFasterWorld()
+				return world, sc.Cfg.FasterBound(n) + 10, err
+			}},
+			runner.Job{Build: func(uint64) (*sim.World, int, error) {
+				sc := scenario(c.k, clustered, caseSeed)
+				world, err := sc.NewUXSWorld()
+				return world, sc.Cfg.UXSGatherBound(n) + 2, err
+			}})
+	}
+	results, err := sweep(o, o.Seed+10, jobs)
+	if err != nil {
+		return err
+	}
+	tb := NewTable("algorithm", "config", "gather-round", "detect-round", "overhead")
+	ok := true
+	for ci, c := range cases {
+		for ai, algo := range []string{"faster", "uxs"} {
+			res := results[2*ci+ai].Res
+			over := res.Rounds - res.FirstGatherRound
+			tb.Add(algo, c.name, res.FirstGatherRound, res.Rounds, over)
+			if res.FirstGatherRound < 0 || over < 0 {
 				ok = false
 			}
 		}

@@ -7,6 +7,8 @@ import (
 	"repro/internal/gather"
 	"repro/internal/graph"
 	"repro/internal/place"
+	"repro/internal/runner"
+	"repro/internal/sim"
 )
 
 func init() {
@@ -31,39 +33,73 @@ func init() {
 }
 
 // E11: staged schedule vs the Remark 13 oracle for the same instance.
+// Both jobs of a distance rebuild the identical instance from the case
+// seed; the oracle job swaps in the Remark 13 config before running.
 func runE11(w io.Writer, o Options) error {
-	rng := graph.NewRNG(o.Seed + 11)
 	n := 8
 	if !o.Quick {
 		n = 10
 	}
-	tb := NewTable("distance", "staged-rounds", "oracle-rounds", "saving")
-	allFaster := true
-	for _, d := range []int{1, 2, 3, 4} {
+	type e11meta struct {
+		d     int
+		found bool
+	}
+	instance := func(d int, caseSeed uint64) (*gather.Scenario, bool) {
+		rng := graph.NewRNG(caseSeed)
 		g := graph.Path(n)
 		g.PermutePorts(rng)
 		u, v, ok := place.PairAtDistance(g, d, rng)
 		if !ok {
+			return nil, false
+		}
+		sc := &gather.Scenario{G: g, IDs: []int{1, 2}, Positions: []int{u, v}}
+		sc.Certify()
+		return sc, true
+	}
+	dists := []int{1, 2, 3, 4}
+	var jobs []runner.Job
+	for di, d := range dists {
+		d := d
+		caseSeed := runner.JobSeed(o.Seed+11, di)
+		mS, mO := &e11meta{d: d}, &e11meta{d: d}
+		jobs = append(jobs,
+			runner.Job{Meta: mS, Build: func(uint64) (*sim.World, int, error) {
+				sc, ok := instance(d, caseSeed)
+				if !ok {
+					return nil, 0, nil
+				}
+				mS.found = true
+				world, err := sc.NewFasterWorld()
+				return world, sc.Cfg.FasterBound(n) + 10, err
+			}},
+			runner.Job{Meta: mO, Build: func(uint64) (*sim.World, int, error) {
+				sc, ok := instance(d, caseSeed)
+				if !ok {
+					return nil, 0, nil
+				}
+				mO.found = true
+				sc.Cfg = gather.Config{KnownDistance: d, UXSLen: sc.Cfg.UXSLen}
+				world, err := sc.NewFasterWorld()
+				return world, sc.Cfg.FasterBound(n) + 10, err
+			}})
+	}
+	results, err := sweep(o, o.Seed+11, jobs)
+	if err != nil {
+		return err
+	}
+	tb := NewTable("distance", "staged-rounds", "oracle-rounds", "saving")
+	allFaster := true
+	for di, d := range dists {
+		rS, rO := results[2*di], results[2*di+1]
+		if !rS.Meta.(*e11meta).found {
 			continue
 		}
-		staged := &gather.Scenario{G: g, IDs: []int{1, 2}, Positions: []int{u, v}}
-		staged.Certify()
-		resS, err := staged.RunFaster(staged.Cfg.FasterBound(n) + 10)
-		if err != nil {
-			return err
-		}
-		oracle := &gather.Scenario{G: g, IDs: []int{1, 2}, Positions: []int{u, v},
-			Cfg: gather.Config{KnownDistance: d, UXSLen: staged.Cfg.UXSLen}}
-		resO, err := oracle.RunFaster(oracle.Cfg.FasterBound(n) + 10)
-		if err != nil {
-			return err
-		}
-		if !resS.DetectionCorrect || !resO.DetectionCorrect {
+		if !rS.Res.DetectionCorrect || !rO.Res.DetectionCorrect {
 			return fmt.Errorf("E11: d=%d: detection failed", d)
 		}
-		saving := float64(resS.Rounds) / float64(resO.Rounds)
-		tb.Add(d, resS.Rounds, resO.Rounds, saving)
-		if resO.Rounds >= resS.Rounds {
+		saving := float64(rS.Res.Rounds) / float64(rO.Res.Rounds)
+		tb.Add(d, rS.Res.Rounds, rO.Res.Rounds, saving)
+		if rO.Res.Rounds >= rS.Res.Rounds {
 			allFaster = false
 		}
 	}
@@ -75,31 +111,51 @@ func runE11(w io.Writer, o Options) error {
 // E12: hop-meeting schedule with and without knowledge of Delta on the
 // cycle (Delta = 2).
 func runE12(w io.Writer, o Options) error {
-	rng := graph.NewRNG(o.Seed + 12)
 	sizes := sweepSizes(o, []int{8, 12}, []int{8, 12, 16, 20})
-	tb := NewTable("n", "radius", "generic-duration", "delta-duration", "shrink", "still-meets")
-	allOK := true
+	type e12meta struct {
+		n, i  int
+		found bool
+	}
+	var jobs []runner.Job
 	for _, n := range sizes {
 		for _, i := range []int{2, 3} {
-			g := graph.Cycle(n)
-			g.PermutePorts(rng)
-			u, v, ok := place.PairAtDistance(g, i, rng)
-			if !ok {
-				continue
-			}
-			generic := gather.Config{}
-			abl := gather.Config{KnownMaxDegree: 2}
-			sc := &gather.Scenario{G: g, IDs: []int{1, 2}, Positions: []int{u, v}, Cfg: abl}
-			res, err := sc.RunHopMeet(i, abl.HopDuration(i, n)+1)
-			if err != nil {
-				return err
-			}
-			met := res.FirstMeetRound >= 0
-			shrink := float64(generic.HopDuration(i, n)) / float64(abl.HopDuration(i, n))
-			tb.Add(n, i, generic.HopDuration(i, n), abl.HopDuration(i, n), shrink, met)
-			if !met || shrink <= 1 {
-				allOK = false
-			}
+			n, i := n, i
+			m := &e12meta{n: n, i: i}
+			jobs = append(jobs, runner.Job{Meta: m,
+				Build: func(seed uint64) (*sim.World, int, error) {
+					rng := graph.NewRNG(seed)
+					g := graph.Cycle(n)
+					g.PermutePorts(rng)
+					u, v, ok := place.PairAtDistance(g, i, rng)
+					if !ok {
+						return nil, 0, nil
+					}
+					m.found = true
+					abl := gather.Config{KnownMaxDegree: 2}
+					sc := &gather.Scenario{G: g, IDs: []int{1, 2}, Positions: []int{u, v}, Cfg: abl}
+					world, err := sc.NewHopMeetWorld(i)
+					return world, abl.HopDuration(i, n) + 1, err
+				}})
+		}
+	}
+	results, err := sweep(o, o.Seed+12, jobs)
+	if err != nil {
+		return err
+	}
+	tb := NewTable("n", "radius", "generic-duration", "delta-duration", "shrink", "still-meets")
+	allOK := true
+	for _, r := range results {
+		m := r.Meta.(*e12meta)
+		if !m.found {
+			continue
+		}
+		generic := gather.Config{}
+		abl := gather.Config{KnownMaxDegree: 2}
+		met := r.Res.FirstMeetRound >= 0
+		shrink := float64(generic.HopDuration(m.i, m.n)) / float64(abl.HopDuration(m.i, m.n))
+		tb.Add(m.n, m.i, generic.HopDuration(m.i, m.n), abl.HopDuration(m.i, m.n), shrink, met)
+		if !met || shrink <= 1 {
+			allOK = false
 		}
 	}
 	tb.Render(w)
@@ -110,44 +166,75 @@ func runE12(w io.Writer, o Options) error {
 // E13: the baseline's exponential growth with distance on a high-degree
 // graph, against Faster-Gathering on the same instances.
 func runE13(w io.Writer, o Options) error {
-	rng := graph.NewRNG(o.Seed + 13)
 	n := 8
 	if !o.Quick {
 		n = 9
 	}
-	tb := NewTable("distance", "baseline-rounds", "faster-rounds", "baseline/faster")
-	var base []float64
-	for _, d := range []int{1, 2, 3} {
-		// Lollipop: a clique with a tail — high degree near the clique
-		// makes each deeper baseline phase Delta times longer.
+	type e13meta struct {
+		d     int
+		found bool
+	}
+	// Lollipop: a clique with a tail — high degree near the clique
+	// makes each deeper baseline phase Delta times longer. IDs 1,2 never
+	// explore simultaneously: distance-d pairs meet only in the radius-d
+	// phase, isolating the growth law.
+	instance := func(d int, caseSeed uint64) (*gather.Scenario, bool) {
+		rng := graph.NewRNG(caseSeed)
 		g := graph.Lollipop(n/2, n-n/2)
 		g.PermutePorts(rng)
 		u, v, ok := place.PairAtDistance(g, d, rng)
 		if !ok {
+			return nil, false
+		}
+		return &gather.Scenario{G: g, IDs: []int{1, 2}, Positions: []int{u, v}}, true
+	}
+	dists := []int{1, 2, 3}
+	var jobs []runner.Job
+	for di, d := range dists {
+		d := d
+		caseSeed := runner.JobSeed(o.Seed+13, di)
+		mB, mF := &e13meta{d: d}, &e13meta{d: d}
+		jobs = append(jobs,
+			runner.Job{Meta: mB, Build: func(uint64) (*sim.World, int, error) {
+				sc, ok := instance(d, caseSeed)
+				if !ok {
+					return nil, 0, nil
+				}
+				mB.found = true
+				capRounds := 0
+				for i := 1; i <= d+1; i++ {
+					capRounds += sc.Cfg.HopDuration(i, sc.G.N()) + 1
+				}
+				world, err := sc.NewDessmarkWorld()
+				return world, capRounds + 10, err
+			}},
+			runner.Job{Meta: mF, Build: func(uint64) (*sim.World, int, error) {
+				sc, ok := instance(d, caseSeed)
+				if !ok {
+					return nil, 0, nil
+				}
+				mF.found = true
+				sc.Certify()
+				world, err := sc.NewFasterWorld()
+				return world, sc.Cfg.FasterBound(sc.G.N()) + 10, err
+			}})
+	}
+	results, err := sweep(o, o.Seed+13, jobs)
+	if err != nil {
+		return err
+	}
+	tb := NewTable("distance", "baseline-rounds", "faster-rounds", "baseline/faster")
+	var base []float64
+	for di, d := range dists {
+		rB, rF := results[2*di], results[2*di+1]
+		if !rB.Meta.(*e13meta).found {
 			continue
 		}
-		// IDs 1,2 never explore simultaneously: distance-d pairs meet
-		// only in the radius-d phase, isolating the growth law.
-		sc := &gather.Scenario{G: g, IDs: []int{1, 2}, Positions: []int{u, v}}
-		capRounds := 0
-		for i := 1; i <= d+1; i++ {
-			capRounds += sc.Cfg.HopDuration(i, g.N()) + 1
-		}
-		resB, err := sc.RunDessmark(capRounds + 10)
-		if err != nil {
-			return err
-		}
-		scF := &gather.Scenario{G: g, IDs: []int{1, 2}, Positions: []int{u, v}}
-		scF.Certify()
-		resF, err := scF.RunFaster(scF.Cfg.FasterBound(g.N()) + 10)
-		if err != nil {
-			return err
-		}
-		if !resB.AllTerminated || !resF.DetectionCorrect {
+		if !rB.Res.AllTerminated || !rF.Res.DetectionCorrect {
 			return fmt.Errorf("E13: d=%d: run failed", d)
 		}
-		tb.Add(d, resB.Rounds, resF.Rounds, float64(resB.Rounds)/float64(resF.Rounds))
-		base = append(base, float64(resB.Rounds))
+		tb.Add(d, rB.Res.Rounds, rF.Res.Rounds, float64(rB.Res.Rounds)/float64(rF.Res.Rounds))
+		base = append(base, float64(rB.Res.Rounds))
 	}
 	tb.Render(w)
 	growing := len(base) >= 2

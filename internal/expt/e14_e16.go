@@ -6,7 +6,10 @@ package expt
 // comparison the related-work section alludes to; E15 and E16 are
 // assumption ablations — they demonstrate *why* the paper assumes
 // fault-free robots and simultaneous start by measuring what breaks
-// without those assumptions.
+// without those assumptions. All three run their cases as runner jobs;
+// E16's mid-run observation (the round of the first premature
+// termination) moves into a per-job tracer so the runner can own the
+// round loop.
 
 import (
 	"fmt"
@@ -15,6 +18,8 @@ import (
 	"repro/internal/gather"
 	"repro/internal/graph"
 	"repro/internal/place"
+	"repro/internal/runner"
+	"repro/internal/sim"
 )
 
 func init() {
@@ -41,38 +46,54 @@ func init() {
 // E14: total and max per-robot moves, Faster vs UXS, on the three
 // canonical configurations.
 func runE14(w io.Writer, o Options) error {
-	rng := graph.NewRNG(o.Seed + 14)
 	n := 8
 	if !o.Quick {
 		n = 10
 	}
-	tb := NewTable("config", "algo", "total-moves", "max-moves", "rounds")
-	fasterCheaper := true
-	for _, c := range []struct {
+	cases := []struct {
 		name string
 		k    int
 		clus bool
-	}{{"clustered", 4, true}, {"many robots", n/2 + 1, false}} {
+	}{{"clustered", 4, true}, {"many robots", n/2 + 1, false}}
+	scenario := func(k int, clus bool, caseSeed uint64) *gather.Scenario {
+		rng := graph.NewRNG(caseSeed)
 		g := graph.Cycle(n)
 		g.PermutePorts(rng)
-		ids := gather.AssignIDs(c.k, n, rng)
+		ids := gather.AssignIDs(k, n, rng)
 		var pos []int
-		if c.clus {
-			pos = place.Clustered(g, c.k, 2, rng)
+		if clus {
+			pos = place.Clustered(g, k, 2, rng)
 		} else {
-			pos = place.MaxMinDispersed(g, c.k, rng)
+			pos = place.MaxMinDispersed(g, k, rng)
 		}
-		scF := &gather.Scenario{G: g, IDs: ids, Positions: pos}
-		scF.Certify()
-		resF, err := scF.RunFaster(scF.Cfg.FasterBound(n) + 10)
-		if err != nil {
-			return err
-		}
-		scU := &gather.Scenario{G: g, IDs: ids, Positions: pos, Cfg: scF.Cfg}
-		resU, err := scU.RunUXS(scU.Cfg.UXSGatherBound(n) + 2)
-		if err != nil {
-			return err
-		}
+		sc := &gather.Scenario{G: g, IDs: ids, Positions: pos}
+		sc.Certify()
+		return sc
+	}
+	var jobs []runner.Job
+	for ci, c := range cases {
+		c := c
+		caseSeed := runner.JobSeed(o.Seed+14, ci)
+		jobs = append(jobs,
+			runner.Job{Build: func(uint64) (*sim.World, int, error) {
+				sc := scenario(c.k, c.clus, caseSeed)
+				world, err := sc.NewFasterWorld()
+				return world, sc.Cfg.FasterBound(n) + 10, err
+			}},
+			runner.Job{Build: func(uint64) (*sim.World, int, error) {
+				sc := scenario(c.k, c.clus, caseSeed)
+				world, err := sc.NewUXSWorld()
+				return world, sc.Cfg.UXSGatherBound(n) + 2, err
+			}})
+	}
+	results, err := sweep(o, o.Seed+14, jobs)
+	if err != nil {
+		return err
+	}
+	tb := NewTable("config", "algo", "total-moves", "max-moves", "rounds")
+	fasterCheaper := true
+	for ci, c := range cases {
+		resF, resU := results[2*ci].Res, results[2*ci+1].Res
 		if !resF.DetectionCorrect || !resU.DetectionCorrect {
 			return fmt.Errorf("E14: %s: detection failed", c.name)
 		}
@@ -92,15 +113,10 @@ func runE14(w io.Writer, o Options) error {
 // correctly); crashing the group leader mid-run strands its followers —
 // they wait for a leader that will never move, and the run hits the cap.
 func runE15(w io.Writer, o Options) error {
-	rng := graph.NewRNG(o.Seed + 15)
 	n := 7
-	g := graph.Cycle(n)
-	g.PermutePorts(rng)
 	// Three robots: 9 leads the start group {9, 3}; 5 is elsewhere.
 	ids := []int{3, 9, 5}
 	pos := []int{0, 0, 3}
-	tb := NewTable("crashed-robot", "role", "terminated", "live-gathered", "detection", "rounds")
-
 	type crash struct {
 		id   int
 		role string
@@ -113,24 +129,41 @@ func runE15(w io.Writer, o Options) error {
 		{5, "lone waiter", true},
 		{9, "group leader", false}, // follower 3 strands: waits on a dead leader
 	}
-	allMatch := true
+	var jobs []runner.Job
 	for _, c := range cases {
-		sc := &gather.Scenario{G: g, IDs: ids, Positions: pos}
-		sc.Certify()
-		world, err := sc.NewUXSWorld()
-		if err != nil {
-			return err
-		}
-		if c.id != 0 {
-			// Crash early, before the first full co-location.
-			if err := world.CrashAt(c.id, 2); err != nil {
-				return err
-			}
-		}
-		cap := sc.Cfg.UXSGatherBound(n) + 2
-		res := world.Run(cap)
-		tb.Add(c.id, c.role, res.AllTerminated, res.Gathered, res.DetectionCorrect, res.Rounds)
-		if res.AllTerminated != c.expectDone {
+		c := c
+		jobs = append(jobs, runner.Job{Meta: c,
+			Build: func(uint64) (*sim.World, int, error) {
+				// Every case replays the same instance: the graph seed is
+				// the experiment's, not the job's.
+				rng := graph.NewRNG(o.Seed + 15)
+				g := graph.Cycle(n)
+				g.PermutePorts(rng)
+				sc := &gather.Scenario{G: g, IDs: ids, Positions: pos}
+				sc.Certify()
+				world, err := sc.NewUXSWorld()
+				if err != nil {
+					return nil, 0, err
+				}
+				if c.id != 0 {
+					// Crash early, before the first full co-location.
+					if err := world.CrashAt(c.id, 2); err != nil {
+						return nil, 0, err
+					}
+				}
+				return world, sc.Cfg.UXSGatherBound(n) + 2, nil
+			}})
+	}
+	results, err := sweep(o, o.Seed+15, jobs)
+	if err != nil {
+		return err
+	}
+	tb := NewTable("crashed-robot", "role", "terminated", "live-gathered", "detection", "rounds")
+	allMatch := true
+	for _, r := range results {
+		c := r.Meta.(crash)
+		tb.Add(c.id, c.role, r.Res.AllTerminated, r.Res.Gathered, r.Res.DetectionCorrect, r.Res.Rounds)
+		if r.Res.AllTerminated != c.expectDone {
 			allMatch = false
 		}
 	}
@@ -149,39 +182,57 @@ func runE15(w io.Writer, o Options) error {
 // joins it, which is itself a measurable curiosity of the visible-sleeper
 // model. The violation is the premature declaration.)
 func runE16(w io.Writer, o Options) error {
-	rng := graph.NewRNG(o.Seed + 16)
 	n := 6
-	g := graph.Cycle(n)
-	g.PermutePorts(rng)
 	ids := []int{6, 9} // delay robot 6: the bigger robot 9 ignores sleepers
 	pos := []int{0, 3}
-	tb := NewTable("delay", "first-term-round", "gathered-then", "premature", "final-gathered", "final-rounds")
-	sc0 := &gather.Scenario{G: g, IDs: ids, Positions: pos}
-	sc0.Certify()
-	T := sc0.Cfg.UXSLength(n)
-	var zeroOK, largeBroke bool
+	instance := func() *gather.Scenario {
+		rng := graph.NewRNG(o.Seed + 16)
+		g := graph.Cycle(n)
+		g.PermutePorts(rng)
+		sc := &gather.Scenario{G: g, IDs: ids, Positions: pos}
+		sc.Certify()
+		return sc
+	}
+	T := instance().Cfg.UXSLength(n)
+	type e16meta struct {
+		tau          int
+		firstTerm    int
+		gatheredThen bool
+	}
+	var jobs []runner.Job
 	for _, tau := range []int{0, 2 * T, 12 * T} {
-		sc := &gather.Scenario{G: g, IDs: ids, Positions: pos, Cfg: sc0.Cfg}
-		world, err := sc.NewUXSWorldDelayed([]int{tau, 0})
-		if err != nil {
-			return err
+		tau := tau
+		m := &e16meta{tau: tau, firstTerm: -1}
+		jobs = append(jobs, runner.Job{Meta: m,
+			Build: func(uint64) (*sim.World, int, error) {
+				sc := instance()
+				world, err := sc.NewUXSWorldDelayed([]int{tau, 0})
+				if err != nil {
+					return nil, 0, err
+				}
+				world.SetTracer(sim.TracerFunc(func(w2 *sim.World) {
+					if m.firstTerm < 0 && w2.DoneCount() > 0 {
+						m.firstTerm = w2.Round()
+						m.gatheredThen = w2.AllColocated()
+					}
+				}))
+				return world, sc.Cfg.UXSGatherBound(n) + tau + 2, nil
+			}})
+	}
+	results, err := sweep(o, o.Seed+16, jobs)
+	if err != nil {
+		return err
+	}
+	tb := NewTable("delay", "first-term-round", "gathered-then", "premature", "final-gathered", "final-rounds")
+	var zeroOK, largeBroke bool
+	for _, r := range results {
+		m := r.Meta.(*e16meta)
+		premature := m.firstTerm >= 0 && !m.gatheredThen
+		tb.Add(m.tau, m.firstTerm, m.gatheredThen, premature, r.Res.Gathered, r.Res.Rounds)
+		if m.tau == 0 {
+			zeroOK = m.firstTerm >= 0 && m.gatheredThen
 		}
-		cap := sc.Cfg.UXSGatherBound(n) + tau + 2
-		firstTerm, gatheredThen := -1, false
-		for world.Round() < cap && !world.AllDone() {
-			world.Step()
-			if firstTerm < 0 && world.DoneCount() > 0 {
-				firstTerm = world.Round()
-				gatheredThen = world.AllColocated()
-			}
-		}
-		res := world.Summary()
-		premature := firstTerm >= 0 && !gatheredThen
-		tb.Add(tau, firstTerm, gatheredThen, premature, res.Gathered, res.Rounds)
-		if tau == 0 {
-			zeroOK = firstTerm >= 0 && gatheredThen
-		}
-		if tau == 12*T && premature {
+		if m.tau == 12*T && premature {
 			largeBroke = true
 		}
 	}

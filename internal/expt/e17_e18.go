@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/place"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -27,61 +28,76 @@ func init() {
 	})
 }
 
-// buildWith runs one mapping pair and returns the rounds consumed.
-func buildWith(g *graph.Graph, naive bool) (int, error) {
-	var (
-		agents []sim.Agent
-		doneFn func() bool
-		rounds func() int
-		budget int
-	)
-	if naive {
-		f := mapping.NewNaiveFinderAgent(1, g.N(), 2)
-		agents = []sim.Agent{f, mapping.NewTokenAgent(2, 1)}
-		doneFn, rounds = f.B.Done, f.B.Rounds
-		budget = mapping.NaiveBudget(g.N())
-	} else {
-		f := mapping.NewFinderAgent(1, g.N(), 2)
-		agents = []sim.Agent{f, mapping.NewTokenAgent(2, 1)}
-		doneFn, rounds = f.B.Done, f.B.Rounds
-		budget = mapping.Budget(g.N())
-	}
-	w, err := sim.NewWorld(g, agents, []int{0, 0})
-	if err != nil {
-		return 0, err
-	}
-	for r := 0; r < budget && !doneFn(); r++ {
-		w.Step()
-	}
-	if !doneFn() {
-		return 0, fmt.Errorf("map construction exceeded budget %d", budget)
-	}
-	return rounds(), nil
+// mapJob returns a runner job that builds the given n-node cycle instance
+// and runs one mapping pair until the builder finishes (the builder never
+// issues Terminate, so the job stops on its Done signal). done/rounds are
+// wired into meta for the collection phase.
+type mapMeta struct {
+	n, m   int
+	done   func() bool
+	rounds func() int
+}
+
+func mapJob(n int, naive bool, caseSeed uint64) runner.Job {
+	m := &mapMeta{}
+	return runner.Job{Meta: m,
+		Stop: func(*sim.World) bool { return m.done() },
+		Build: func(uint64) (*sim.World, int, error) {
+			// Cycles maximize walk lengths (diameter n/2), exposing the
+			// asymptotic gap between one tour per probe and one walk per
+			// candidate per probe; small-diameter random graphs hide it.
+			// Both strategies replay the identical instance (case seed).
+			rng := graph.NewRNG(caseSeed)
+			g := graph.Cycle(n)
+			g.PermutePorts(rng)
+			m.n, m.m = g.N(), g.M()
+			var (
+				agents []sim.Agent
+				budget int
+			)
+			if naive {
+				f := mapping.NewNaiveFinderAgent(1, g.N(), 2)
+				agents = []sim.Agent{f, mapping.NewTokenAgent(2, 1)}
+				m.done, m.rounds = f.B.Done, f.B.Rounds
+				budget = mapping.NaiveBudget(g.N())
+			} else {
+				f := mapping.NewFinderAgent(1, g.N(), 2)
+				agents = []sim.Agent{f, mapping.NewTokenAgent(2, 1)}
+				m.done, m.rounds = f.B.Done, f.B.Rounds
+				budget = mapping.Budget(g.N())
+			}
+			world, err := sim.NewWorld(g, agents, []int{0, 0})
+			return world, budget, err
+		}}
 }
 
 // E17: measured rounds of the two map-construction strategies and their
 // fitted growth exponents.
 func runE17(w io.Writer, o Options) error {
-	rng := graph.NewRNG(o.Seed + 17)
 	sizes := sweepSizes(o, []int{8, 12, 16}, []int{8, 12, 16, 20, 24, 32})
+	var jobs []runner.Job
+	for ni, n := range sizes {
+		caseSeed := runner.JobSeed(o.Seed+17, ni)
+		jobs = append(jobs, mapJob(n, false, caseSeed), mapJob(n, true, caseSeed))
+	}
+	results, err := sweep(o, o.Seed+17, jobs)
+	if err != nil {
+		return err
+	}
 	tb := NewTable("n", "m", "tour-rounds", "naive-rounds", "naive/tour")
 	var xs, tourYs, naiveYs []float64
-	for _, n := range sizes {
-		// Cycles maximize walk lengths (diameter n/2), exposing the
-		// asymptotic gap between one tour per probe and one walk per
-		// candidate per probe; small-diameter random graphs hide it.
-		g := graph.Cycle(n)
-		g.PermutePorts(rng)
-		tour, err := buildWith(g, false)
-		if err != nil {
-			return fmt.Errorf("E17 tour n=%d: %w", n, err)
+	for ni := range sizes {
+		mT := results[2*ni].Meta.(*mapMeta)
+		mN := results[2*ni+1].Meta.(*mapMeta)
+		if !mT.done() {
+			return fmt.Errorf("E17 tour n=%d: map construction exceeded budget %d", mT.n, mapping.Budget(mT.n))
 		}
-		naive, err := buildWith(g, true)
-		if err != nil {
-			return fmt.Errorf("E17 naive n=%d: %w", n, err)
+		if !mN.done() {
+			return fmt.Errorf("E17 naive n=%d: map construction exceeded budget %d", mN.n, mapping.NaiveBudget(mN.n))
 		}
-		tb.Add(g.N(), g.M(), tour, naive, float64(naive)/float64(tour))
-		xs = append(xs, float64(g.N()))
+		tour, naive := mT.rounds(), mN.rounds()
+		tb.Add(mT.n, mT.m, tour, naive, float64(naive)/float64(tour))
+		xs = append(xs, float64(mT.n))
 		tourYs = append(tourYs, float64(tour))
 		naiveYs = append(naiveYs, float64(naive))
 	}
@@ -104,35 +120,71 @@ func runE17(w io.Writer, o Options) error {
 // distances, plus the comparison against the message-passing algorithm on
 // the same instances.
 func runE18(w io.Writer, o Options) error {
-	rng := graph.NewRNG(o.Seed + 18)
 	n := 7
 	if !o.Quick {
 		n = 8
 	}
+	type e18meta struct {
+		fam   graph.Family
+		d     int
+		found bool
+	}
+	fams := []graph.Family{graph.FamPath, graph.FamCycle, graph.FamGrid, graph.FamRandom}
+	instance := func(fam graph.Family, d int, caseSeed uint64) (*gather.Scenario, bool) {
+		rng := graph.NewRNG(caseSeed)
+		g := graph.FromFamily(fam, n, rng)
+		u, v, ok := place.PairAtDistance(g, d, rng)
+		if !ok {
+			return nil, false
+		}
+		sc := &gather.Scenario{G: g, IDs: []int{6, 11}, Positions: []int{u, v}}
+		sc.Certify()
+		return sc, true
+	}
+	var jobs []runner.Job
+	ci := 0
+	for _, fam := range fams {
+		for _, d := range []int{1, 3} {
+			fam, d := fam, d
+			caseSeed := runner.JobSeed(o.Seed+18, ci)
+			ci++
+			mB, mM := &e18meta{fam: fam, d: d}, &e18meta{fam: fam, d: d}
+			jobs = append(jobs,
+				runner.Job{Meta: mB, Build: func(uint64) (*sim.World, int, error) {
+					sc, ok := instance(fam, d, caseSeed)
+					if !ok {
+						return nil, 0, nil
+					}
+					mB.found = true
+					world, err := sc.NewBeepWorld()
+					return world, sc.Cfg.UXSGatherBound(sc.G.N()) + 2, err
+				}},
+				runner.Job{Meta: mM, Build: func(uint64) (*sim.World, int, error) {
+					sc, ok := instance(fam, d, caseSeed)
+					if !ok {
+						return nil, 0, nil
+					}
+					mM.found = true
+					world, err := sc.NewUXSWorld()
+					return world, sc.Cfg.UXSGatherBound(sc.G.N()) + 2, err
+				}})
+		}
+	}
+	results, err := sweep(o, o.Seed+18, jobs)
+	if err != nil {
+		return err
+	}
 	tb := NewTable("family", "distance", "beep-rounds", "msg-rounds", "detection")
 	allOK := true
-	for _, fam := range []graph.Family{graph.FamPath, graph.FamCycle, graph.FamGrid, graph.FamRandom} {
-		g := graph.FromFamily(fam, n, rng)
-		for _, d := range []int{1, 3} {
-			u, v, ok := place.PairAtDistance(g, d, rng)
-			if !ok {
-				continue
-			}
-			sc := &gather.Scenario{G: g, IDs: []int{6, 11}, Positions: []int{u, v}}
-			sc.Certify()
-			cap := sc.Cfg.UXSGatherBound(g.N()) + 2
-			beep, err := sc.RunBeep(cap)
-			if err != nil {
-				return err
-			}
-			msg, err := sc.RunUXS(cap)
-			if err != nil {
-				return err
-			}
-			tb.Add(string(fam), d, beep.Rounds, msg.Rounds, beep.DetectionCorrect)
-			if !beep.DetectionCorrect || !msg.DetectionCorrect {
-				allOK = false
-			}
+	for pi := 0; pi < len(results); pi += 2 {
+		rB, rM := results[pi], results[pi+1]
+		m := rB.Meta.(*e18meta)
+		if !m.found {
+			continue
+		}
+		tb.Add(string(m.fam), m.d, rB.Res.Rounds, rM.Res.Rounds, rB.Res.DetectionCorrect)
+		if !rB.Res.DetectionCorrect || !rM.Res.DetectionCorrect {
+			allOK = false
 		}
 	}
 	tb.Render(w)

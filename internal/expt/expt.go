@@ -11,6 +11,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"repro/internal/runner"
 )
 
 // Options tunes an experiment run.
@@ -20,6 +22,22 @@ type Options struct {
 	Quick bool
 	// Seed drives every random choice, making runs reproducible.
 	Seed uint64
+	// Parallelism is the worker-pool size for scenario sweeps: 0 selects
+	// GOMAXPROCS, 1 runs serially. Tables are bit-identical at every
+	// setting — each sweep point derives its randomness from a seed
+	// fixed by (Seed, submission index), never from scheduling order.
+	Parallelism int
+}
+
+// sweep executes a batch of scenario jobs through the shared parallel
+// runner and returns per-job results in submission order, surfacing the
+// earliest job error.
+func sweep(o Options, base uint64, jobs []runner.Job) ([]runner.JobResult, error) {
+	results, _ := runner.New(o.Parallelism).Run(base, jobs)
+	if err := runner.FirstErr(results); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // Experiment is one reproducible table/figure.
@@ -38,7 +56,7 @@ func register(e Experiment) { registry = append(registry, e) }
 func All() []Experiment {
 	out := append([]Experiment(nil), registry...)
 	sort.Slice(out, func(i, j int) bool {
-		// Numeric ordering of E1..E13.
+		// Numeric ordering of the full E1..E18 registry.
 		return idNum(out[i].ID) < idNum(out[j].ID)
 	})
 	return out

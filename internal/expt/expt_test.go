@@ -22,6 +22,24 @@ func TestRegistryComplete(t *testing.T) {
 	}
 }
 
+// All() sorts by the number embedded in the ID; the registry spans E1..E18
+// today and must keep sorting correctly as experiments are added (E19,
+// E20, ... — including multi-digit IDs past E99).
+func TestIDNumOrdering(t *testing.T) {
+	cases := []struct {
+		id   string
+		want int
+	}{{"E1", 1}, {"E9", 9}, {"E10", 10}, {"E13", 13}, {"E18", 18}, {"E19", 19}, {"E107", 107}, {"X", 0}}
+	for _, c := range cases {
+		if got := idNum(c.id); got != c.want {
+			t.Errorf("idNum(%q) = %d, want %d", c.id, got, c.want)
+		}
+	}
+	if idNum("E2") > idNum("E10") {
+		t.Error("numeric ordering broken: E2 must sort before E10")
+	}
+}
+
 func TestByID(t *testing.T) {
 	if _, ok := ByID("E3"); !ok {
 		t.Error("E3 not found")
@@ -57,8 +75,9 @@ func TestTableRendering(t *testing.T) {
 // root-level benchmarks instead.
 func TestQuickExperimentsRun(t *testing.T) {
 	fast := map[string]bool{"E1": true, "E3": true, "E5": true, "E6": true,
-		"E9": true, "E10": true, "E11": true, "E12": true, "E13": true,
-		"E14": true, "E15": true, "E16": true, "E17": true, "E18": true}
+		"E7": true, "E8": true, "E9": true, "E10": true, "E11": true,
+		"E12": true, "E13": true, "E14": true, "E15": true, "E16": true,
+		"E17": true, "E18": true}
 	for _, e := range All() {
 		if !fast[e.ID] {
 			continue

@@ -1,0 +1,140 @@
+package runner
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/gather"
+	"repro/internal/graph"
+	"repro/internal/place"
+	"repro/internal/sim"
+)
+
+// gatherJobs builds a representative sweep: k-robot Faster-Gathering on
+// seed-permuted cycles of varying size, all randomness derived from the
+// per-job seed.
+func gatherJobs(count int) []Job {
+	jobs := make([]Job, count)
+	for i := 0; i < count; i++ {
+		n := 8 + 2*(i%3)
+		jobs[i] = Job{
+			Meta: n,
+			Build: func(seed uint64) (*sim.World, int, error) {
+				rng := graph.NewRNG(seed)
+				g := graph.Cycle(n)
+				g.PermutePorts(rng)
+				k := n/2 + 1
+				sc := &gather.Scenario{
+					G:         g,
+					IDs:       gather.AssignIDs(k, n, rng),
+					Positions: place.MaxMinDispersed(g, k, rng),
+				}
+				sc.Certify()
+				w, err := sc.NewFasterWorld()
+				return w, sc.Cfg.FasterBound(n) + 10, err
+			},
+		}
+	}
+	return jobs
+}
+
+// stripTiming removes the wall-clock fields, which legitimately vary
+// between runs; everything else must be bit-identical.
+func stripTiming(results []JobResult) []JobResult {
+	out := append([]JobResult(nil), results...)
+	for i := range out {
+		out[i].Elapsed = 0
+	}
+	return out
+}
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	const base = 42
+	ref, refStats := New(1).Run(base, gatherJobs(12))
+	if err := FirstErr(ref); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, _ := New(workers).Run(base, gatherJobs(12))
+		if !reflect.DeepEqual(stripTiming(ref), stripTiming(got)) {
+			t.Errorf("workers=%d: results differ from serial reference", workers)
+		}
+	}
+	if refStats.Rounds == 0 || refStats.Moves == 0 {
+		t.Errorf("stats empty: %+v", refStats)
+	}
+}
+
+func TestResultsInSubmissionOrder(t *testing.T) {
+	jobs := gatherJobs(20)
+	results, st := New(4).Run(7, jobs)
+	if len(results) != len(jobs) {
+		t.Fatalf("%d results for %d jobs", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("position %d holds job %d", i, r.Index)
+		}
+		if r.Seed != JobSeed(7, i) {
+			t.Errorf("job %d: seed %#x, want %#x", i, r.Seed, JobSeed(7, i))
+		}
+		if want := jobs[i].Meta.(int); r.Meta.(int) != want {
+			t.Errorf("job %d: meta %v, want %v", i, r.Meta, want)
+		}
+		if r.Err != nil || !r.Res.DetectionCorrect {
+			t.Errorf("job %d failed: err=%v res=%+v", i, r.Err, r.Res)
+		}
+	}
+	if st.Jobs != 20 || st.Failed != 0 || st.Skipped != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestJobSeedsDistinct(t *testing.T) {
+	seen := make(map[uint64]int)
+	for i := 0; i < 10000; i++ {
+		s := JobSeed(42, i)
+		if j, dup := seen[s]; dup {
+			t.Fatalf("jobs %d and %d share seed %#x", j, i, s)
+		}
+		seen[s] = i
+	}
+}
+
+func TestErrorsAndSkipsRecordedPerJob(t *testing.T) {
+	jobs := []Job{
+		{Build: func(uint64) (*sim.World, int, error) { return nil, 0, fmt.Errorf("boom 0") }},
+		{Build: func(uint64) (*sim.World, int, error) { return nil, 0, nil }}, // pure-compute skip
+		gatherJobs(1)[0],
+		{Build: func(uint64) (*sim.World, int, error) { return nil, 0, fmt.Errorf("boom 3") }},
+	}
+	results, st := New(4).Run(1, jobs)
+	if results[0].Err == nil || results[3].Err == nil {
+		t.Error("job errors not recorded")
+	}
+	if !results[1].Skipped || results[1].Err != nil {
+		t.Errorf("skip not recorded: %+v", results[1])
+	}
+	if results[2].Err != nil || results[2].Skipped {
+		t.Errorf("good job mis-recorded: %+v", results[2])
+	}
+	if err := FirstErr(results); err == nil || err.Error() != "boom 0" {
+		t.Errorf("FirstErr = %v, want boom 0", err)
+	}
+	if st.Failed != 2 || st.Skipped != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestWorkerDefaults(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Error("default pool empty")
+	}
+	if New(-3).Workers() < 1 {
+		t.Error("negative pool not defaulted")
+	}
+	if New(5).Workers() != 5 {
+		t.Error("explicit pool size not honored")
+	}
+}
