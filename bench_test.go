@@ -1,6 +1,6 @@
 package gathering
 
-// One benchmark per reproduction experiment (E1..E13, DESIGN.md §4), so
+// One benchmark per reproduction experiment (E1..E20, DESIGN.md §4), so
 // `go test -bench=.` regenerates every table, plus micro-benchmarks of the
 // substrates. Experiment benches run the quick sweep once per iteration
 // and report rounds-derived metrics; run `cmd/experiments` for the full
@@ -53,6 +53,8 @@ func BenchmarkE15CrashFaults(b *testing.B)         { benchExperiment(b, "E15") }
 func BenchmarkE16StartupDelays(b *testing.B)       { benchExperiment(b, "E16") }
 func BenchmarkE17MappingAblation(b *testing.B)     { benchExperiment(b, "E17") }
 func BenchmarkE18BeepingModel(b *testing.B)        { benchExperiment(b, "E18") }
+func BenchmarkE19SchedulerAblation(b *testing.B)   { benchExperiment(b, "E19") }
+func BenchmarkE20SemiSyncSlowdown(b *testing.B)    { benchExperiment(b, "E20") }
 
 // BenchmarkRunnerSerialVsParallel runs a representative E-series sweep
 // (the E1 shape: Undispersed-Gathering across families and sizes) as one
@@ -116,6 +118,56 @@ func BenchmarkSimStep(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Step()
+			}
+		})
+	}
+}
+
+// wanderer is a minimal non-allocating agent: it walks ports round-robin
+// forever. BenchmarkStepHotLoop uses it so the measurement isolates the
+// engine's per-round cost (snapshot, grouping, delivery, resolution) from
+// any algorithm-side allocation.
+type wanderer struct {
+	sim.Base
+	step int
+}
+
+func (a *wanderer) Decide(env *sim.Env) sim.Action {
+	a.step++
+	return sim.MoveAction(a.step % env.Degree)
+}
+
+// BenchmarkStepHotLoop measures the steady-state cost of one engine round
+// on a many-robot world and reports allocs/op: the engine's contract is
+// zero allocations per Step once the scratch state is warm.
+func BenchmarkStepHotLoop(b *testing.B) {
+	for _, k := range []int{64, 256} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rng := graph.NewRNG(12)
+			g := graph.Grid(16, 16)
+			g.PermutePorts(rng)
+			agents := make([]sim.Agent, k)
+			pos := make([]int, k)
+			for i := range agents {
+				agents[i] = &wanderer{Base: sim.NewBase(i + 1), step: i}
+				pos[i] = rng.Intn(g.N())
+			}
+			w, err := sim.NewWorld(g, agents, pos)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm the scratch state past its high-water marks: the
+			// wanderers' walk is deterministic and periodic, so after
+			// enough rounds no bucket or per-robot slice grows again and
+			// the measured steady state is allocation-free even at
+			// -benchtime 1x.
+			for i := 0; i < 2048; i++ {
+				w.Step()
+			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				w.Step()

@@ -12,6 +12,15 @@
 // bit-identical at every -parallel setting.
 //
 //	gathersim -family cycle -n 12 -k 7 -seeds 32 -parallel 8
+//
+// The -sched flag swaps the activation scheduler: the paper's fully
+// synchronous model (full, default), a seeded semi-synchronous scheduler
+// (semi:P activates each robot with probability P per round), or a fair
+// deterministic adversary (adv[:L]) that splits co-located groups and
+// holds back the lagging robot for up to L consecutive rounds.
+//
+//	gathersim -family cycle -n 12 -k 7 -sched semi:0.5
+//	gathersim -family grid -n 16 -k 4 -sched adv:3 -max-rounds 100000
 package main
 
 import (
@@ -35,28 +44,44 @@ func main() {
 		algo      = flag.String("algo", "faster", "algorithm: faster|uxs|undispersed|hopmeet|dessmark|beep (beep needs k<=2)")
 		radius    = flag.Int("radius", 2, "radius for -algo hopmeet")
 		placement = flag.String("placement", "maxmin", "placement: maxmin|random|dispersed|clustered")
+		sched     = flag.String("sched", "full", "activation scheduler: full | semi:P (activation probability) | adv[:L] (fair adversary, lag bound L)")
 		seed      = flag.Uint64("seed", 1, "random seed (drives graph, ports, IDs, placement)")
 		seeds     = flag.Int("seeds", 1, "run this many consecutive seeds as a parallel batch")
 		parallel  = flag.Int("parallel", 0, "batch worker-pool size (0 = GOMAXPROCS, 1 = serial)")
 		maxRounds = flag.Int("max-rounds", 0, "round cap (0 = algorithm-derived bound)")
 		trace     = flag.Int("trace", 0, "log positions every N rounds (0 = off)")
 		dotFile   = flag.String("dot", "", "write the scenario graph (with start positions) as Graphviz DOT to this file")
+		times     = flag.Bool("times", true, "print per-run and aggregate wall times (disable for diffable output)")
 	)
 	flag.Parse()
+
+	if _, err := sim.ParseScheduler(*sched, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "gathersim:", err)
+		os.Exit(1)
+	}
 
 	var err error
 	if *seeds > 1 {
 		if *trace > 0 || *dotFile != "" {
 			fmt.Fprintln(os.Stderr, "gathersim: -trace and -dot apply to single runs only; ignored in -seeds batch mode")
 		}
-		err = runBatch(*family, *algo, *placement, *n, *k, *radius, *seed, *seeds, *parallel, *maxRounds)
+		err = runBatch(*family, *algo, *placement, *sched, *n, *k, *radius, *seed, *seeds, *parallel, *maxRounds, *times)
 	} else {
-		err = run(*family, *algo, *placement, *dotFile, *n, *k, *radius, *seed, *maxRounds, *trace)
+		err = run(*family, *algo, *placement, *sched, *dotFile, *n, *k, *radius, *seed, *maxRounds, *trace)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gathersim:", err)
 		os.Exit(1)
 	}
+}
+
+// buildSched parses the -sched spec into a fresh per-run scheduler. The
+// SemiSync stream seed is decorrelated from the scenario seed (which
+// already drives the graph, ports, IDs and placement) by a fixed bit
+// flip, so activation patterns and topology draws never share a stream
+// state.
+func buildSched(spec string, seed uint64) (sim.Scheduler, error) {
+	return sim.ParseScheduler(spec, seed^0x5EEDC0DEC0FFEE42)
 }
 
 // buildScenario instantiates the requested scenario shape from one seed.
@@ -119,9 +144,12 @@ func buildWorld(sc *gather.Scenario, algo string, radius int) (*sim.World, int, 
 	}
 }
 
-func run(family, algo, placement, dotFile string, n, k, radius int, seed uint64, maxRounds, trace int) error {
+func run(family, algo, placement, sched, dotFile string, n, k, radius int, seed uint64, maxRounds, trace int) error {
 	sc, err := buildScenario(family, placement, n, k, seed)
 	if err != nil {
+		return err
+	}
+	if sc.Sched, err = buildSched(sched, seed); err != nil {
 		return err
 	}
 	n = sc.G.N()
@@ -129,8 +157,8 @@ func run(family, algo, placement, dotFile string, n, k, radius int, seed uint64,
 	fmt.Printf("graph: %s (family %s, diameter %d)\n", sc.G, family, sc.G.Diameter())
 	fmt.Printf("robots: k=%d IDs=%v positions=%v (min pairwise distance %d)\n",
 		k, sc.IDs, sc.Positions, sc.MinPairDistance())
-	fmt.Printf("schedule: R1=%d R=%d T=%d B=%d\n",
-		gather.R1(n), gather.R(n), sc.Cfg.UXSLength(n), gather.BitBudget(n))
+	fmt.Printf("schedule: R1=%d R=%d T=%d B=%d scheduler=%s\n",
+		gather.R1(n), gather.R(n), sc.Cfg.UXSLength(n), gather.BitBudget(n), sc.Sched)
 
 	if dotFile != "" {
 		byNode := map[int][]int{}
@@ -161,13 +189,23 @@ func run(family, algo, placement, dotFile string, n, k, radius int, seed uint64,
 	if trace > 0 {
 		w.SetTracer(&sim.PositionLogger{W: os.Stdout, Every: trace})
 	}
-	printResult(w.Run(cap))
+	// SafeRun: outside the fully-synchronous model (-sched semi/adv) the
+	// paper's algorithms may violate their own invariants, and that
+	// outcome should read as a failed run, not a process crash.
+	res, err := w.SafeRun(cap)
+	if err != nil {
+		return err
+	}
+	printResult(res)
 	return nil
 }
 
 // runBatch executes the scenario shape across consecutive seeds on the
-// parallel runner and prints a per-seed summary table.
-func runBatch(family, algo, placement string, n, k, radius int, base uint64, seeds, parallel, maxRounds int) error {
+// parallel runner and prints a per-seed summary table. Each job builds
+// its own scheduler instance (schedulers are per-run stateful), seeded
+// from the job's scenario seed so rows are bit-identical at every
+// -parallel setting.
+func runBatch(family, algo, placement, sched string, n, k, radius int, base uint64, seeds, parallel, maxRounds int, times bool) error {
 	jobs := make([]runner.Job, seeds)
 	for i := range jobs {
 		scSeed := base + uint64(i)
@@ -175,6 +213,9 @@ func runBatch(family, algo, placement string, n, k, radius int, base uint64, see
 			Build: func(uint64) (*sim.World, int, error) {
 				sc, err := buildScenario(family, placement, n, k, scSeed)
 				if err != nil {
+					return nil, 0, err
+				}
+				if sc.Sched, err = buildSched(sched, scSeed); err != nil {
 					return nil, 0, err
 				}
 				w, cap, err := buildWorld(sc, algo, radius)
@@ -185,26 +226,63 @@ func runBatch(family, algo, placement string, n, k, radius int, base uint64, see
 			}}
 	}
 	r := runner.New(parallel)
-	fmt.Printf("batch: %d seeds (%d..%d), algo %s, family %s, n=%d k=%d, %d workers\n\n",
-		seeds, base, base+uint64(seeds)-1, algo, family, n, k, r.Workers())
+	fmt.Printf("batch: %d seeds (%d..%d), algo %s, family %s, sched %s, n=%d k=%d",
+		seeds, base, base+uint64(seeds)-1, algo, family, sched, n, k)
+	if times {
+		// Worker count and wall times vary with -parallel; keep them out
+		// of -times=false output so it diffs clean at any pool size.
+		fmt.Printf(", %d workers", r.Workers())
+	}
+	fmt.Print("\n\n")
 	results, st := r.Run(base, jobs)
 
-	fmt.Printf("%8s %8s %6s %8s %10s %8s\n", "seed", "rounds", "gather", "detect", "moves", "time")
-	detected := 0
+	fmt.Printf("%8s %8s %6s %8s %10s", "seed", "rounds", "gather", "detect", "moves")
+	if times {
+		fmt.Printf(" %8s", "time")
+	}
+	fmt.Println()
+	detected, crashed := 0, 0
+	firstStack := ""
 	for _, res := range results {
 		if res.Err != nil {
-			return fmt.Errorf("seed %d: %w", res.Meta.(uint64), res.Err)
+			// Only a contained panic (algorithm run outside its model,
+			// recognizable by its captured stack) is a per-seed outcome:
+			// the other seeds' rows still print, and the one-line message
+			// is deterministic so batch output stays diffable across
+			// -parallel settings. A plain build error (bad placement,
+			// beep with k>2) is a configuration mistake and fails the
+			// batch like it fails a single run.
+			if res.Stack == "" {
+				return fmt.Errorf("seed %d: %w", res.Meta.(uint64), res.Err)
+			}
+			crashed++
+			if firstStack == "" {
+				firstStack = res.Stack
+			}
+			fmt.Printf("%8d %8s %6s %8s %10s  %v\n", res.Meta.(uint64), "-", "-", "crash", "-", res.Err)
+			continue
 		}
 		if res.Res.DetectionCorrect {
 			detected++
 		}
-		fmt.Printf("%8d %8d %6v %8v %10d %8s\n", res.Meta.(uint64), res.Res.Rounds,
-			res.Res.Gathered, res.Res.DetectionCorrect, res.Res.TotalMoves, res.Elapsed.Round(time.Microsecond))
+		fmt.Printf("%8d %8d %6v %8v %10d", res.Meta.(uint64), res.Res.Rounds,
+			res.Res.Gathered, res.Res.DetectionCorrect, res.Res.TotalMoves)
+		if times {
+			fmt.Printf(" %8s", res.Elapsed.Round(time.Microsecond))
+		}
+		fmt.Println()
 	}
-	fmt.Printf("\naggregate: %d/%d detection-correct, %d total rounds, %d total moves\n",
-		detected, st.Jobs, st.Rounds, st.Moves)
-	fmt.Printf("wall %s, summed job time %s on %d workers\n",
-		st.Wall.Round(time.Millisecond), st.Work.Round(time.Millisecond), r.Workers())
+	fmt.Printf("\naggregate: %d/%d detection-correct, %d crashed, %d total rounds, %d total moves\n",
+		detected, st.Jobs, crashed, st.Rounds, st.Moves)
+	if firstStack != "" {
+		// Stacks go to stderr (stdout stays deterministic and diffable);
+		// one is enough to locate a genuine engine regression.
+		fmt.Fprintf(os.Stderr, "gathersim: first crash stack:\n%s", firstStack)
+	}
+	if times {
+		fmt.Printf("wall %s, summed job time %s on %d workers\n",
+			st.Wall.Round(time.Millisecond), st.Work.Round(time.Millisecond), r.Workers())
+	}
 	return nil
 }
 

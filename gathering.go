@@ -55,6 +55,16 @@ type (
 	Mode = uxs.Mode
 	// Tracer observes the world after every round.
 	Tracer = sim.Tracer
+	// Scheduler decides which robots are activated each round; see
+	// FullSync (the paper's model and the default), SemiSync and
+	// Adversarial. One scheduler instance drives exactly one run.
+	Scheduler = sim.Scheduler
+	// FullSync is the fully-synchronous scheduler of the paper.
+	FullSync = sim.FullSync
+	// SemiSync is the seeded randomized semi-synchronous scheduler.
+	SemiSync = sim.SemiSync
+	// Adversarial is the deterministic gathering-delaying scheduler.
+	Adversarial = sim.Adversarial
 	// OccupancyTracer records distinct occupied nodes per round.
 	OccupancyTracer = sim.OccupancyTracer
 	// PositionLogger logs robot positions every N rounds.
@@ -171,6 +181,22 @@ var (
 	// JobSeed derives the deterministic seed of the i-th job of a batch,
 	// for reproducing a single sweep point in isolation.
 	JobSeed = runner.JobSeed
+)
+
+// Activation schedulers (Scenario.Sched / World.SetScheduler).
+var (
+	// NewFullSync returns the fully-synchronous scheduler: every robot
+	// acts every round, exactly the model the paper proves its bounds in.
+	NewFullSync = sim.NewFullSync
+	// NewSemiSync returns a semi-synchronous scheduler that activates
+	// each robot with probability p per round from a seeded stream.
+	NewSemiSync = sim.NewSemiSync
+	// NewAdversarial returns the fair adversarial scheduler (splits
+	// co-located groups, holds back the laggard, lag bound maxLag).
+	NewAdversarial = sim.NewAdversarial
+	// ParseScheduler builds a scheduler from a -sched style spec
+	// (full, semi:P, adv[:L]).
+	ParseScheduler = sim.ParseScheduler
 )
 
 // Simulator and substrate access.

@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(all))
+	if len(all) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(all))
 	}
 	for i, e := range all {
 		want := i + 1
@@ -70,6 +70,28 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+// The scheduler-ablation experiment must produce bit-identical output at
+// every worker count: its jobs build their schedulers from case seeds
+// fixed at submission, never from scheduling order. Run under -race this
+// also exercises the scheduler/engine paths on a concurrent worker pool.
+func TestE19ParallelDeterminism(t *testing.T) {
+	e, ok := ByID("E19")
+	if !ok {
+		t.Fatal("E19 not registered")
+	}
+	var serial, parallel bytes.Buffer
+	if err := e.Run(&serial, Options{Quick: true, Seed: 42, Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(&parallel, Options{Quick: true, Seed: 42, Parallelism: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("E19 output differs between 1 and 4 workers:\n--- serial ---\n%s--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
 // Each fast experiment must run cleanly in quick mode and emit at least
 // one PASS verdict. The heavyweight ones (E2, E4) are exercised by the
 // root-level benchmarks instead.
@@ -77,7 +99,7 @@ func TestQuickExperimentsRun(t *testing.T) {
 	fast := map[string]bool{"E1": true, "E3": true, "E5": true, "E6": true,
 		"E7": true, "E8": true, "E9": true, "E10": true, "E11": true,
 		"E12": true, "E13": true, "E14": true, "E15": true, "E16": true,
-		"E17": true, "E18": true}
+		"E17": true, "E18": true, "E19": true, "E20": true}
 	for _, e := range All() {
 		if !fast[e.ID] {
 			continue

@@ -1,0 +1,147 @@
+package gather
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/place"
+	"repro/internal/sim"
+)
+
+// The cross-engine golden suite: one hash per algorithm over every Result
+// field of a fixed grid of instances (3 graph families x 5 seeds). The
+// hashes below were captured from the pre-refactor monolithic engine
+// (commit b824906, single sort.Slice-based World.Step); the refactored
+// occupancy-index + scheduler-pipeline engine must reproduce them
+// bit-for-bit under the default FullSync scheduler.
+//
+// Regenerate with:
+//
+//	GOLDEN_PRINT=1 go test ./internal/gather -run TestEngineGolden -v
+var engineGolden = map[string]uint64{
+	"faster":      0x5460a2d079efdc8,
+	"uxs":         0xeb3055db752c7741,
+	"undispersed": 0x9fa1a3138721626a,
+	"hopmeet":     0xd8a18ddfe1f4e658,
+}
+
+// goldenInstances yields the fixed instance grid. Families and sizes are
+// chosen so every algorithm's full run fits comfortably in test time.
+func goldenInstances(algo string) []*Scenario {
+	fams := []graph.Family{graph.FamCycle, graph.FamGrid, graph.FamRandom}
+	var out []*Scenario
+	for fi, fam := range fams {
+		for seed := uint64(1); seed <= 5; seed++ {
+			n := 8
+			if algo == "faster" || algo == "uxs" {
+				n = 10
+			}
+			rng := graph.NewRNG(seed*1000 + uint64(fi))
+			g := graph.FromFamily(fam, n, rng)
+			k := 4
+			sc := &Scenario{
+				G:         g,
+				IDs:       AssignIDs(k, g.N(), rng),
+				Positions: place.Clustered(g, k, 2, rng),
+			}
+			sc.Certify()
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+// runGolden executes one algorithm on one instance with its derived cap.
+func runGolden(t *testing.T, sc *Scenario, algo string) sim.Result {
+	t.Helper()
+	n := sc.G.N()
+	var (
+		res sim.Result
+		err error
+	)
+	switch algo {
+	case "faster":
+		res, err = sc.RunFaster(sc.Cfg.FasterBound(n) + 10)
+	case "uxs":
+		res, err = sc.RunUXS(sc.Cfg.UXSGatherBound(n) + 2)
+	case "undispersed":
+		res, err = sc.RunUndispersed(R(n) + 2)
+	case "hopmeet":
+		res, err = sc.RunHopMeet(2, sc.Cfg.HopDuration(2, n)+2)
+	}
+	if err != nil {
+		t.Fatalf("%s: %v", algo, err)
+	}
+	return res
+}
+
+// hashResult folds every Result field into the running FNV-1a hash, so any
+// behavioural drift in the engine (round counts, movement, detection
+// verdicts, final placement) changes the golden value.
+func hashResult(h interface{ Write([]byte) (int, error) }, res sim.Result) {
+	fmt.Fprintf(h, "r=%d t=%v g=%v d=%v fg=%d fm=%d tm=%d mm=%d c=%d p=%v;",
+		res.Rounds, res.AllTerminated, res.Gathered, res.DetectionCorrect,
+		res.FirstGatherRound, res.FirstMeetRound, res.TotalMoves, res.MaxMoves,
+		res.Crashed, res.FinalPositions)
+}
+
+// A full algorithm run under a stateful scheduler must be a pure
+// function of its seeds: rebuilding the identical scenario + scheduler
+// replays the identical run.
+func TestSchedulerRunsDeterministic(t *testing.T) {
+	run := func(t *testing.T, spec string) sim.Result {
+		rng := graph.NewRNG(7)
+		g := graph.FromFamily(graph.FamCycle, 8, rng)
+		sc := &Scenario{G: g, IDs: AssignIDs(2, g.N(), rng), Positions: place.RandomDispersed(g, 2, rng)}
+		sc.Certify()
+		sched, err := sim.ParseScheduler(spec, 123)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Sched = sched
+		res, err := sc.RunDessmark(4 * (sc.Cfg.FasterBound(g.N()) + 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, spec := range []string{"semi:0.6", "adv:2"} {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			a, b := run(t, spec), run(t, spec)
+			if fmt.Sprint(a) != fmt.Sprint(b) {
+				t.Errorf("same seeds, different runs under %s:\n%+v\n%+v", spec, a, b)
+			}
+			if !a.DetectionCorrect {
+				t.Errorf("dessmark under %s not detection-correct: %+v", spec, a)
+			}
+		})
+	}
+}
+
+func TestEngineGoldenFullSync(t *testing.T) {
+	for _, algo := range []string{"faster", "uxs", "undispersed", "hopmeet"} {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			h := fnv.New64a()
+			for _, sc := range goldenInstances(algo) {
+				hashResult(h, runGolden(t, sc, algo))
+			}
+			got := h.Sum64()
+			if os.Getenv("GOLDEN_PRINT") != "" {
+				t.Logf("golden %q: %#x", algo, got)
+				return
+			}
+			want, ok := engineGolden[algo]
+			if !ok {
+				t.Fatalf("no golden hash recorded for %q", algo)
+			}
+			if got != want {
+				t.Errorf("engine drift: %s hash = %#x, want %#x (the refactored engine no longer matches the seed engine bit-for-bit)", algo, got, want)
+			}
+		})
+	}
+}

@@ -15,6 +15,13 @@ type Scenario struct {
 	IDs       []int
 	Positions []int
 	Cfg       Config
+	// Sched, when non-nil, is installed on every world the scenario
+	// builds (all Run*/New*World paths honor it); nil keeps the paper's
+	// fully-synchronous model. Schedulers carry per-run state, so a
+	// Scenario with a stateful Sched (SemiSync, Adversarial) builds one
+	// world per scheduler instance: parallel sweeps must construct the
+	// scenario — or at least its scheduler — fresh inside each job.
+	Sched sim.Scheduler
 }
 
 // Validate checks the instance is well-formed.
@@ -93,7 +100,14 @@ func (s *Scenario) newWorld(mk func(id int) sim.Agent) (*sim.World, error) {
 	for i, id := range s.IDs {
 		agents[i] = mk(id)
 	}
-	return sim.NewWorld(s.G, agents, s.Positions)
+	w, err := sim.NewWorld(s.G, agents, s.Positions)
+	if err != nil {
+		return nil, err
+	}
+	if s.Sched != nil {
+		w.SetScheduler(s.Sched)
+	}
+	return w, nil
 }
 
 // RunFaster executes the complete Faster-Gathering algorithm (Theorems 12

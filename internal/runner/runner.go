@@ -12,7 +12,9 @@
 package runner
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,7 +51,8 @@ type JobResult struct {
 	Meta    any
 	Res     sim.Result
 	Err     error
-	Skipped bool // Build returned no world: nothing was simulated
+	Stack   string // goroutine stack captured when the job panicked
+	Skipped bool   // Build returned no world: nothing was simulated
 	Elapsed time.Duration
 }
 
@@ -160,20 +163,36 @@ func FirstErr(results []JobResult) error {
 func runOne(base uint64, i int, j Job) JobResult {
 	out := JobResult{Index: i, Seed: JobSeed(base, i), Meta: j.Meta}
 	t0 := time.Now()
-	w, cap, err := j.Build(out.Seed)
-	switch {
-	case err != nil:
-		out.Err = err
-	case w == nil:
-		out.Skipped = true
-	case j.Stop == nil:
-		out.Res = w.Run(cap)
-	default:
-		for w.Round() < cap && !w.AllDone() && !j.Stop(w) {
-			w.Step()
+	func() {
+		// A panicking job must not take down the worker pool (or, in a
+		// worker goroutine, the whole process). Algorithms legitimately
+		// panic when run outside their model — e.g. map construction
+		// under a non-synchronous scheduler — so a panic is recorded as
+		// this job's error and the sweep continues. The stack travels
+		// separately on JobResult.Stack: the one-line error stays
+		// deterministic and diffable, while a genuine engine regression
+		// remains locatable.
+		defer func() {
+			if r := recover(); r != nil {
+				out.Err = fmt.Errorf("runner: job %d panicked: %v", i, r)
+				out.Stack = string(debug.Stack())
+			}
+		}()
+		w, cap, err := j.Build(out.Seed)
+		switch {
+		case err != nil:
+			out.Err = err
+		case w == nil:
+			out.Skipped = true
+		case j.Stop == nil:
+			out.Res = w.Run(cap)
+		default:
+			for w.Round() < cap && !w.AllDone() && !j.Stop(w) {
+				w.Step()
+			}
+			out.Res = w.Summary()
 		}
-		out.Res = w.Summary()
-	}
+	}()
 	out.Elapsed = time.Since(t0)
 	return out
 }

@@ -1,0 +1,112 @@
+package sim
+
+import "sort"
+
+// occupancy is the engine's incrementally-maintained robot-location index:
+// one bucket of agent indices per node, each bucket kept sorted by robot
+// ID, plus the ascending list of occupied nodes and O(1) gathering
+// counters. It replaces the per-round global sort of the monolithic
+// engine: a round that moves m robots costs O(m · groupsize) index work
+// instead of O(k log k) re-sorting, and the first-meet / all-colocated
+// checks become counter reads instead of scans.
+//
+// Crashed robots are removed from the index (they disappear from the
+// system); terminated robots remain (they stay visible and in place).
+type occupancy struct {
+	ids      []int   // agent index -> robot ID (set once at init)
+	buckets  [][]int // node -> agent indices present, ascending by robot ID
+	occupied []int   // nodes with non-empty buckets, ascending
+	multi    int     // occupied nodes holding >= 2 robots
+	count    int     // robots currently in the index
+}
+
+// init builds the index for a world with the given per-agent IDs and
+// starting positions.
+func (o *occupancy) init(nNodes int, ids, pos []int) {
+	o.ids = ids
+	o.buckets = make([][]int, nNodes)
+	o.occupied = o.occupied[:0]
+	o.multi = 0
+	o.count = 0
+	order := make([]int, len(pos))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ids[order[a]] < ids[order[b]] })
+	for _, i := range order {
+		o.add(i, pos[i])
+	}
+}
+
+// add inserts robot i at node, keeping the bucket ID-sorted.
+func (o *occupancy) add(i, node int) {
+	b := o.buckets[node]
+	switch len(b) {
+	case 0:
+		o.insertOccupied(node)
+	case 1:
+		o.multi++
+	}
+	// Insertion position by robot ID; buckets are tiny in practice, so a
+	// backward scan beats binary search bookkeeping.
+	b = append(b, i)
+	j := len(b) - 1
+	for j > 0 && o.ids[b[j-1]] > o.ids[i] {
+		b[j] = b[j-1]
+		j--
+	}
+	b[j] = i
+	o.buckets[node] = b
+	o.count++
+}
+
+// del removes robot i from node's bucket.
+func (o *occupancy) del(i, node int) {
+	b := o.buckets[node]
+	for j, x := range b {
+		if x == i {
+			copy(b[j:], b[j+1:])
+			o.buckets[node] = b[:len(b)-1]
+			switch len(b) - 1 {
+			case 0:
+				o.removeOccupied(node)
+			case 1:
+				o.multi--
+			}
+			o.count--
+			return
+		}
+	}
+}
+
+// move relocates robot i between nodes; a same-node move is a no-op.
+func (o *occupancy) move(i, from, to int) {
+	if from == to {
+		return
+	}
+	o.del(i, from)
+	o.add(i, to)
+}
+
+func (o *occupancy) insertOccupied(node int) {
+	j := sort.SearchInts(o.occupied, node)
+	o.occupied = append(o.occupied, 0)
+	copy(o.occupied[j+1:], o.occupied[j:])
+	o.occupied[j] = node
+}
+
+func (o *occupancy) removeOccupied(node int) {
+	j := sort.SearchInts(o.occupied, node)
+	copy(o.occupied[j:], o.occupied[j+1:])
+	o.occupied = o.occupied[:len(o.occupied)-1]
+}
+
+// anyMeeting reports whether some node holds two or more robots.
+func (o *occupancy) anyMeeting() bool { return o.multi > 0 }
+
+// allColocated reports whether every indexed robot shares one node
+// (vacuously true when the index is empty).
+func (o *occupancy) allColocated() bool { return len(o.occupied) <= 1 }
+
+// occupiedCount returns the number of distinct occupied nodes.
+func (o *occupancy) occupiedCount() int { return len(o.occupied) }

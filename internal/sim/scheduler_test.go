@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// schedFunc adapts a function to Scheduler for tests.
+type schedFunc func(w *World, active []bool)
+
+func (f schedFunc) Activate(w *World, active []bool) { f(w, active) }
+func (f schedFunc) String() string                   { return "test" }
+
+// counting records how many times Compose and Decide ran.
+type counting struct {
+	Base
+	composed, decided int
+	script            []Action
+}
+
+func (c *counting) Compose(env *Env) []Message {
+	c.composed++
+	return []Message{{To: Broadcast, Kind: MsgShareN, A: 1}}
+}
+
+func (c *counting) Decide(env *Env) Action {
+	c.decided++
+	if len(c.script) > 0 {
+		a := c.script[0]
+		c.script = c.script[1:]
+		return a
+	}
+	return StayAction()
+}
+
+func TestFrozenRobotSkipsAllPhases(t *testing.T) {
+	g := graph.Path(3)
+	a := &counting{Base: NewBase(1), script: []Action{MoveAction(0)}}
+	b := &counting{Base: NewBase(2), script: []Action{MoveAction(0)}}
+	w, err := NewWorld(g, []Agent{a, b}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetScheduler(schedFunc(func(_ *World, active []bool) {
+		active[0] = true // b (index 1) stays frozen
+	}))
+	w.Step()
+	if a.composed != 1 || a.decided != 1 {
+		t.Errorf("active robot ran compose=%d decide=%d, want 1/1", a.composed, a.decided)
+	}
+	if b.composed != 0 || b.decided != 0 {
+		t.Errorf("frozen robot ran compose=%d decide=%d, want 0/0", b.composed, b.decided)
+	}
+	pos := w.Positions()
+	if pos[0] != 0 {
+		t.Errorf("active robot at %d, want 0 (moved)", pos[0])
+	}
+	if pos[1] != 1 {
+		t.Errorf("frozen robot at %d, want 1 (held)", pos[1])
+	}
+}
+
+func TestFrozenRobotStillVisible(t *testing.T) {
+	g := graph.Path(2)
+	a := newScripted(1, StayAction())
+	b := newScripted(2, StayAction())
+	w, _ := NewWorld(g, []Agent{a, b}, []int{0, 0})
+	w.SetScheduler(schedFunc(func(_ *World, active []bool) {
+		active[0] = true // only a acts; b is frozen but present
+	}))
+	w.Step()
+	if len(a.envs) != 1 || len(a.envs[0].Others) != 1 || a.envs[0].Others[0].ID != 2 {
+		t.Fatalf("active robot does not see the frozen robot's card: %+v", a.envs)
+	}
+	if len(b.envs) != 0 {
+		t.Fatalf("frozen robot observed the round: %+v", b.envs)
+	}
+}
+
+func TestMessagesToFrozenRobotDropped(t *testing.T) {
+	g := graph.Path(2)
+	tk := &talker{Base: NewBase(1)}
+	frozen := &talker{Base: NewBase(2)}
+	w, _ := NewWorld(g, []Agent{tk, frozen}, []int{0, 0})
+	w.SetScheduler(schedFunc(func(_ *World, active []bool) {
+		active[0] = true
+	}))
+	w.Step()
+	w.SetScheduler(nil) // back to FullSync
+	w.Step()
+	// Round 0's broadcast must not linger into round 1's inbox.
+	if len(frozen.heard) != 1 {
+		t.Fatalf("frozen robot heard %d messages, want exactly the post-thaw one: %+v",
+			len(frozen.heard), frozen.heard)
+	}
+}
+
+func TestFollowingFrozenTargetStays(t *testing.T) {
+	g := graph.Path(3)
+	leader := newScripted(1, MoveAction(0), MoveAction(0))
+	follower := newScripted(2, FollowAction(1), FollowAction(1))
+	w, _ := NewWorld(g, []Agent{leader, follower}, []int{1, 1})
+	w.SetScheduler(schedFunc(func(_ *World, active []bool) {
+		active[1] = true // freeze the leader, activate the follower
+	}))
+	w.Step()
+	pos := w.Positions()
+	if pos[0] != 1 || pos[1] != 1 {
+		t.Fatalf("positions = %v, want [1 1]: a frozen leader moves nobody", pos)
+	}
+}
+
+func TestFullSyncMatchesDefault(t *testing.T) {
+	run := func(set bool) Result {
+		g := graph.Cycle(6)
+		a := newScripted(1, MoveAction(0), MoveAction(1), MoveAction(0))
+		b := newScripted(2, MoveAction(1), MoveAction(0), MoveAction(1))
+		w, _ := NewWorld(g, []Agent{a, b}, []int{0, 3})
+		if set {
+			w.SetScheduler(NewFullSync())
+		}
+		for i := 0; i < 3; i++ {
+			w.Step()
+		}
+		return w.Summary()
+	}
+	if got, want := run(true), run(false); !reflect.DeepEqual(got, want) {
+		t.Errorf("explicit FullSync diverges from default: %+v vs %+v", got, want)
+	}
+}
+
+// runSemi executes a fixed wander scenario under the given scheduler and
+// returns the summary.
+func runSched(t *testing.T, s Scheduler, rounds int) Result {
+	t.Helper()
+	g := graph.Grid(4, 4)
+	agents := []Agent{
+		newScripted(3, MoveAction(0), MoveAction(1), MoveAction(0), MoveAction(1), MoveAction(0)),
+		newScripted(7, MoveAction(1), MoveAction(0), MoveAction(1), MoveAction(0), MoveAction(1)),
+		newScripted(9, MoveAction(0), MoveAction(0), MoveAction(1), MoveAction(1), MoveAction(0)),
+	}
+	w, err := NewWorld(g, agents, []int{0, 5, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetScheduler(s)
+	for i := 0; i < rounds; i++ {
+		w.Step()
+	}
+	return w.Summary()
+}
+
+func TestSemiSyncDeterministic(t *testing.T) {
+	a := runSched(t, NewSemiSync(0.5, 99), 5)
+	b := runSched(t, NewSemiSync(0.5, 99), 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced different runs:\n%+v\n%+v", a, b)
+	}
+	c := runSched(t, NewSemiSync(0.5, 100), 5)
+	if reflect.DeepEqual(a, c) {
+		t.Errorf("different seeds produced identical runs (suspicious): %+v", a)
+	}
+}
+
+func TestAdversarialDeterministic(t *testing.T) {
+	a := runSched(t, NewAdversarial(3), 5)
+	b := runSched(t, NewAdversarial(3), 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("adversarial runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestAdversarialFairness(t *testing.T) {
+	// Two co-located robots forever: the adversary wants to freeze the
+	// second, but may never do so more than MaxLag rounds in a row.
+	g := graph.Path(2)
+	a := &counting{Base: NewBase(1)}
+	b := &counting{Base: NewBase(2)}
+	w, _ := NewWorld(g, []Agent{a, b}, []int{0, 0})
+	maxLag := 3
+	w.SetScheduler(NewAdversarial(maxLag))
+	rounds := 20
+	for i := 0; i < rounds; i++ {
+		w.Step()
+	}
+	// b must act at least every maxLag+1 rounds.
+	if min := rounds / (maxLag + 1); b.decided < min {
+		t.Errorf("victim robot acted %d times in %d rounds, want >= %d (lag bound %d)",
+			b.decided, rounds, min, maxLag)
+	}
+	if a.decided == rounds && b.decided == rounds {
+		t.Error("adversary froze nobody in a co-located group")
+	}
+}
+
+func TestParseScheduler(t *testing.T) {
+	for _, c := range []struct{ spec, want string }{
+		{"full", "full"},
+		{"", "full"},
+		{"semi", "semi:0.5"},
+		{"semi:0.75", "semi:0.75"},
+		{"adv", "adv:3"},
+		{"adv:5", "adv:5"},
+	} {
+		s, err := ParseScheduler(c.spec, 1)
+		if err != nil {
+			t.Errorf("ParseScheduler(%q): %v", c.spec, err)
+			continue
+		}
+		if s.String() != c.want {
+			t.Errorf("ParseScheduler(%q).String() = %q, want %q", c.spec, s.String(), c.want)
+		}
+	}
+	for _, bad := range []string{"semi:0", "semi:0.01", "semi:1.5", "semi:x", "adv:0", "adv:x", "async"} {
+		if _, err := ParseScheduler(bad, 1); err == nil {
+			t.Errorf("ParseScheduler(%q) accepted", bad)
+		}
+	}
+}
+
+func TestOccupancyIndexConsistency(t *testing.T) {
+	// After every round the index must agree with a from-scratch recount
+	// of live positions: same occupied-node count, same meeting flag.
+	g := graph.Grid(3, 3)
+	agents := make([]Agent, 5)
+	pos := []int{0, 0, 4, 8, 8}
+	rng := graph.NewRNG(5)
+	for i := range agents {
+		script := make([]Action, 12)
+		for r := range script {
+			script[r] = MoveAction(rng.Intn(2))
+		}
+		agents[i] = newScripted(i+1, script...)
+	}
+	w, err := NewWorld(g, agents, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.CrashAt(3, 4)
+	for r := 0; r < 12; r++ {
+		w.Step()
+		seen := map[int]bool{}
+		meeting := false
+		for i := 0; i < w.Robots(); i++ {
+			if w.crashed[i] {
+				continue
+			}
+			p := w.Position(i)
+			if seen[p] {
+				meeting = true
+			}
+			seen[p] = true
+		}
+		if got := w.OccupiedNodes(); got != len(seen) {
+			t.Fatalf("round %d: index reports %d occupied nodes, recount %d", r, got, len(seen))
+		}
+		if got := w.occ.anyMeeting(); got != meeting {
+			t.Fatalf("round %d: index meeting=%v, recount %v", r, got, meeting)
+		}
+		if got := w.AllColocated(); got != (len(seen) <= 1) {
+			t.Fatalf("round %d: AllColocated=%v, recount %v", r, got, len(seen) <= 1)
+		}
+	}
+}

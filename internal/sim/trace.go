@@ -37,19 +37,33 @@ func (l *PositionLogger) Observe(w *World) {
 	fmt.Fprintf(l.W, "round %6d: positions %v\n", w.Round(), w.Positions())
 }
 
-// OccupancyTracer records, per round, the number of distinct occupied
-// nodes. Experiments use it to visualize convergence toward gathering.
+// OccupancyTracer records, per round, the number of distinct nodes
+// occupied by any robot (crashed robots keep counting at their final
+// node). Experiments use it to visualize convergence toward gathering.
 type OccupancyTracer struct {
 	Counts []int
+
+	// mark is an epoch-stamped scratch keyed by node, reused across
+	// rounds so observation allocates nothing beyond the Counts append.
+	mark  []int
+	epoch int
 }
 
 // Observe implements Tracer.
 func (o *OccupancyTracer) Observe(w *World) {
-	seen := make(map[int]bool)
-	for _, p := range w.Positions() {
-		seen[p] = true
+	if n := w.Graph().N(); len(o.mark) < n {
+		o.mark = make([]int, n)
+		o.epoch = 0
 	}
-	o.Counts = append(o.Counts, len(seen))
+	o.epoch++
+	distinct := 0
+	for i := 0; i < w.Robots(); i++ {
+		if p := w.Position(i); o.mark[p] != o.epoch {
+			o.mark[p] = o.epoch
+			distinct++
+		}
+	}
+	o.Counts = append(o.Counts, distinct)
 }
 
 // MultiTracer fans out to several tracers in order.

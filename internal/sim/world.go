@@ -2,17 +2,28 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/graph"
 )
 
-// World is the synchronous execution engine: a graph, a set of robots with
+// World is the round-based execution engine: a graph, a set of robots with
 // positions, and the round loop. It owns all mutable run state so a single
 // World can be stepped, inspected and traced deterministically.
+//
+// The engine is layered:
+//
+//   - an occupancy index (occupancy.go) keeps per-node, ID-sorted robot
+//     buckets incrementally up to date as robots move and crash, so
+//     grouping costs O(moved) per round instead of a global re-sort;
+//   - a Scheduler (scheduler.go) decides which robots are activated each
+//     round — FullSync, the default, reproduces the paper's fully
+//     synchronous model bit-for-bit;
+//   - Step is a fixed phase pipeline over reusable scratch state:
+//     snapshot -> communicate -> decide -> resolve -> apply.
 type World struct {
 	g       *graph.Graph
 	agents  []Agent
+	ids     []int // robot ID of each agent index
 	pos     []int // node of each robot (by agent index)
 	arrival []int // port through which each robot last entered its node
 	done    []bool
@@ -22,6 +33,8 @@ type World struct {
 
 	idIndex map[int]int // robot ID -> agent index
 	tracer  Tracer
+	sched   Scheduler
+	occ     occupancy // live robots bucketed by node, ID-sorted
 
 	crashAt []int // round at which each robot fail-stops (-1 = never)
 	crashed []bool
@@ -33,17 +46,7 @@ type World struct {
 	// millions of rounds in the deeper experiment regimes, so the hot
 	// loop must not allocate. Env.Others and Env.Inbox slices handed to
 	// agents alias this scratch and are only valid during the callback.
-	scratch struct {
-		cards    []Card
-		order    []int // live robots sorted by (node, ID): groups are runs
-		groupOf  []int // group index per robot, -1 for crashed
-		groups   [][2]int
-		others   [][]Card
-		inbox    [][]Message
-		acts     []Action
-		resolved []mv
-		state    []int
-	}
+	scratch scratch
 }
 
 type mv struct {
@@ -54,7 +57,8 @@ type mv struct {
 
 // NewWorld creates an engine for the given graph, agents and starting
 // positions (positions[i] is the node of agents[i]). Agent IDs must be
-// unique and positive.
+// unique and positive. The world starts under the FullSync scheduler; see
+// SetScheduler.
 func NewWorld(g *graph.Graph, agents []Agent, positions []int) (*World, error) {
 	if len(agents) != len(positions) {
 		return nil, fmt.Errorf("sim: %d agents but %d positions", len(agents), len(positions))
@@ -65,12 +69,14 @@ func NewWorld(g *graph.Graph, agents []Agent, positions []int) (*World, error) {
 	w := &World{
 		g:           g,
 		agents:      agents,
+		ids:         make([]int, len(agents)),
 		pos:         append([]int(nil), positions...),
 		arrival:     make([]int, len(agents)),
 		done:        make([]bool, len(agents)),
 		verdict:     make([]bool, len(agents)),
 		moves:       make([]int64, len(agents)),
 		idIndex:     make(map[int]int, len(agents)),
+		sched:       NewFullSync(),
 		crashAt:     make([]int, len(agents)),
 		crashed:     make([]bool, len(agents)),
 		firstGather: -1,
@@ -87,17 +93,32 @@ func NewWorld(g *graph.Graph, agents []Agent, positions []int) (*World, error) {
 			return nil, fmt.Errorf("sim: duplicate robot ID %d", a.ID())
 		}
 		w.idIndex[a.ID()] = i
+		w.ids[i] = a.ID()
 		if positions[i] < 0 || positions[i] >= g.N() {
 			return nil, fmt.Errorf("sim: agent %d starts at invalid node %d", i, positions[i])
 		}
 		w.arrival[i] = -1
 	}
+	w.occ.init(g.N(), w.ids, w.pos)
 	w.noteGather()
 	return w, nil
 }
 
 // SetTracer installs an observer invoked after every round.
 func (w *World) SetTracer(t Tracer) { w.tracer = t }
+
+// SetScheduler installs the activation scheduler for subsequent rounds;
+// nil restores the default FullSync. The scheduler instance becomes owned
+// by this world (schedulers may carry per-run state).
+func (w *World) SetScheduler(s Scheduler) {
+	if s == nil {
+		s = NewFullSync()
+	}
+	w.sched = s
+}
+
+// Scheduler returns the active scheduler.
+func (w *World) Scheduler() Scheduler { return w.sched }
 
 // CrashAt schedules a fail-stop fault: at the start of the given round the
 // robot with the given ID stops operating and disappears from the system
@@ -141,11 +162,21 @@ func (w *World) DoneCount() int {
 // Round returns the number of completed rounds.
 func (w *World) Round() int { return w.round }
 
+// Robots returns the number of robots in the world (crashed included).
+func (w *World) Robots() int { return len(w.agents) }
+
+// Position returns the current node of the i-th robot (by agent index).
+func (w *World) Position(i int) int { return w.pos[i] }
+
 // Positions returns a copy of the robots' current nodes.
 func (w *World) Positions() []int { return append([]int(nil), w.pos...) }
 
 // Moves returns a copy of the per-robot edge-traversal counts.
 func (w *World) Moves() []int64 { return append([]int64(nil), w.moves...) }
+
+// OccupiedNodes returns the number of distinct nodes holding at least one
+// live (non-crashed) robot, read from the incremental occupancy index.
+func (w *World) OccupiedNodes() int { return w.occ.occupiedCount() }
 
 // Graph returns the underlying graph.
 func (w *World) Graph() *graph.Graph { return w.g }
@@ -161,197 +192,200 @@ func (w *World) AllDone() bool {
 }
 
 // AllColocated reports whether all live robots currently share one node.
-func (w *World) AllColocated() bool {
-	first := -1
-	for i, p := range w.pos {
-		if w.crashed[i] {
-			continue
-		}
-		if first < 0 {
-			first = p
-		} else if p != first {
-			return false
-		}
-	}
-	return true
-}
+// The occupancy index makes this O(1).
+func (w *World) AllColocated() bool { return w.occ.allColocated() }
 
 func (w *World) noteGather() {
-	if w.firstGather < 0 && w.AllColocated() {
+	if w.firstGather < 0 && w.occ.allColocated() {
 		w.firstGather = w.round
 	}
-	if w.firstMeet < 0 {
-		seen := make(map[int]bool, len(w.pos))
-		for i, p := range w.pos {
-			if w.crashed[i] {
-				continue
-			}
-			if seen[p] {
-				w.firstMeet = w.round
-				break
-			}
-			seen[p] = true
-		}
+	if w.firstMeet < 0 && w.occ.anyMeeting() {
+		w.firstMeet = w.round
 	}
 }
 
-// Step executes one synchronous round: snapshot cards, group robots by
-// node, run the communication phase (Compose + delivery), run the decision
-// phase, then resolve Follow chains and apply all movements simultaneously.
+// Step executes one round of the phase pipeline: apply scheduled crashes,
+// ask the scheduler which robots act, snapshot cards, run the
+// communication phase (Compose + delivery), run the decision phase, then
+// resolve Follow chains and apply all movements simultaneously.
 func (w *World) Step() {
-	n := len(w.agents)
-
-	// Apply scheduled fail-stop faults.
-	for i := range w.agents {
-		if w.crashAt[i] == w.round {
-			w.crashed[i] = true
-		}
+	s := w.ensureScratch()
+	w.applyCrashes()
+	w.schedule(s)
+	w.snapshotCards(s)
+	w.observe(s)
+	w.communicate(s)
+	w.decide(s)
+	w.resolveActions(s)
+	w.applyMoves(s)
+	w.round++
+	w.noteGather()
+	if w.tracer != nil {
+		w.tracer.Observe(w)
 	}
+}
 
-	// Prepare (or reuse) the per-round scratch.
+// scratch is the reusable per-round working state of the phase pipeline.
+type scratch struct {
+	active   []bool
+	cards    []Card
+	envs     []Env
+	others   [][]Card
+	inbox    [][]Message
+	acts     []Action
+	resolved []mv
+	state    []int
+}
+
+// ensureScratch allocates the per-round scratch once, on first use.
+func (w *World) ensureScratch() *scratch {
 	s := &w.scratch
 	if s.cards == nil {
+		n := len(w.agents)
+		s.active = make([]bool, n)
 		s.cards = make([]Card, n)
-		s.order = make([]int, 0, n)
-		s.groupOf = make([]int, n)
-		s.groups = make([][2]int, 0, n)
+		s.envs = make([]Env, n)
 		s.others = make([][]Card, n)
 		s.inbox = make([][]Message, n)
 		s.acts = make([]Action, n)
 		s.resolved = make([]mv, n)
 		s.state = make([]int, n)
 	}
-	cards := s.cards
+	return s
+}
 
-	// Snapshot public cards so every observation this round is simultaneous.
-	for i, a := range w.agents {
-		cards[i] = a.Card()
-		cards[i].Done = w.done[i]
-		cards[i].Gathered = w.verdict[i]
-	}
-
-	// Group live robots by node: sort live indices by (node, ID) so each
-	// group is a contiguous run, already in ID order. Crashed robots are
-	// invisible.
-	order := s.order[:0]
+// applyCrashes executes scheduled fail-stop faults at the round boundary:
+// crashed robots leave the occupancy index and disappear from the system.
+func (w *World) applyCrashes() {
 	for i := range w.agents {
-		s.groupOf[i] = -1
-		if !w.crashed[i] {
-			order = append(order, i)
+		if w.crashAt[i] == w.round && !w.crashed[i] {
+			w.crashed[i] = true
+			w.occ.del(i, w.pos[i])
 		}
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ia, ib := order[a], order[b]
-		if w.pos[ia] != w.pos[ib] {
-			return w.pos[ia] < w.pos[ib]
-		}
-		return w.agents[ia].ID() < w.agents[ib].ID()
-	})
-	s.order = order
-	groups := s.groups[:0]
-	for a := 0; a < len(order); {
-		b := a + 1
-		for b < len(order) && w.pos[order[b]] == w.pos[order[a]] {
-			b++
-		}
-		for _, i := range order[a:b] {
-			s.groupOf[i] = len(groups)
-		}
-		groups = append(groups, [2]int{a, b})
-		a = b
+}
+
+// schedule asks the scheduler which robots are activated this round.
+// Frozen (non-activated) robots skip every later phase but stay visible.
+func (w *World) schedule(s *scratch) {
+	for i := range s.active {
+		s.active[i] = false
 	}
-	s.groups = groups
-	others := s.others
-	for gi := range groups {
-		members := order[groups[gi][0]:groups[gi][1]]
+	w.sched.Activate(w, s.active)
+}
+
+// acting reports whether robot i takes part in this round.
+func (w *World) acting(s *scratch, i int) bool {
+	return s.active[i] && !w.done[i] && !w.crashed[i]
+}
+
+// snapshotCards snapshots every robot's public card so all observations
+// this round are simultaneous.
+func (w *World) snapshotCards(s *scratch) {
+	for i, a := range w.agents {
+		s.cards[i] = a.Card()
+		s.cards[i].Done = w.done[i]
+		s.cards[i].Gathered = w.verdict[i]
+	}
+}
+
+// observe assembles each acting robot's view: the ID-sorted cards of its
+// co-located robots, read straight from the occupancy index buckets, and
+// the per-robot Env scratch handed to Compose and Decide.
+func (w *World) observe(s *scratch) {
+	for _, node := range w.occ.occupied {
+		members := w.occ.buckets[node]
 		for _, i := range members {
-			list := others[i][:0]
+			if !w.acting(s, i) {
+				continue
+			}
+			list := s.others[i][:0]
 			for _, j := range members {
 				if j != i {
-					list = append(list, cards[j])
+					list = append(list, s.cards[j])
 				}
 			}
-			others[i] = list
+			s.others[i] = list
+			s.envs[i] = Env{
+				Round:       w.round,
+				Degree:      w.g.Degree(node),
+				ArrivalPort: w.arrival[i],
+				Others:      list,
+			}
 		}
 	}
-	for i := range w.agents {
-		if w.crashed[i] {
-			others[i] = others[i][:0]
-		}
-	}
+}
 
-	env := func(i int) *Env {
-		return &Env{
-			Round:       w.round,
-			Degree:      w.g.Degree(w.pos[i]),
-			ArrivalPort: w.arrival[i],
-			Others:      others[i],
-		}
-	}
-
-	// Communication phase: collect and deliver messages among co-located
-	// robots. Delivery order is deterministic: by sender agent index, then
-	// compose order.
-	inbox := s.inbox
-	for i := range inbox {
-		inbox[i] = inbox[i][:0]
+// communicate collects and delivers messages among co-located robots.
+// Delivery order is deterministic: by sender agent index, then compose
+// order. Only acting robots speak or listen; messages addressed to done,
+// crashed or frozen robots are dropped, like any non-co-located
+// destination in the F2F model.
+func (w *World) communicate(s *scratch) {
+	for i := range s.inbox {
+		s.inbox[i] = s.inbox[i][:0]
 	}
 	for i, a := range w.agents {
-		if w.done[i] || w.crashed[i] {
+		if !w.acting(s, i) {
 			continue
 		}
-		for _, m := range a.Compose(env(i)) {
-			m.From = a.ID()
+		for _, m := range a.Compose(&s.envs[i]) {
+			m.From = w.ids[i]
 			if m.To == Broadcast {
-				g := groups[s.groupOf[i]]
-				for _, j := range order[g[0]:g[1]] {
-					if j != i {
-						inbox[j] = append(inbox[j], m)
+				for _, j := range w.occ.buckets[w.pos[i]] {
+					if j != i && w.acting(s, j) {
+						s.inbox[j] = append(s.inbox[j], m)
 					}
 				}
 				continue
 			}
 			j, ok := w.idIndex[m.To]
-			if !ok || j == i || w.crashed[j] || w.pos[j] != w.pos[i] {
-				continue // non-co-located destination: F2F model drops it
+			if !ok || j == i || !w.acting(s, j) || w.pos[j] != w.pos[i] {
+				continue
 			}
-			inbox[j] = append(inbox[j], m)
+			s.inbox[j] = append(s.inbox[j], m)
 		}
 	}
+}
 
-	// Decision phase.
-	acts := s.acts
+// decide runs each acting robot's decision phase; everyone else stays.
+func (w *World) decide(s *scratch) {
 	for i, a := range w.agents {
-		if w.done[i] || w.crashed[i] {
-			acts[i] = StayAction()
+		if !w.acting(s, i) {
+			s.acts[i] = StayAction()
 			continue
 		}
-		e := env(i)
-		e.Inbox = inbox[i]
-		acts[i] = a.Decide(e)
+		s.envs[i].Inbox = s.inbox[i]
+		s.acts[i] = a.Decide(&s.envs[i])
 	}
+}
 
-	// Resolve actions to concrete destination nodes.
+// resolveActions turns the round's actions into concrete destinations,
+// including Follow-chain resolution: a follower copies the edge its
+// (co-located) target traverses. Chains resolve in at most n passes;
+// robots in follow cycles or with invalid targets stay put.
+func (w *World) resolveActions(s *scratch) {
+	n := len(w.agents)
 	resolved := s.resolved
 	state := s.state // 0 unresolved (follow), 1 resolved
 	for i := range state {
 		state[i] = 0
 	}
 	for i := range w.agents {
-		switch acts[i].Kind {
+		switch s.acts[i].Kind {
 		case Stay:
 			resolved[i] = mv{node: w.pos[i], arrival: w.arrival[i]}
 			state[i] = 1
 		case Terminate:
 			w.done[i] = true
-			w.verdict[i] = acts[i].Gathered
+			w.verdict[i] = s.acts[i].Gathered
 			resolved[i] = mv{node: w.pos[i], arrival: w.arrival[i]}
 			state[i] = 1
 		case Move:
-			p := acts[i].Port
+			p := s.acts[i].Port
 			if p < 0 || p >= w.g.Degree(w.pos[i]) {
 				panic(fmt.Sprintf("sim: robot %d used invalid port %d at degree-%d node (round %d)",
-					w.agents[i].ID(), p, w.g.Degree(w.pos[i]), w.round))
+					w.ids[i], p, w.g.Degree(w.pos[i]), w.round))
 			}
 			to, rev := w.g.Neighbor(w.pos[i], p)
 			resolved[i] = mv{node: to, arrival: rev, moved: true}
@@ -360,16 +394,13 @@ func (w *World) Step() {
 			state[i] = 0
 		}
 	}
-	// Resolve follow chains: a follower copies the edge its (co-located)
-	// target traverses. Chains resolve in at most n passes; robots in
-	// follow cycles or with invalid targets stay put.
 	for pass := 0; pass < n; pass++ {
 		progress := false
 		for i := range w.agents {
 			if state[i] != 0 {
 				continue
 			}
-			j, ok := w.idIndex[acts[i].Target]
+			j, ok := w.idIndex[s.acts[i].Target]
 			if !ok || w.pos[j] != w.pos[i] || j == i {
 				resolved[i] = mv{node: w.pos[i], arrival: w.arrival[i]}
 				state[i] = 1
@@ -396,19 +427,22 @@ func (w *World) Step() {
 			resolved[i] = mv{node: w.pos[i], arrival: w.arrival[i]}
 		}
 	}
+}
 
-	// Apply all movements simultaneously.
+// applyMoves applies all movements simultaneously and keeps the occupancy
+// index incrementally in sync: only robots that actually changed node
+// touch it.
+func (w *World) applyMoves(s *scratch) {
 	for i := range w.agents {
-		if resolved[i].moved {
+		r := s.resolved[i]
+		if r.moved {
 			w.moves[i]++
+			if !w.crashed[i] {
+				w.occ.move(i, w.pos[i], r.node)
+			}
 		}
-		w.pos[i] = resolved[i].node
-		w.arrival[i] = resolved[i].arrival
-	}
-	w.round++
-	w.noteGather()
-	if w.tracer != nil {
-		w.tracer.Observe(w)
+		w.pos[i] = r.node
+		w.arrival[i] = r.arrival
 	}
 }
 
@@ -433,6 +467,21 @@ func (w *World) Run(maxRounds int) Result {
 		w.Step()
 	}
 	return w.Summary()
+}
+
+// SafeRun is Run with panic containment: an algorithm that violates its
+// own invariants mid-run — legitimate outside the fully-synchronous
+// model, e.g. map construction once its token partner freezes
+// mid-handshake — surfaces as an error instead of unwinding the caller.
+// Engine misuse (invalid ports) is contained the same way; the returned
+// error carries the panic message.
+func (w *World) SafeRun(maxRounds int) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: run under scheduler %s panicked: %v", w.sched, r)
+		}
+	}()
+	return w.Run(maxRounds), nil
 }
 
 // Summary returns the current run summary without stepping.
