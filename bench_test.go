@@ -148,7 +148,7 @@ func BenchmarkStepHotLoop(b *testing.B) {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
 			rng := graph.NewRNG(12)
 			g := graph.Grid(16, 16)
-			g.PermutePorts(rng)
+			g = g.WithPermutedPorts(rng)
 			agents := make([]sim.Agent, k)
 			pos := make([]int, k)
 			for i := range agents {
@@ -252,7 +252,7 @@ func BenchmarkFasterGatheringManyRobots(b *testing.B) {
 	rng := graph.NewRNG(6)
 	n := 10
 	g := graph.Cycle(n)
-	g.PermutePorts(rng)
+	g = g.WithPermutedPorts(rng)
 	rounds := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -308,7 +308,7 @@ func BenchmarkMapConstructionNaiveVsTour(b *testing.B) {
 	// The E17 ablation as a micro-benchmark: same graph, both builders.
 	rng := graph.NewRNG(10)
 	g := graph.Cycle(16)
-	g.PermutePorts(rng)
+	g = g.WithPermutedPorts(rng)
 	run := func(b *testing.B, naive bool) {
 		for i := 0; i < b.N; i++ {
 			var (
@@ -352,4 +352,100 @@ func BenchmarkBeepGathering(b *testing.B) {
 			b.Fatalf("beep run failed: %v %+v", err, res)
 		}
 	}
+}
+
+// BenchmarkNeighborWalk measures the raw cost of the graph hot path —
+// Neighbor/Degree lookups along an endless rotor walk — on frozen CSR
+// graphs of increasing size. This is the operation every robot performs
+// every round; the CSR layout (one flat half-edge array + offsets) buys
+// its locality win here versus the old slice-of-slices adjacency.
+func BenchmarkNeighborWalk(b *testing.B) {
+	for _, c := range []struct{ name, spec string }{
+		{"torus32x32", "torus:32x32"},
+		{"torus128x128", "torus:128x128"},
+		{"rreg4096", "rreg:4096,4"},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			g, err := graph.BuildWorkload(c.spec, graph.NewRNG(3))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			cur, port := 0, 0
+			for i := 0; i < b.N; i++ {
+				v, rev := g.Neighbor(cur, port)
+				cur = v
+				port = rev + 1
+				if port >= g.Degree(cur) {
+					port = 0
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepSharedGraph pins the payoff of shared-graph sweeps: the
+// same 64-job batch (k-robot Undispersed-Gathering, 8 rounds each) run
+// with per-job graph construction ("rebuild", the pre-freeze pattern)
+// versus every job referencing one frozen graph and certified config
+// ("shared", zero per-job graph work). allocs/op is per batch.
+func BenchmarkSweepSharedGraph(b *testing.B) {
+	const (
+		jobs     = 64
+		k        = 32
+		rounds   = 8
+		wlSpec   = "torus:16x16"
+		baseSeed = uint64(21)
+	)
+	buildJobs := func(shared *gather.Scenario) []runner.Job {
+		out := make([]runner.Job, jobs)
+		for i := range out {
+			out[i] = runner.Job{Build: func(seed uint64) (*sim.World, int, error) {
+				rng := graph.NewRNG(seed)
+				sc := shared
+				if sc == nil { // rebuild arm: graph + certification per job
+					g, err := graph.BuildWorkload(wlSpec, graph.NewRNG(baseSeed))
+					if err != nil {
+						return nil, 0, err
+					}
+					s := &gather.Scenario{G: g}
+					s.Certify()
+					sc = s
+				}
+				job := *sc
+				job.IDs = gather.AssignIDs(k, job.G.N(), rng)
+				job.Positions = place.Clustered(job.G, k, k/2, rng)
+				w, err := job.NewUndispersedWorld()
+				return w, rounds, err
+			}}
+		}
+		return out
+	}
+	r := runner.New(0)
+	b.Run("rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			results, _ := r.Run(baseSeed, buildJobs(nil))
+			if err := runner.FirstErr(results); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		g, err := graph.BuildWorkload(wlSpec, graph.NewRNG(baseSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		shared := &gather.Scenario{G: g}
+		shared.Certify()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			results, _ := r.Run(baseSeed, buildJobs(shared))
+			if err := runner.FirstErr(results); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

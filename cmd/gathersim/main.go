@@ -1,17 +1,21 @@
 // Command gathersim runs a single gathering scenario and prints the
-// outcome. It is the quickest way to watch the paper's algorithms work:
+// outcome. It is the quickest way to watch the paper's algorithms work.
+// Topologies come from the workload catalog: any "name:params" spec from
+// `gathersim -list` works, including the legacy family names:
 //
-//	gathersim -family cycle -n 12 -k 7 -algo faster -seed 1
-//	gathersim -family grid -n 16 -k 2 -algo uxs -trace 500
-//	gathersim -family random -n 10 -k 5 -algo undispersed -placement clustered
+//	gathersim -workload cycle:12 -k 7 -algo faster -seed 1
+//	gathersim -workload torus:8x8 -k 2 -algo uxs -trace 500
+//	gathersim -workload maze:6x6,4 -k 5 -algo undispersed -placement clustered
+//	gathersim -family cycle -n 12 -k 7           # same as -workload cycle:12
 //
-// With -seeds N it becomes a batch harness: the same scenario shape is
-// instantiated for N consecutive seeds and executed on the internal/runner
-// worker pool (-parallel sets the pool size; 0 = all cores), printing one
-// summary row per seed plus aggregate stats. The per-seed rows are
-// bit-identical at every -parallel setting.
+// With -seeds N it becomes a batch harness: ONE frozen graph is built from
+// -seed and shared, read-only, by all N jobs on the internal/runner worker
+// pool (-parallel sets the pool size; 0 = all cores); each seed draws its
+// own IDs, placement and scheduler. One summary row prints per seed plus
+// aggregate stats; rows are bit-identical at every -parallel setting, and
+// no job constructs a graph.
 //
-//	gathersim -family cycle -n 12 -k 7 -seeds 32 -parallel 8
+//	gathersim -workload cycle:12 -k 7 -seeds 32 -parallel 8
 //
 // The -sched flag swaps the activation scheduler: the paper's fully
 // synchronous model (full, default), a seeded semi-synchronous scheduler
@@ -19,8 +23,11 @@
 // deterministic adversary (adv[:L]) that splits co-located groups and
 // holds back the lagging robot for up to L consecutive rounds.
 //
-//	gathersim -family cycle -n 12 -k 7 -sched semi:0.5
-//	gathersim -family grid -n 16 -k 4 -sched adv:3 -max-rounds 100000
+//	gathersim -workload cycle:12 -k 7 -sched semi:0.5
+//	gathersim -workload grid:4x4 -k 4 -sched adv:3 -max-rounds 100000
+//
+// `gathersim -list` prints the full catalog: workloads with their
+// parameter syntax, algorithms, schedulers and placements.
 package main
 
 import (
@@ -38,7 +45,8 @@ import (
 
 func main() {
 	var (
-		family    = flag.String("family", "cycle", "graph family: path|cycle|grid|tree|random|complete|lollipop|star|hypercube")
+		workload  = flag.String("workload", "", "workload spec from the catalog, e.g. cycle:12, torus:8x8, rreg:64,3 (overrides -family/-n; see -list)")
+		family    = flag.String("family", "cycle", "legacy graph family (path|cycle|grid|tree|random|complete|lollipop|star|hypercube); with -n, shorthand for -workload family:n")
 		n         = flag.Int("n", 12, "number of nodes (approximate for some families)")
 		k         = flag.Int("k", 4, "number of robots")
 		algo      = flag.String("algo", "faster", "algorithm: faster|uxs|undispersed|hopmeet|dessmark|beep (beep needs k<=2)")
@@ -46,32 +54,85 @@ func main() {
 		placement = flag.String("placement", "maxmin", "placement: maxmin|random|dispersed|clustered")
 		sched     = flag.String("sched", "full", "activation scheduler: full | semi:P (activation probability) | adv[:L] (fair adversary, lag bound L)")
 		seed      = flag.Uint64("seed", 1, "random seed (drives graph, ports, IDs, placement)")
-		seeds     = flag.Int("seeds", 1, "run this many consecutive seeds as a parallel batch")
+		seeds     = flag.Int("seeds", 1, "run this many consecutive seeds as a parallel batch on one shared graph")
 		parallel  = flag.Int("parallel", 0, "batch worker-pool size (0 = GOMAXPROCS, 1 = serial)")
 		maxRounds = flag.Int("max-rounds", 0, "round cap (0 = algorithm-derived bound)")
 		trace     = flag.Int("trace", 0, "log positions every N rounds (0 = off)")
 		dotFile   = flag.String("dot", "", "write the scenario graph (with start positions) as Graphviz DOT to this file")
 		times     = flag.Bool("times", true, "print per-run and aggregate wall times (disable for diffable output)")
+		list      = flag.Bool("list", false, "print the workload/algorithm/scheduler/placement catalog and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		printCatalog()
+		return
+	}
 
 	if _, err := sim.ParseScheduler(*sched, 0); err != nil {
 		fmt.Fprintln(os.Stderr, "gathersim:", err)
 		os.Exit(1)
 	}
 
-	var err error
+	spec := *workload
+	if spec == "" {
+		spec = fmt.Sprintf("%s:%d", *family, *n)
+	}
+	wl, err := graph.ParseWorkload(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gathersim:", err)
+		os.Exit(1)
+	}
+
 	if *seeds > 1 {
 		if *trace > 0 || *dotFile != "" {
 			fmt.Fprintln(os.Stderr, "gathersim: -trace and -dot apply to single runs only; ignored in -seeds batch mode")
 		}
-		err = runBatch(*family, *algo, *placement, *sched, *n, *k, *radius, *seed, *seeds, *parallel, *maxRounds, *times)
+		err = runBatch(wl, *algo, *placement, *sched, *k, *radius, *seed, *seeds, *parallel, *maxRounds, *times)
 	} else {
-		err = run(*family, *algo, *placement, *sched, *dotFile, *n, *k, *radius, *seed, *maxRounds, *trace)
+		err = run(wl, *algo, *placement, *sched, *dotFile, *k, *radius, *seed, *maxRounds, *trace)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gathersim:", err)
 		os.Exit(1)
+	}
+}
+
+// printCatalog renders the discoverability listing: every workload with
+// its parameter syntax, plus the algorithm, scheduler and placement
+// grammars the other flags accept.
+func printCatalog() {
+	fmt.Println("workloads (-workload name:params):")
+	for _, e := range graph.Catalog() {
+		fmt.Printf("  %-12s %-48s %s\n", e.Name, e.Syntax, e.Summary)
+	}
+	fmt.Println("\nalgorithms (-algo):")
+	for _, a := range [][2]string{
+		{"faster", "Faster-Gathering (Theorems 12/16): staged hop-meeting + collection"},
+		{"uxs", "UXS gathering with detection (Theorem 6)"},
+		{"undispersed", "Undispersed-Gathering (Theorem 8); needs an undispersed start"},
+		{"hopmeet", "standalone i-Hop-Meeting (Lemmas 9-10); radius from -radius"},
+		{"dessmark", "Dessmark et al. iterated-deepening baseline"},
+		{"beep", "beeping-model gathering (two robots max)"},
+	} {
+		fmt.Printf("  %-12s %s\n", a[0], a[1])
+	}
+	fmt.Println("\nschedulers (-sched):")
+	for _, s := range [][2]string{
+		{"full", "fully synchronous (the paper's model, default)"},
+		{"semi:P", "semi-synchronous: each robot activates with probability P per round (P >= 0.05)"},
+		{"adv[:L]", "fair deterministic adversary: splits groups, holds back the laggard, lag bound L"},
+	} {
+		fmt.Printf("  %-12s %s\n", s[0], s[1])
+	}
+	fmt.Println("\nplacements (-placement):")
+	for _, p := range [][2]string{
+		{"maxmin", "adversarial max-min dispersion (Lemma 15 witness)"},
+		{"random", "uniform random nodes (repeats allowed)"},
+		{"dispersed", "distinct random nodes"},
+		{"clustered", "k robots in about k/2 co-located groups"},
+	} {
+		fmt.Printf("  %-12s %s\n", p[0], p[1])
 	}
 }
 
@@ -84,33 +145,43 @@ func buildSched(spec string, seed uint64) (sim.Scheduler, error) {
 	return sim.ParseScheduler(spec, seed^0x5EEDC0DEC0FFEE42)
 }
 
-// buildScenario instantiates the requested scenario shape from one seed.
-func buildScenario(family, placement string, n, k int, seed uint64) (*gather.Scenario, error) {
-	rng := graph.NewRNG(seed)
-	g := graph.FromFamily(graph.Family(family), n, rng)
-	n = g.N()
-	if k < 1 {
-		return nil, fmt.Errorf("need at least one robot")
-	}
-
-	var pos []int
+// placeRobots draws k starting positions on g with the requested engine.
+func placeRobots(g *graph.Graph, placement string, k int, rng *graph.RNG) ([]int, error) {
+	n := g.N()
 	switch placement {
 	case "maxmin":
-		pos = place.MaxMinDispersed(g, min(k, n), rng)
+		pos := place.MaxMinDispersed(g, min(k, n), rng)
 		for len(pos) < k { // more robots than nodes: stack the extras
 			pos = append(pos, rng.Intn(n))
 		}
+		return pos, nil
 	case "random":
-		pos = place.Random(g, k, rng)
+		return place.Random(g, k, rng), nil
 	case "dispersed":
-		pos = place.RandomDispersed(g, k, rng)
+		return place.RandomDispersed(g, k, rng), nil
 	case "clustered":
-		pos = place.Clustered(g, k, max(1, k/2), rng)
+		return place.Clustered(g, k, max(1, k/2), rng), nil
 	default:
 		return nil, fmt.Errorf("unknown placement %q", placement)
 	}
+}
 
-	sc := &gather.Scenario{G: g, IDs: gather.AssignIDs(k, n, rng), Positions: pos}
+// buildScenario instantiates the requested scenario shape from one seed:
+// the workload's graph, then IDs and placement, all from one stream.
+func buildScenario(wl *graph.Workload, placement string, k int, seed uint64) (*gather.Scenario, error) {
+	rng := graph.NewRNG(seed)
+	g, err := wl.Build(rng)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("need at least one robot")
+	}
+	pos, err := placeRobots(g, placement, k, rng)
+	if err != nil {
+		return nil, err
+	}
+	sc := &gather.Scenario{G: g, IDs: gather.AssignIDs(k, g.N(), rng), Positions: pos}
 	sc.Certify()
 	return sc, nil
 }
@@ -144,17 +215,17 @@ func buildWorld(sc *gather.Scenario, algo string, radius int) (*sim.World, int, 
 	}
 }
 
-func run(family, algo, placement, sched, dotFile string, n, k, radius int, seed uint64, maxRounds, trace int) error {
-	sc, err := buildScenario(family, placement, n, k, seed)
+func run(wl *graph.Workload, algo, placement, sched, dotFile string, k, radius int, seed uint64, maxRounds, trace int) error {
+	sc, err := buildScenario(wl, placement, k, seed)
 	if err != nil {
 		return err
 	}
 	if sc.Sched, err = buildSched(sched, seed); err != nil {
 		return err
 	}
-	n = sc.G.N()
+	n := sc.G.N()
 
-	fmt.Printf("graph: %s (family %s, diameter %d)\n", sc.G, family, sc.G.Diameter())
+	fmt.Printf("graph: %s (workload %s, diameter %d)\n", sc.G, wl, sc.G.Diameter())
 	fmt.Printf("robots: k=%d IDs=%v positions=%v (min pairwise distance %d)\n",
 		k, sc.IDs, sc.Positions, sc.MinPairDistance())
 	fmt.Printf("schedule: R1=%d R=%d T=%d B=%d scheduler=%s\n",
@@ -201,20 +272,35 @@ func run(family, algo, placement, sched, dotFile string, n, k, radius int, seed 
 }
 
 // runBatch executes the scenario shape across consecutive seeds on the
-// parallel runner and prints a per-seed summary table. Each job builds
-// its own scheduler instance (schedulers are per-run stateful), seeded
-// from the job's scenario seed so rows are bit-identical at every
-// -parallel setting.
-func runBatch(family, algo, placement, sched string, n, k, radius int, base uint64, seeds, parallel, maxRounds int, times bool) error {
+// parallel runner and prints a per-seed summary table. The frozen graph —
+// and the UXS certification that depends only on it — is built ONCE from
+// the base -seed and shared read-only by every job; each job draws its
+// own IDs, placement and scheduler from its row seed (schedulers are
+// per-run stateful), so rows are bit-identical at every -parallel setting
+// and no worker ever constructs a graph.
+func runBatch(wl *graph.Workload, algo, placement, sched string, k, radius int, base uint64, seeds, parallel, maxRounds int, times bool) error {
+	g, err := wl.Build(graph.NewRNG(base))
+	if err != nil {
+		return err
+	}
+	shared := &gather.Scenario{G: g}
+	shared.Certify()
+	cfg := shared.Cfg
+
 	jobs := make([]runner.Job, seeds)
 	for i := range jobs {
 		scSeed := base + uint64(i)
 		jobs[i] = runner.Job{Meta: scSeed,
 			Build: func(uint64) (*sim.World, int, error) {
-				sc, err := buildScenario(family, placement, n, k, scSeed)
+				rng := graph.NewRNG(scSeed)
+				if k < 1 {
+					return nil, 0, fmt.Errorf("need at least one robot")
+				}
+				pos, err := placeRobots(g, placement, k, rng)
 				if err != nil {
 					return nil, 0, err
 				}
+				sc := &gather.Scenario{G: g, IDs: gather.AssignIDs(k, g.N(), rng), Positions: pos, Cfg: cfg}
 				if sc.Sched, err = buildSched(sched, scSeed); err != nil {
 					return nil, 0, err
 				}
@@ -226,8 +312,10 @@ func runBatch(family, algo, placement, sched string, n, k, radius int, base uint
 			}}
 	}
 	r := runner.New(parallel)
-	fmt.Printf("batch: %d seeds (%d..%d), algo %s, family %s, sched %s, n=%d k=%d",
-		seeds, base, base+uint64(seeds)-1, algo, family, sched, n, k)
+	fmt.Printf("batch: %d seeds (%d..%d), algo %s, workload %s, sched %s, k=%d\n",
+		seeds, base, base+uint64(seeds)-1, algo, wl, sched, k)
+	fmt.Printf("shared graph: %s (diameter %d), built once from seed %d",
+		g, g.Diameter(), base)
 	if times {
 		// Worker count and wall times vary with -parallel; keep them out
 		// of -times=false output so it diffs clean at any pool size.

@@ -20,7 +20,7 @@ import (
 func main() {
 	rng := gathering.NewRNG(11)
 	g := gathering.Cycle(6)
-	g.PermutePorts(rng)
+	g = g.WithPermutedPorts(rng)
 	ids := []int{3, 9, 5}
 	pos := []int{0, 0, 3} // group {3,9} plus a lone robot
 

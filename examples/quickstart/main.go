@@ -17,7 +17,7 @@ import (
 func main() {
 	g := gathering.Cycle(12)
 	rng := gathering.NewRNG(7)
-	g.PermutePorts(rng) // the adversary labels the ports
+	g = g.WithPermutedPorts(rng) // the adversary labels the ports
 
 	k := 7 // k >= n/2+1: the paper's O(n^3) many-robots regime
 	sc := &gathering.Scenario{

@@ -27,7 +27,7 @@ import (
 func build() *gathering.Scenario {
 	g := gathering.Cycle(9)
 	rng := gathering.NewRNG(1)
-	g.PermutePorts(rng)
+	g = g.WithPermutedPorts(rng)
 	sc := &gathering.Scenario{
 		G:         g,
 		IDs:       gathering.AssignIDs(2, g.N(), rng),

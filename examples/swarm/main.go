@@ -20,7 +20,7 @@ func main() {
 	rng := gathering.NewRNG(99)
 	n := 12
 	g := gathering.Cycle(n)
-	g.PermutePorts(rng)
+	g = g.WithPermutedPorts(rng)
 
 	fmt.Printf("cycle of %d nodes; robots placed adversarially (max-min spread)\n\n", n)
 	fmt.Printf("%4s  %9s  %8s  %12s\n", "k", "min-dist", "rounds", "regime")

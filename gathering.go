@@ -10,9 +10,8 @@
 //
 // Quick start:
 //
-//	g := gathering.Cycle(12)
 //	rng := gathering.NewRNG(1)
-//	g.PermutePorts(rng)
+//	g, _ := gathering.BuildWorkload("cycle:12", rng) // or: Cycle(12).WithPermutedPorts(rng)
 //	sc := &gathering.Scenario{
 //		G:         g,
 //		IDs:       gathering.AssignIDs(7, g.N(), rng),
@@ -21,6 +20,11 @@
 //	sc.Certify()
 //	res, err := sc.RunFaster(sc.Cfg.FasterBound(g.N()) + 10)
 //	// res.DetectionCorrect reports gathering with detection.
+//
+// Graphs are immutable once frozen (Builder.Freeze, or any generator or
+// workload build): one *Graph may back any number of concurrent scenarios
+// and worlds. The workload catalog (ParseWorkload / Catalog) names every
+// graph family the harness can build as a "name:params" spec.
 package gathering
 
 import (
@@ -35,8 +39,16 @@ import (
 
 // Core types, re-exported for external use.
 type (
-	// Graph is a connected, undirected, simple, port-labeled graph.
+	// Graph is a connected, undirected, simple, port-labeled graph in
+	// immutable CSR form; safe to share across goroutines.
 	Graph = graph.Graph
+	// Builder is the mutable construction phase: AddEdge then Freeze.
+	Builder = graph.Builder
+	// Workload is a parsed catalog spec ("torus:32x32"); Build(rng)
+	// constructs its frozen graph.
+	Workload = graph.Workload
+	// CatalogEntry describes one workload family (name, syntax, summary).
+	CatalogEntry = graph.CatalogEntry
 	// RNG is the library's deterministic random generator.
 	RNG = graph.RNG
 	// Family names a graph family for sweeps.
@@ -127,16 +139,37 @@ var (
 	Circulant = graph.Circulant
 	// Caterpillar returns a caterpillar tree (spine + pendant leaves).
 	Caterpillar = graph.Caterpillar
-	// RandomRegular returns a random connected d-regular graph.
+	// RandomRegular returns a random connected d-regular graph, or an
+	// error for infeasible parameters / exhausted rejection budget.
 	RandomRegular = graph.RandomRegular
+	// MustRandomRegular is RandomRegular that panics on error.
+	MustRandomRegular = graph.MustRandomRegular
 	// RandomTree returns a random tree on n nodes.
 	RandomTree = graph.RandomTree
-	// RandomConnected returns a random connected graph with n nodes, m edges.
+	// RandomConnected returns a random connected graph with n nodes and m
+	// edges, or an error for infeasible parameters.
 	RandomConnected = graph.RandomConnected
+	// MustRandomConnected is RandomConnected that panics on error.
+	MustRandomConnected = graph.MustRandomConnected
 	// FromFamily builds a named-family graph of about n nodes.
 	FromFamily = graph.FromFamily
 	// AllFamilies lists the default sweep families.
 	AllFamilies = graph.AllFamilies
+)
+
+// Graph construction and the workload catalog.
+var (
+	// NewBuilder starts the mutable construction phase of a graph.
+	NewBuilder = graph.NewBuilder
+	// ParseWorkload parses a catalog spec such as "torus:32x32",
+	// "rreg:1024,4" or "maze:64" into a buildable Workload.
+	ParseWorkload = graph.ParseWorkload
+	// MustWorkload is ParseWorkload that panics on error.
+	MustWorkload = graph.MustWorkload
+	// BuildWorkload parses and builds a spec in one step.
+	BuildWorkload = graph.BuildWorkload
+	// Catalog lists every registered workload family, sorted by name.
+	Catalog = graph.Catalog
 )
 
 // Placements.

@@ -8,7 +8,7 @@ import "testing"
 func TestQuickstartFlow(t *testing.T) {
 	g := Cycle(10)
 	rng := NewRNG(1)
-	g.PermutePorts(rng)
+	g = g.WithPermutedPorts(rng)
 	k := 6 // > n/2: the paper's O(n^3) regime
 	sc := &Scenario{
 		G:         g,
@@ -30,7 +30,7 @@ func TestFacadeGenerators(t *testing.T) {
 	graphs := []*Graph{
 		Path(5), Cycle(5), Complete(4), Star(5), Grid(2, 3), Torus(3, 3),
 		Hypercube(3), Lollipop(3, 2), Maze(3, 3, 2, rng),
-		RandomTree(6, rng), RandomConnected(6, 8, rng),
+		RandomTree(6, rng), MustRandomConnected(6, 8, rng),
 	}
 	for i, g := range graphs {
 		if err := g.Validate(); err != nil {
@@ -88,7 +88,7 @@ func TestFacadeRunner(t *testing.T) {
 		jobs[i] = Job{Meta: n, Build: func(seed uint64) (*World, int, error) {
 			rng := NewRNG(seed)
 			g := Cycle(n)
-			g.PermutePorts(rng)
+			g = g.WithPermutedPorts(rng)
 			k := n/2 + 1
 			sc := &Scenario{G: g, IDs: AssignIDs(k, n, rng), Positions: MaxMinDispersed(g, k, rng)}
 			sc.Certify()

@@ -59,10 +59,12 @@ func init() {
 	})
 }
 
-// E1: rounds of Undispersed-Gathering vs n across graph families. The
+// E1: rounds of Undispersed-Gathering vs n across catalog workloads. The
 // schedule is R(n)+1 by construction (the detection counter), so we fit
 // both the schedule rounds (the guarantee) and the first-gather round (the
-// actual collection time).
+// actual collection time). Workloads are parsed from the catalog once per
+// sweep point; each job still builds its own instance because the graph is
+// a function of the job seed (topology diversity is the point here).
 func runE1(w io.Writer, o Options) error {
 	sizes := sweepSizes(o, []int{6, 9, 12}, []int{8, 12, 16, 20, 24})
 	fams := []graph.Family{graph.FamCycle, graph.FamGrid, graph.FamRandom, graph.FamTree, graph.FamLollipop}
@@ -73,12 +75,16 @@ func runE1(w io.Writer, o Options) error {
 	var jobs []runner.Job
 	for _, fam := range fams {
 		for _, n := range sizes {
-			fam, n := fam, n
+			fam := fam
+			wl := graph.MustWorkload(fmt.Sprintf("%s:%d", fam, n))
 			m := &e1meta{fam: fam}
 			jobs = append(jobs, runner.Job{Meta: m,
 				Build: func(seed uint64) (*sim.World, int, error) {
 					rng := graph.NewRNG(seed)
-					g := graph.FromFamily(fam, n, rng)
+					g, err := wl.Build(rng)
+					if err != nil {
+						return nil, 0, err
+					}
 					m.n = g.N()
 					k := max(2, g.N()/2)
 					sc := &gather.Scenario{G: g,
@@ -136,8 +142,7 @@ func runE2(w io.Writer, o Options) error {
 			jobs = append(jobs, runner.Job{Meta: m,
 				Build: func(seed uint64) (*sim.World, int, error) {
 					rng := graph.NewRNG(seed)
-					g := graph.Cycle(n)
-					g.PermutePorts(rng)
+					g := graph.Cycle(n).WithPermutedPorts(rng)
 					u, v, ok := place.PairAtDistance(g, i, rng)
 					if !ok {
 						return nil, 0, nil
@@ -219,19 +224,20 @@ func runE3(w io.Writer, o Options) error {
 			}})
 	}
 	// L sweep at fixed n: small vs large IDs change the number of phases.
-	// All three jobs rebuild the same graph (seeded by the experiment, not
-	// the job) so only the IDs differ between rows.
+	// All three jobs reference ONE frozen graph (seeded by the experiment,
+	// not the job, built once before submission) so only the IDs differ
+	// between rows — no per-job graph construction at all.
 	const nID = 6
+	gID := graph.FromFamily(graph.FamCycle, nID, graph.NewRNG(o.Seed+3))
+	cfgID := certifiedConfig(gID)
 	for _, idPair := range [][2]int{{1, 2}, {100, 101}, {MaxIDPair(nID)[0], MaxIDPair(nID)[1]}} {
 		idPair := idPair
 		m := &e3meta{idSweep: true}
 		jobs = append(jobs, runner.Job{Meta: m,
 			Build: func(seed uint64) (*sim.World, int, error) {
-				grng := graph.NewRNG(o.Seed + 3)
-				g := graph.FromFamily(graph.FamCycle, nID, grng)
-				sc := &gather.Scenario{G: g, IDs: []int{idPair[0], idPair[1]},
-					Positions: place.MaxMinDispersed(g, 2, graph.NewRNG(seed))}
-				sc.Certify()
+				sc := &gather.Scenario{G: gID, IDs: []int{idPair[0], idPair[1]},
+					Positions: place.MaxMinDispersed(gID, 2, graph.NewRNG(seed)),
+					Cfg:       cfgID}
 				m.n, m.maxID = nID, idPair[1]
 				m.bound = sc.Cfg.UXSGatherBound(nID)
 				world, err := sc.NewUXSWorld()
@@ -330,8 +336,7 @@ func runE4(w io.Writer, o Options) error {
 				jobs = append(jobs, runner.Job{Meta: m,
 					Build: func(seed uint64) (*sim.World, int, error) {
 						rng := graph.NewRNG(seed)
-						g := graph.Cycle(n)
-						g.PermutePorts(rng)
+						g := graph.Cycle(n).WithPermutedPorts(rng)
 						k := rg.k(n)
 						ids := gather.AssignIDs(k, n, rng)
 						pos := place.MaxMinDispersed(g, k, rng)
@@ -423,13 +428,17 @@ func runE5(w io.Writer, o Options) error {
 	var jobs []runner.Job
 	for _, fam := range graph.AllFamilies() {
 		for _, n := range sizes {
+			wl := graph.MustWorkload(fmt.Sprintf("%s:%d", fam, n))
 			for _, c := range []int{2, 3, 4} {
-				fam, n, c := fam, n, c
+				fam, c := fam, c
 				m := &e5meta{fam: fam, c: c}
 				jobs = append(jobs, runner.Job{Meta: m,
 					Build: func(seed uint64) (*sim.World, int, error) {
 						rng := graph.NewRNG(seed)
-						g := graph.FromFamily(fam, n, rng)
+						g, err := wl.Build(rng)
+						if err != nil {
+							return nil, 0, err
+						}
 						k := g.N()/c + 1
 						if k < 2 || k > g.N() {
 							return nil, 0, nil

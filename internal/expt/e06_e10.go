@@ -2,8 +2,10 @@ package expt
 
 // E6-E10 run through the parallel runner. Head-to-head experiments (E8,
 // E10) submit one job per (instance, algorithm): both jobs of a pair
-// rebuild the identical scenario from a shared per-case seed, so the
-// comparison stays apples-to-apples while the runs themselves parallelize.
+// reference ONE shared scenario — a frozen graph plus read-only IDs,
+// positions and certified config, built once from the per-case seed before
+// submission — so the comparison stays apples-to-apples, the runs
+// parallelize, and no job constructs a graph.
 
 import (
 	"fmt"
@@ -84,8 +86,7 @@ func runE6(w io.Writer, o Options) error {
 		jobs = append(jobs, runner.Job{Meta: m,
 			Build: func(seed uint64) (*sim.World, int, error) {
 				rng := graph.NewRNG(seed)
-				g := graph.Path(n)
-				g.PermutePorts(rng)
+				g := graph.Path(n).WithPermutedPorts(rng)
 				u, v, ok := place.PairAtDistance(g, d, rng)
 				if !ok {
 					return nil, 0, nil
@@ -123,16 +124,16 @@ func runE6(w io.Writer, o Options) error {
 
 // E7: rounds vs k at fixed n under adversarial placement — the data for
 // the crossover figure (steps of the regime staircase). All k share one
-// graph (built serially before submission, then captured read-only by the
-// jobs) so the staircase is measured on a fixed instance.
+// frozen graph (built before submission, referenced read-only by every
+// job) so the staircase is measured on a fixed instance with zero per-job
+// graph construction.
 func runE7(w io.Writer, o Options) error {
 	rng := graph.NewRNG(o.Seed + 7)
 	n := 10
 	if !o.Quick {
 		n = 12
 	}
-	g := graph.Cycle(n)
-	g.PermutePorts(rng)
+	g := graph.Cycle(n).WithPermutedPorts(rng)
 	type e7meta struct {
 		k, minDist int
 	}
@@ -192,12 +193,12 @@ func runE8(w io.Writer, o Options) error {
 		{"many robots (k=n/2+1)", n/2 + 1, func(g *graph.Graph, rng *graph.RNG) []int { return place.MaxMinDispersed(g, n/2+1, rng) }},
 		{"two far robots", 2, func(g *graph.Graph, rng *graph.RNG) []int { return place.MaxMinDispersed(g, 2, rng) }},
 	}
-	// Both algorithms of a case rebuild the identical scenario from the
-	// case seed; only the agent type differs.
+	// Both algorithms of a case reference the identical shared scenario,
+	// built once from the case seed; only the agent type differs and only
+	// worlds are constructed inside the jobs.
 	scenario := func(c cfgCase, caseSeed uint64) *gather.Scenario {
 		rng := graph.NewRNG(caseSeed)
-		g := graph.Cycle(n)
-		g.PermutePorts(rng)
+		g := graph.Cycle(n).WithPermutedPorts(rng)
 		ids := gather.AssignIDs(c.k, n, rng)
 		sc := &gather.Scenario{G: g, IDs: ids, Positions: c.pos(g, rng)}
 		sc.Certify()
@@ -205,16 +206,13 @@ func runE8(w io.Writer, o Options) error {
 	}
 	var jobs []runner.Job
 	for ci, c := range cases {
-		c := c
-		caseSeed := runner.JobSeed(o.Seed+8, ci)
+		sc := scenario(c, runner.JobSeed(o.Seed+8, ci))
 		jobs = append(jobs,
 			runner.Job{Build: func(uint64) (*sim.World, int, error) {
-				sc := scenario(c, caseSeed)
 				world, err := sc.NewFasterWorld()
 				return world, sc.Cfg.FasterBound(n) + 10, err
 			}},
 			runner.Job{Build: func(uint64) (*sim.World, int, error) {
-				sc := scenario(c, caseSeed)
 				world, err := sc.NewUXSWorld()
 				return world, sc.Cfg.UXSGatherBound(n) + 2, err
 			}})
@@ -304,8 +302,7 @@ func runE10(w io.Writer, o Options) error {
 	}{{"clustered", 4}, {"pair", 2}}
 	scenario := func(k int, clustered bool, caseSeed uint64) *gather.Scenario {
 		rng := graph.NewRNG(caseSeed)
-		g := graph.Cycle(n)
-		g.PermutePorts(rng)
+		g := graph.Cycle(n).WithPermutedPorts(rng)
 		ids := gather.AssignIDs(k, n, rng)
 		var pos []int
 		if clustered {
@@ -319,17 +316,14 @@ func runE10(w io.Writer, o Options) error {
 	}
 	var jobs []runner.Job
 	for ci, c := range cases {
-		c := c
 		clustered := c.name == "clustered"
-		caseSeed := runner.JobSeed(o.Seed+10, ci)
+		sc := scenario(c.k, clustered, runner.JobSeed(o.Seed+10, ci))
 		jobs = append(jobs,
 			runner.Job{Build: func(uint64) (*sim.World, int, error) {
-				sc := scenario(c.k, clustered, caseSeed)
 				world, err := sc.NewFasterWorld()
 				return world, sc.Cfg.FasterBound(n) + 10, err
 			}},
 			runner.Job{Build: func(uint64) (*sim.World, int, error) {
-				sc := scenario(c.k, clustered, caseSeed)
 				world, err := sc.NewUXSWorld()
 				return world, sc.Cfg.UXSGatherBound(n) + 2, err
 			}})

@@ -33,8 +33,9 @@ func init() {
 }
 
 // E11: staged schedule vs the Remark 13 oracle for the same instance.
-// Both jobs of a distance rebuild the identical instance from the case
-// seed; the oracle job swaps in the Remark 13 config before running.
+// Both jobs of a distance reference the identical shared instance (one
+// frozen graph, built once from the case seed); the oracle job derives a
+// shallow copy carrying the Remark 13 config.
 func runE11(w io.Writer, o Options) error {
 	n := 8
 	if !o.Quick {
@@ -46,8 +47,7 @@ func runE11(w io.Writer, o Options) error {
 	}
 	instance := func(d int, caseSeed uint64) (*gather.Scenario, bool) {
 		rng := graph.NewRNG(caseSeed)
-		g := graph.Path(n)
-		g.PermutePorts(rng)
+		g := graph.Path(n).WithPermutedPorts(rng)
 		u, v, ok := place.PairAtDistance(g, d, rng)
 		if !ok {
 			return nil, false
@@ -60,27 +60,24 @@ func runE11(w io.Writer, o Options) error {
 	var jobs []runner.Job
 	for di, d := range dists {
 		d := d
-		caseSeed := runner.JobSeed(o.Seed+11, di)
-		mS, mO := &e11meta{d: d}, &e11meta{d: d}
+		sc, found := instance(d, runner.JobSeed(o.Seed+11, di))
+		mS, mO := &e11meta{d: d, found: found}, &e11meta{d: d, found: found}
+		if !found {
+			jobs = append(jobs,
+				runner.Job{Meta: mS, Build: func(uint64) (*sim.World, int, error) { return nil, 0, nil }},
+				runner.Job{Meta: mO, Build: func(uint64) (*sim.World, int, error) { return nil, 0, nil }})
+			continue
+		}
+		scO := *sc // shallow copy: same frozen graph, oracle config
+		scO.Cfg = gather.Config{KnownDistance: d, UXSLen: sc.Cfg.UXSLen}
 		jobs = append(jobs,
 			runner.Job{Meta: mS, Build: func(uint64) (*sim.World, int, error) {
-				sc, ok := instance(d, caseSeed)
-				if !ok {
-					return nil, 0, nil
-				}
-				mS.found = true
 				world, err := sc.NewFasterWorld()
 				return world, sc.Cfg.FasterBound(n) + 10, err
 			}},
 			runner.Job{Meta: mO, Build: func(uint64) (*sim.World, int, error) {
-				sc, ok := instance(d, caseSeed)
-				if !ok {
-					return nil, 0, nil
-				}
-				mO.found = true
-				sc.Cfg = gather.Config{KnownDistance: d, UXSLen: sc.Cfg.UXSLen}
-				world, err := sc.NewFasterWorld()
-				return world, sc.Cfg.FasterBound(n) + 10, err
+				world, err := scO.NewFasterWorld()
+				return world, scO.Cfg.FasterBound(n) + 10, err
 			}})
 	}
 	results, err := sweep(o, o.Seed+11, jobs)
@@ -124,8 +121,7 @@ func runE12(w io.Writer, o Options) error {
 			jobs = append(jobs, runner.Job{Meta: m,
 				Build: func(seed uint64) (*sim.World, int, error) {
 					rng := graph.NewRNG(seed)
-					g := graph.Cycle(n)
-					g.PermutePorts(rng)
+					g := graph.Cycle(n).WithPermutedPorts(rng)
 					u, v, ok := place.PairAtDistance(g, i, rng)
 					if !ok {
 						return nil, 0, nil
@@ -180,8 +176,7 @@ func runE13(w io.Writer, o Options) error {
 	// phase, isolating the growth law.
 	instance := func(d int, caseSeed uint64) (*gather.Scenario, bool) {
 		rng := graph.NewRNG(caseSeed)
-		g := graph.Lollipop(n/2, n-n/2)
-		g.PermutePorts(rng)
+		g := graph.Lollipop(n/2, n-n/2).WithPermutedPorts(rng)
 		u, v, ok := place.PairAtDistance(g, d, rng)
 		if !ok {
 			return nil, false
@@ -192,15 +187,18 @@ func runE13(w io.Writer, o Options) error {
 	var jobs []runner.Job
 	for di, d := range dists {
 		d := d
-		caseSeed := runner.JobSeed(o.Seed+13, di)
-		mB, mF := &e13meta{d: d}, &e13meta{d: d}
+		sc, found := instance(d, runner.JobSeed(o.Seed+13, di))
+		mB, mF := &e13meta{d: d, found: found}, &e13meta{d: d, found: found}
+		if !found {
+			jobs = append(jobs,
+				runner.Job{Meta: mB, Build: func(uint64) (*sim.World, int, error) { return nil, 0, nil }},
+				runner.Job{Meta: mF, Build: func(uint64) (*sim.World, int, error) { return nil, 0, nil }})
+			continue
+		}
+		scF := *sc // shallow copy for the certified Faster arm
+		scF.Certify()
 		jobs = append(jobs,
 			runner.Job{Meta: mB, Build: func(uint64) (*sim.World, int, error) {
-				sc, ok := instance(d, caseSeed)
-				if !ok {
-					return nil, 0, nil
-				}
-				mB.found = true
 				capRounds := 0
 				for i := 1; i <= d+1; i++ {
 					capRounds += sc.Cfg.HopDuration(i, sc.G.N()) + 1
@@ -209,14 +207,8 @@ func runE13(w io.Writer, o Options) error {
 				return world, capRounds + 10, err
 			}},
 			runner.Job{Meta: mF, Build: func(uint64) (*sim.World, int, error) {
-				sc, ok := instance(d, caseSeed)
-				if !ok {
-					return nil, 0, nil
-				}
-				mF.found = true
-				sc.Certify()
-				world, err := sc.NewFasterWorld()
-				return world, sc.Cfg.FasterBound(sc.G.N()) + 10, err
+				world, err := scF.NewFasterWorld()
+				return world, scF.Cfg.FasterBound(scF.G.N()) + 10, err
 			}})
 	}
 	results, err := sweep(o, o.Seed+13, jobs)

@@ -57,8 +57,7 @@ func runE14(w io.Writer, o Options) error {
 	}{{"clustered", 4, true}, {"many robots", n/2 + 1, false}}
 	scenario := func(k int, clus bool, caseSeed uint64) *gather.Scenario {
 		rng := graph.NewRNG(caseSeed)
-		g := graph.Cycle(n)
-		g.PermutePorts(rng)
+		g := graph.Cycle(n).WithPermutedPorts(rng)
 		ids := gather.AssignIDs(k, n, rng)
 		var pos []int
 		if clus {
@@ -72,16 +71,15 @@ func runE14(w io.Writer, o Options) error {
 	}
 	var jobs []runner.Job
 	for ci, c := range cases {
-		c := c
-		caseSeed := runner.JobSeed(o.Seed+14, ci)
+		// One shared scenario per case: both arms reference the same frozen
+		// graph and placement, and only build worlds inside the jobs.
+		sc := scenario(c.k, c.clus, runner.JobSeed(o.Seed+14, ci))
 		jobs = append(jobs,
 			runner.Job{Build: func(uint64) (*sim.World, int, error) {
-				sc := scenario(c.k, c.clus, caseSeed)
 				world, err := sc.NewFasterWorld()
 				return world, sc.Cfg.FasterBound(n) + 10, err
 			}},
 			runner.Job{Build: func(uint64) (*sim.World, int, error) {
-				sc := scenario(c.k, c.clus, caseSeed)
 				world, err := sc.NewUXSWorld()
 				return world, sc.Cfg.UXSGatherBound(n) + 2, err
 			}})
@@ -129,18 +127,17 @@ func runE15(w io.Writer, o Options) error {
 		{5, "lone waiter", true},
 		{9, "group leader", false}, // follower 3 strands: waits on a dead leader
 	}
+	// Every case replays the same instance (the graph seed is the
+	// experiment's, not the job's), so all cases share one frozen graph
+	// and scenario; only the worlds and crash schedules are per job.
+	g := graph.Cycle(n).WithPermutedPorts(graph.NewRNG(o.Seed + 15))
+	sc := &gather.Scenario{G: g, IDs: ids, Positions: pos}
+	sc.Certify()
 	var jobs []runner.Job
 	for _, c := range cases {
 		c := c
 		jobs = append(jobs, runner.Job{Meta: c,
 			Build: func(uint64) (*sim.World, int, error) {
-				// Every case replays the same instance: the graph seed is
-				// the experiment's, not the job's.
-				rng := graph.NewRNG(o.Seed + 15)
-				g := graph.Cycle(n)
-				g.PermutePorts(rng)
-				sc := &gather.Scenario{G: g, IDs: ids, Positions: pos}
-				sc.Certify()
 				world, err := sc.NewUXSWorld()
 				if err != nil {
 					return nil, 0, err
@@ -185,15 +182,11 @@ func runE16(w io.Writer, o Options) error {
 	n := 6
 	ids := []int{6, 9} // delay robot 6: the bigger robot 9 ignores sleepers
 	pos := []int{0, 3}
-	instance := func() *gather.Scenario {
-		rng := graph.NewRNG(o.Seed + 16)
-		g := graph.Cycle(n)
-		g.PermutePorts(rng)
-		sc := &gather.Scenario{G: g, IDs: ids, Positions: pos}
-		sc.Certify()
-		return sc
-	}
-	T := instance().Cfg.UXSLength(n)
+	// One shared frozen instance for every delay arm.
+	g := graph.Cycle(n).WithPermutedPorts(graph.NewRNG(o.Seed + 16))
+	sc := &gather.Scenario{G: g, IDs: ids, Positions: pos}
+	sc.Certify()
+	T := sc.Cfg.UXSLength(n)
 	type e16meta struct {
 		tau          int
 		firstTerm    int
@@ -205,7 +198,6 @@ func runE16(w io.Writer, o Options) error {
 		m := &e16meta{tau: tau, firstTerm: -1}
 		jobs = append(jobs, runner.Job{Meta: m,
 			Build: func(uint64) (*sim.World, int, error) {
-				sc := instance()
 				world, err := sc.NewUXSWorldDelayed([]int{tau, 0})
 				if err != nil {
 					return nil, 0, err

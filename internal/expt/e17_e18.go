@@ -28,8 +28,8 @@ func init() {
 	})
 }
 
-// mapJob returns a runner job that builds the given n-node cycle instance
-// and runs one mapping pair until the builder finishes (the builder never
+// mapJob returns a runner job that runs one mapping pair on the given
+// (shared, frozen) instance until the builder finishes (the builder never
 // issues Terminate, so the job stops on its Done signal). done/rounds are
 // wired into meta for the collection phase.
 type mapMeta struct {
@@ -38,18 +38,11 @@ type mapMeta struct {
 	rounds func() int
 }
 
-func mapJob(n int, naive bool, caseSeed uint64) runner.Job {
+func mapJob(g *graph.Graph, naive bool) runner.Job {
 	m := &mapMeta{}
 	return runner.Job{Meta: m,
 		Stop: func(*sim.World) bool { return m.done() },
 		Build: func(uint64) (*sim.World, int, error) {
-			// Cycles maximize walk lengths (diameter n/2), exposing the
-			// asymptotic gap between one tour per probe and one walk per
-			// candidate per probe; small-diameter random graphs hide it.
-			// Both strategies replay the identical instance (case seed).
-			rng := graph.NewRNG(caseSeed)
-			g := graph.Cycle(n)
-			g.PermutePorts(rng)
 			m.n, m.m = g.N(), g.M()
 			var (
 				agents []sim.Agent
@@ -72,13 +65,18 @@ func mapJob(n int, naive bool, caseSeed uint64) runner.Job {
 }
 
 // E17: measured rounds of the two map-construction strategies and their
-// fitted growth exponents.
+// fitted growth exponents. Cycles maximize walk lengths (diameter n/2),
+// exposing the asymptotic gap between one tour per probe and one walk per
+// candidate per probe; small-diameter random graphs hide it. Both
+// strategies reference the identical frozen instance (built once per n
+// from the case seed, zero per-job graph construction).
 func runE17(w io.Writer, o Options) error {
 	sizes := sweepSizes(o, []int{8, 12, 16}, []int{8, 12, 16, 20, 24, 32})
 	var jobs []runner.Job
 	for ni, n := range sizes {
-		caseSeed := runner.JobSeed(o.Seed+17, ni)
-		jobs = append(jobs, mapJob(n, false, caseSeed), mapJob(n, true, caseSeed))
+		rng := graph.NewRNG(runner.JobSeed(o.Seed+17, ni))
+		g := graph.Cycle(n).WithPermutedPorts(rng)
+		jobs = append(jobs, mapJob(g, false), mapJob(g, true))
 	}
 	results, err := sweep(o, o.Seed+17, jobs)
 	if err != nil {
@@ -130,6 +128,8 @@ func runE18(w io.Writer, o Options) error {
 		found bool
 	}
 	fams := []graph.Family{graph.FamPath, graph.FamCycle, graph.FamGrid, graph.FamRandom}
+	// Both arms of a case reference one shared frozen instance, built once
+	// from the case seed before submission.
 	instance := func(fam graph.Family, d int, caseSeed uint64) (*gather.Scenario, bool) {
 		rng := graph.NewRNG(caseSeed)
 		g := graph.FromFamily(fam, n, rng)
@@ -145,26 +145,21 @@ func runE18(w io.Writer, o Options) error {
 	ci := 0
 	for _, fam := range fams {
 		for _, d := range []int{1, 3} {
-			fam, d := fam, d
-			caseSeed := runner.JobSeed(o.Seed+18, ci)
+			sc, found := instance(fam, d, runner.JobSeed(o.Seed+18, ci))
 			ci++
-			mB, mM := &e18meta{fam: fam, d: d}, &e18meta{fam: fam, d: d}
+			mB, mM := &e18meta{fam: fam, d: d, found: found}, &e18meta{fam: fam, d: d, found: found}
+			if !found {
+				jobs = append(jobs,
+					runner.Job{Meta: mB, Build: func(uint64) (*sim.World, int, error) { return nil, 0, nil }},
+					runner.Job{Meta: mM, Build: func(uint64) (*sim.World, int, error) { return nil, 0, nil }})
+				continue
+			}
 			jobs = append(jobs,
 				runner.Job{Meta: mB, Build: func(uint64) (*sim.World, int, error) {
-					sc, ok := instance(fam, d, caseSeed)
-					if !ok {
-						return nil, 0, nil
-					}
-					mB.found = true
 					world, err := sc.NewBeepWorld()
 					return world, sc.Cfg.UXSGatherBound(sc.G.N()) + 2, err
 				}},
 				runner.Job{Meta: mM, Build: func(uint64) (*sim.World, int, error) {
-					sc, ok := instance(fam, d, caseSeed)
-					if !ok {
-						return nil, 0, nil
-					}
-					mM.found = true
 					world, err := sc.NewUXSWorld()
 					return world, sc.Cfg.UXSGatherBound(sc.G.N()) + 2, err
 				}})

@@ -82,36 +82,44 @@ func runE19(w io.Writer, o Options) error {
 		total                          int
 		detRounds                      int64
 	}
+	// One instance per (family, seed) case, built once and shared by every
+	// algorithm x scheduler arm — like the other head-to-head experiments,
+	// so arms differ only in the thing being ablated, never in the
+	// instance drawn. Jobs derive a per-run scenario via WithScheduler
+	// (schedulers are per-run stateful); the frozen graph is never rebuilt.
+	type e19case struct {
+		sc   *gather.Scenario
+		seed uint64
+	}
+	var instances []e19case
+	for fi, fam := range fams {
+		for s := 0; s < seeds; s++ {
+			caseSeed := runner.JobSeed(o.Seed+19, fi*seeds+s)
+			instances = append(instances, e19case{sc: e19Instance(fam, n, k, caseSeed), seed: caseSeed})
+		}
+	}
 	var cells []*cell
 	var jobs []runner.Job
 	for _, algo := range e19Algos {
 		for _, spec := range e19Scheds {
 			c := &cell{algo: algo.name, sched: spec}
 			cells = append(cells, c)
-			for fi, fam := range fams {
-				for s := 0; s < seeds; s++ {
-					algo, spec, fam := algo, spec, fam
-					// One case seed per (family, seed) instance, shared by
-					// every algorithm x scheduler arm — like the other
-					// head-to-head experiments, so arms differ only in the
-					// thing being ablated, never in the instance drawn.
-					caseSeed := runner.JobSeed(o.Seed+19, fi*seeds+s)
-					c.total++
-					jobs = append(jobs, runner.Job{Meta: c,
-						Build: func(uint64) (*sim.World, int, error) {
-							sc := e19Instance(fam, n, k, caseSeed)
-							sched, err := sim.ParseScheduler(spec, caseSeed^0x19)
-							if err != nil {
-								return nil, 0, err
-							}
-							sc.Sched = sched
-							world, err := algo.build(sc)
-							// Double the synchronous budget: enough for the
-							// 1/p activation stretch, and a clear timeout
-							// verdict for runs desynchronization breaks.
-							return world, 2 * algo.bound(sc), err
-						}})
-				}
+			for _, inst := range instances {
+				algo, spec, inst := algo, spec, inst
+				c.total++
+				jobs = append(jobs, runner.Job{Meta: c,
+					Build: func(uint64) (*sim.World, int, error) {
+						sched, err := sim.ParseScheduler(spec, inst.seed^0x19)
+						if err != nil {
+							return nil, 0, err
+						}
+						sc := inst.sc.WithScheduler(sched)
+						world, err := algo.build(sc)
+						// Double the synchronous budget: enough for the
+						// 1/p activation stretch, and a clear timeout
+						// verdict for runs desynchronization breaks.
+						return world, 2 * algo.bound(sc), err
+					}})
 			}
 		}
 	}
@@ -183,24 +191,24 @@ func runE20(w io.Writer, o Options) error {
 		inst int
 		cap  int
 	}
-	ci := 0
+	// One shared frozen instance per (family, seed) case; the p-arms only
+	// differ in the per-job SemiSync scheduler derived via WithScheduler.
 	for ii := 0; ii < len(fams)*seeds; ii++ {
 		fam := fams[ii/seeds]
-		caseSeed := runner.JobSeed(o.Seed+20, ci)
-		ci++
+		caseSeed := runner.JobSeed(o.Seed+20, ii)
+		rng := graph.NewRNG(caseSeed)
+		g := graph.FromFamily(fam, n, rng)
+		inst := &gather.Scenario{G: g, IDs: gather.AssignIDs(2, g.N(), rng),
+			Positions: place.RandomDispersed(g, 2, rng)}
+		inst.Certify()
 		for _, pt := range points {
-			pt, fam := pt, fam
+			pt := pt
 			m := &jobMeta{pt: pt, inst: ii}
 			jobs = append(jobs, runner.Job{Meta: m,
 				Build: func(uint64) (*sim.World, int, error) {
-					rng := graph.NewRNG(caseSeed)
-					g := graph.FromFamily(fam, n, rng)
-					sc := &gather.Scenario{G: g, IDs: gather.AssignIDs(2, g.N(), rng),
-						Positions: place.RandomDispersed(g, 2, rng)}
-					sc.Certify()
-					sc.Sched = sim.NewSemiSync(pt.p, caseSeed^0x20)
+					sc := inst.WithScheduler(sim.NewSemiSync(pt.p, caseSeed^0x20))
 					world, err := sc.NewDessmarkWorld()
-					m.cap = 8 * (sc.Cfg.FasterBound(g.N()) + 10)
+					m.cap = 8 * (sc.Cfg.FasterBound(sc.G.N()) + 10)
 					return world, m.cap, err
 				}})
 		}

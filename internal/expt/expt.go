@@ -12,6 +12,8 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/gather"
+	"repro/internal/graph"
 	"repro/internal/runner"
 )
 
@@ -38,6 +40,16 @@ func sweep(o Options, base uint64, jobs []runner.Job) ([]runner.JobResult, error
 		return nil, err
 	}
 	return results, nil
+}
+
+// certifiedConfig returns the gather.Config whose UXS length is pinned
+// (certified) for the given frozen graph, computed once so that every
+// scenario sharing the graph also shares the certification work instead
+// of redoing it per job.
+func certifiedConfig(g *graph.Graph) gather.Config {
+	sc := gather.Scenario{G: g}
+	sc.Certify()
+	return sc.Cfg
 }
 
 // Experiment is one reproducible table/figure.

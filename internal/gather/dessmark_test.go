@@ -10,7 +10,7 @@ func TestDessmarkTwoRobotsMeet(t *testing.T) {
 	rng := graph.NewRNG(7)
 	for _, d := range []int{1, 2, 3} {
 		g := graph.Path(8)
-		g.PermutePorts(rng)
+		g = g.WithPermutedPorts(rng)
 		sc := &Scenario{G: g, IDs: []int{5, 6}, Positions: []int{0, d}}
 		cfg := sc.Cfg
 		cap := 0
@@ -37,7 +37,7 @@ func TestDessmarkRoundsGrowWithDistance(t *testing.T) {
 	prev := 0
 	for _, d := range []int{1, 2, 3} {
 		g := graph.Path(10)
-		g.PermutePorts(rng)
+		g = g.WithPermutedPorts(rng)
 		sc := &Scenario{G: g, IDs: []int{1, 2}, Positions: []int{0, d}}
 		res, err := sc.RunDessmark(sc.Cfg.HopDuration(d+1, 10)*4 + 10)
 		if err != nil {

@@ -45,8 +45,8 @@ func TestFaithfulCoverageTinyN(t *testing.T) {
 	for _, n := range []int{3, 4, 5} {
 		u := uxs.New(n, uxs.Faithful)
 		for trial := 0; trial < 5; trial++ {
-			g := graph.RandomConnected(n, n-1+trial%2, rng)
-			g.PermutePorts(rng)
+			g := graph.MustRandomConnected(n, n-1+trial%2, rng)
+			g = g.WithPermutedPorts(rng)
 			if !u.Covers(g) {
 				t.Errorf("n=%d trial %d: faithful sequence does not cover", n, trial)
 			}

@@ -113,7 +113,7 @@ func TestFasterManyRobotsRegime(t *testing.T) {
 	rng := graph.NewRNG(17)
 	n := 10
 	g := graph.Cycle(n)
-	g.PermutePorts(rng)
+	g = g.WithPermutedPorts(rng)
 	k := n/2 + 1
 	ids := AssignIDs(k, n, rng)
 	pos := rng.Perm(n)[:k]

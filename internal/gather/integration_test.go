@@ -22,10 +22,10 @@ func TestAllAlgorithmsUnderInvariants(t *testing.T) {
 		{"wheel", graph.Wheel(8)},
 		{"circulant", graph.Circulant(9, []int{1, 3})},
 		{"caterpillar", graph.Caterpillar(3, 2)},
-		{"regular", graph.RandomRegular(8, 3, rng)},
+		{"regular", graph.MustRandomRegular(8, 3, rng)},
 	}
 	for _, tc := range topologies {
-		tc.g.PermutePorts(rng)
+		tc.g = tc.g.WithPermutedPorts(rng)
 		n := tc.g.N()
 		k := n/2 + 1
 		ids := AssignIDs(k, n, rng)
@@ -75,7 +75,7 @@ func TestExoticFamiliesGatherWithDetection(t *testing.T) {
 		{"wheel", graph.Wheel(9)},
 		{"circulant", graph.Circulant(8, []int{1, 2})},
 	} {
-		tc.g.PermutePorts(rng)
+		tc.g = tc.g.WithPermutedPorts(rng)
 		u, v, ok := place.PairAtDistance(tc.g, 2, rng)
 		if !ok {
 			t.Fatalf("%s: no distance-2 pair", tc.name)

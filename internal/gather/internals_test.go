@@ -188,8 +188,8 @@ func TestUndispersedPropertyQuick(t *testing.T) {
 	f := func(seed uint64, nRaw, kRaw uint8) bool {
 		n := int(nRaw%8) + 3
 		rng := graph.NewRNG(seed)
-		g := graph.RandomConnected(n, min(2*n, n*(n-1)/2), rng)
-		g.PermutePorts(rng)
+		g := graph.MustRandomConnected(n, min(2*n, n*(n-1)/2), rng)
+		g = g.WithPermutedPorts(rng)
 		k := int(kRaw)%(n-1) + 2
 		ids := AssignIDs(k, n, rng)
 		pos := make([]int, k)

@@ -84,7 +84,7 @@ func TestLemma2NoPrematureTermination(t *testing.T) {
 func TestLemma7IncludingWaiterAtHome(t *testing.T) {
 	g := graph.Cycle(7)
 	rng := graph.NewRNG(303)
-	g.PermutePorts(rng)
+	g = g.WithPermutedPorts(rng)
 	// Group {2, 9} at node 4 (finder 2, home 4); waiters at 4's neighbors
 	// and on the home node region.
 	sc := &Scenario{

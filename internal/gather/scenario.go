@@ -10,6 +10,12 @@ import (
 
 // Scenario is a complete gathering instance: graph, robot IDs, starting
 // positions and shared configuration.
+//
+// Sharing: G is a frozen (immutable) graph and IDs/Positions/Cfg are
+// read-only by convention, so one Scenario value can back any number of
+// concurrent worlds — parallel sweeps build the instance once and
+// reference it from every job. Only the scheduler is per-run state; use
+// WithScheduler to derive per-job variants of a shared instance.
 type Scenario struct {
 	G         *graph.Graph
 	IDs       []int
@@ -19,9 +25,19 @@ type Scenario struct {
 	// builds (all Run*/New*World paths honor it); nil keeps the paper's
 	// fully-synchronous model. Schedulers carry per-run state, so a
 	// Scenario with a stateful Sched (SemiSync, Adversarial) builds one
-	// world per scheduler instance: parallel sweeps must construct the
-	// scenario — or at least its scheduler — fresh inside each job.
+	// world per scheduler instance: parallel sweeps derive a per-job copy
+	// via WithScheduler instead of sharing one stateful scheduler.
 	Sched sim.Scheduler
+}
+
+// WithScheduler returns a shallow copy of s carrying the given scheduler.
+// The copy shares the frozen graph, IDs, positions and config with s (all
+// read-only), so parallel jobs can derive per-run scenarios from one
+// shared instance without rebuilding anything.
+func (s *Scenario) WithScheduler(sched sim.Scheduler) *Scenario {
+	c := *s
+	c.Sched = sched
+	return &c
 }
 
 // Validate checks the instance is well-formed.

@@ -48,7 +48,7 @@ func TestUndispersedGathersAtMinGroupHome(t *testing.T) {
 	// Lemma 7: everyone ends at the minimum-groupid finder's start node.
 	g := graph.Cycle(8)
 	rng := graph.NewRNG(3)
-	g.PermutePorts(rng)
+	g = g.WithPermutedPorts(rng)
 	sc := &Scenario{
 		G:         g,
 		IDs:       []int{4, 9, 2, 7, 5},

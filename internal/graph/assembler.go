@@ -100,19 +100,17 @@ func (a *Assembler) Complete() bool {
 	return true
 }
 
-// Graph finalizes the assembled graph, verifying completeness and the
-// port-consistency invariants.
+// Graph finalizes the assembled graph into frozen CSR form, verifying
+// completeness and the port-consistency invariants.
 func (a *Assembler) Graph() (*Graph, error) {
 	if !a.Complete() {
 		return nil, fmt.Errorf("assembler: graph incomplete")
 	}
-	g := &Graph{adj: make([][]Half, len(a.adj))}
 	half := 0
-	for v, ports := range a.adj {
-		g.adj[v] = append([]Half(nil), ports...)
+	for _, ports := range a.adj {
 		half += len(ports)
 	}
-	g.m = half / 2
+	g := freeze(a.adj, half/2)
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}

@@ -119,8 +119,8 @@ func TestAssemblerRoundTripsRandomGraphs(t *testing.T) {
 	// the result must be identical.
 	rng := NewRNG(77)
 	for _, n := range []int{2, 6, 12} {
-		g := RandomConnected(n, min(2*n, n*(n-1)/2), rng)
-		g.PermutePorts(rng)
+		g := MustRandomConnected(n, min(2*n, n*(n-1)/2), rng)
+		g = g.WithPermutedPorts(rng)
 		a := NewAssembler()
 		for v := 0; v < n; v++ {
 			if err := a.EnsureNode(v, g.Degree(v)); err != nil {

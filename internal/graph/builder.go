@@ -1,0 +1,73 @@
+package graph
+
+import "fmt"
+
+// Builder is the mutable construction phase of a graph's lifecycle: it
+// accepts AddEdge mutations and assigns port numbers in insertion order,
+// then Freeze compacts it into an immutable CSR Graph. A Builder is not
+// safe for concurrent use; the Graphs it freezes are.
+type Builder struct {
+	adj [][]Half
+	m   int
+}
+
+// NewBuilder returns a builder for a graph with n isolated nodes.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{adj: make([][]Half, n)}
+}
+
+// N returns the number of nodes.
+func (b *Builder) N() int { return len(b.adj) }
+
+// M returns the number of edges added so far.
+func (b *Builder) M() int { return b.m }
+
+// Degree returns the current degree of node u.
+func (b *Builder) Degree(u int) int { return len(b.adj[u]) }
+
+// HasEdge reports whether u and v are already adjacent.
+func (b *Builder) HasEdge(u, v int) bool {
+	for _, h := range b.adj[u] {
+		if h.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEdge inserts an undirected edge between u and v, assigning it the next
+// free port number at each endpoint. It returns an error for self-loops,
+// duplicate edges, or out-of-range nodes; the model assumes simple graphs.
+func (b *Builder) AddEdge(u, v int) error {
+	n := len(b.adj)
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if b.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	pu, pv := len(b.adj[u]), len(b.adj[v])
+	b.adj[u] = append(b.adj[u], Half{To: v, RevPort: pv})
+	b.adj[v] = append(b.adj[v], Half{To: u, RevPort: pu})
+	b.m++
+	return nil
+}
+
+// MustEdge is AddEdge that panics on error, for use in generators whose
+// inputs are valid by construction.
+func (b *Builder) MustEdge(u, v int) {
+	if err := b.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// Freeze compacts the built adjacency into an immutable CSR Graph. The
+// arrays are copied, so the builder stays usable (further AddEdge calls
+// never reach an already-frozen graph) and may be frozen again.
+func (b *Builder) Freeze() *Graph { return freeze(b.adj, b.m) }

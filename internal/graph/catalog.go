@@ -1,0 +1,418 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The workload catalog is the declarative naming layer over the generator
+// zoo: every graph the harness can build has a spec string
+//
+//	name[:arg[,arg...]]        e.g.  torus:32x32   rreg:1024,4   maze:64
+//
+// parsed once into a Workload whose Build(rng) constructs a frozen graph.
+// cmd/gathersim, cmd/experiments and the experiment tables all draw their
+// topologies through this one registry instead of ad-hoc family switches,
+// so a new entry here is immediately available everywhere (including
+// `gathersim -list`).
+//
+// Grammar: args are comma-separated integers; dimension pairs may be
+// written RxC (torus:32x32 ≡ torus:32,32). Entries named after the legacy
+// sweep families (path, cycle, grid, ...) take a single approximate node
+// count and keep FromFamily's rounding semantics and rng consumption, so
+// seeded instances are bit-identical to the pre-catalog harness.
+//
+// Build draws the structure and then the adversarial port labeling from
+// the same rng: Workload.Build(NewRNG(seed)) is a pure function of
+// (spec, seed).
+
+// CatalogEntry describes one workload family: its name, parameter syntax,
+// and a one-line summary for -list output.
+type CatalogEntry struct {
+	Name    string // registry key, e.g. "torus"
+	Syntax  string // parameter syntax, e.g. "torus:RxC | torus:N"
+	Summary string
+	// compile parses the raw parameter string into a generator; it
+	// validates eagerly so ParseWorkload reports bad specs before any
+	// build happens.
+	compile func(args string) (func(rng *RNG) (*Graph, error), error)
+}
+
+// Workload is a parsed catalog spec, ready to build frozen graphs.
+type Workload struct {
+	spec string
+	gen  func(rng *RNG) (*Graph, error)
+}
+
+// String returns the spec the workload was parsed from.
+func (w *Workload) String() string { return w.spec }
+
+// Build constructs the workload's graph: the rng drives random structure
+// and, uniformly for every entry, the adversarial port permutation. The
+// result is frozen and safe to share across goroutines.
+func (w *Workload) Build(rng *RNG) (*Graph, error) {
+	g, err := w.gen(rng)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.spec, err)
+	}
+	return g.WithPermutedPorts(rng), nil
+}
+
+// ParseWorkload parses a catalog spec ("torus:32x32", "rreg:1024,4",
+// "petersen") and validates its parameters eagerly.
+func ParseWorkload(spec string) (*Workload, error) {
+	name, args := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, args = spec[:i], spec[i+1:]
+	}
+	e, ok := catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("graph: unknown workload %q (see Catalog or `gathersim -list` for the registry)", name)
+	}
+	gen, err := e.compile(args)
+	if err != nil {
+		return nil, fmt.Errorf("graph: workload %q: %v (syntax: %s)", spec, err, e.Syntax)
+	}
+	return &Workload{spec: spec, gen: gen}, nil
+}
+
+// MustWorkload is ParseWorkload that panics on error, for specs that are
+// valid by construction (e.g. table-driven sweeps).
+func MustWorkload(spec string) *Workload {
+	w, err := ParseWorkload(spec)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// BuildWorkload parses and builds a spec in one step.
+func BuildWorkload(spec string, rng *RNG) (*Graph, error) {
+	w, err := ParseWorkload(spec)
+	if err != nil {
+		return nil, err
+	}
+	return w.Build(rng)
+}
+
+// Catalog returns every registered workload entry, sorted by name.
+func Catalog() []CatalogEntry {
+	out := make([]CatalogEntry, 0, len(catalog))
+	for _, e := range catalog {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+var catalog = map[string]CatalogEntry{}
+
+func registerWorkload(e CatalogEntry) {
+	if _, dup := catalog[e.Name]; dup {
+		panic("graph: duplicate workload " + e.Name)
+	}
+	catalog[e.Name] = e
+}
+
+// --- parameter parsing helpers ---
+
+// parseInts parses "a,b,c" (with RxC pairs expanded: "4x5,2" -> 4,5,2)
+// and enforces an argument-count range.
+func parseInts(args string, minArgs, maxArgs int) ([]int, error) {
+	var out []int
+	if args != "" {
+		for _, part := range strings.Split(args, ",") {
+			for _, dim := range strings.Split(part, "x") {
+				v, err := strconv.Atoi(strings.TrimSpace(dim))
+				if err != nil {
+					return nil, fmt.Errorf("bad integer %q", dim)
+				}
+				out = append(out, v)
+			}
+		}
+	}
+	if len(out) < minArgs || len(out) > maxArgs {
+		if minArgs == maxArgs {
+			return nil, fmt.Errorf("want %d argument(s), got %d", minArgs, len(out))
+		}
+		return nil, fmt.Errorf("want %d to %d arguments, got %d", minArgs, maxArgs, len(out))
+	}
+	return out, nil
+}
+
+// deterministic wraps a parameter-checked constructor with no random
+// structure (the rng is still consumed afterwards by Build's port
+// permutation).
+func deterministic(build func() (*Graph, error)) func(rng *RNG) (*Graph, error) {
+	return func(*RNG) (*Graph, error) { return build() }
+}
+
+// familyEntry registers a legacy sweep family under its Family name with
+// FromFamily's approximate-n semantics.
+func familyEntry(f Family, summary string) CatalogEntry {
+	name := string(f)
+	return CatalogEntry{
+		Name:    name,
+		Syntax:  name + ":N",
+		Summary: summary,
+		compile: func(args string) (func(rng *RNG) (*Graph, error), error) {
+			v, err := parseInts(args, 1, 1)
+			if err != nil {
+				return nil, err
+			}
+			if v[0] < 1 {
+				return nil, fmt.Errorf("need N >= 1")
+			}
+			return func(rng *RNG) (*Graph, error) {
+				return checkedErr(func() (*Graph, error) { return fromFamilyRaw(f, v[0], rng) })
+			}, nil
+		},
+	}
+}
+
+// checked guards a panicking generator call so that catalog builds report
+// errors instead of unwinding (generators validate by panic internally).
+func checked(build func() *Graph) (*Graph, error) {
+	return checkedErr(func() (*Graph, error) { return build(), nil })
+}
+
+// checkedErr is checked for constructors that also return errors.
+func checkedErr(build func() (*Graph, error)) (g *Graph, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g, err = nil, fmt.Errorf("%v", r)
+		}
+	}()
+	return build()
+}
+
+func init() {
+	// Legacy sweep families: approximate node count, FromFamily rounding.
+	registerWorkload(familyEntry(FamPath, "path graph on N nodes"))
+	registerWorkload(familyEntry(FamCycle, "cycle on max(N,3) nodes"))
+	registerWorkload(CatalogEntry{
+		Name: "grid", Syntax: "grid:RxC | grid:N (N -> near-square)",
+		Summary: "R x C grid graph",
+		compile: func(args string) (func(rng *RNG) (*Graph, error), error) {
+			v, err := parseInts(args, 1, 2)
+			if err != nil {
+				return nil, err
+			}
+			if len(v) == 1 {
+				// FromFamily's rounding, so grid:N matches the legacy sweeps.
+				if v[0] < 1 {
+					return nil, fmt.Errorf("need N >= 1")
+				}
+				return func(rng *RNG) (*Graph, error) {
+					return checkedErr(func() (*Graph, error) { return fromFamilyRaw(FamGrid, v[0], rng) })
+				}, nil
+			}
+			if v[0] < 1 || v[1] < 1 {
+				return nil, fmt.Errorf("need dims >= 1")
+			}
+			return deterministic(func() (*Graph, error) { return Grid(v[0], v[1]), nil }), nil
+		},
+	})
+	registerWorkload(familyEntry(FamTree, "random tree on N nodes"))
+	registerWorkload(familyEntry(FamRandom, "random connected graph, N nodes, min(2N, max) edges"))
+	registerWorkload(familyEntry(FamComplete, "complete graph K_N"))
+	registerWorkload(familyEntry(FamLollipop, "clique of about N/2 with a path tail"))
+	registerWorkload(familyEntry(FamStar, "star with N-1 leaves"))
+	registerWorkload(familyEntry(FamHypercube, "hypercube with >= N nodes (rounded up to 2^d)"))
+
+	registerWorkload(CatalogEntry{
+		Name: "torus", Syntax: "torus:RxC | torus:N (N -> near-square, dims >= 3)",
+		Summary: "R x C torus (grid with wraparound), 4-regular",
+		compile: func(args string) (func(rng *RNG) (*Graph, error), error) {
+			v, err := parseInts(args, 1, 2)
+			if err != nil {
+				return nil, err
+			}
+			r, c := squareDims(v, 3)
+			if r < 3 || c < 3 {
+				return nil, fmt.Errorf("need dims >= 3")
+			}
+			return deterministic(func() (*Graph, error) { return checked(func() *Graph { return Torus(r, c) }) }), nil
+		},
+	})
+	registerWorkload(CatalogEntry{
+		Name: "maze", Syntax: "maze:RxC[,extra] | maze:N[,extra] (N = square side; extra = openings beyond the spanning tree, default 0)",
+		Summary: "random R x C maze: spanning-tree passages plus extra openings",
+		compile: func(args string) (func(rng *RNG) (*Graph, error), error) {
+			// Parsed by hand rather than via parseInts: the comma separates
+			// dims from the extra-openings count, so "maze:4,3" is a 4x4
+			// maze with 3 openings, not 4x3 dims.
+			parts := strings.Split(args, ",")
+			if args == "" || len(parts) > 2 {
+				return nil, fmt.Errorf("want dims plus at most one extra count")
+			}
+			dims, err := parseInts(parts[0], 1, 2)
+			if err != nil {
+				return nil, err
+			}
+			r, c := dims[0], dims[0]
+			if len(dims) == 2 {
+				r, c = dims[0], dims[1]
+			}
+			extra := 0
+			if len(parts) == 2 {
+				if extra, err = strconv.Atoi(strings.TrimSpace(parts[1])); err != nil {
+					return nil, fmt.Errorf("bad extra count %q", parts[1])
+				}
+			}
+			if r < 1 || c < 1 || extra < 0 {
+				return nil, fmt.Errorf("need positive dims and extra >= 0")
+			}
+			return func(rng *RNG) (*Graph, error) { return Maze(r, c, extra, rng), nil }, nil
+		},
+	})
+	registerWorkload(CatalogEntry{
+		Name: "rreg", Syntax: "rreg:N,D (N*D even, 1 <= D < N)",
+		Summary: "random connected D-regular graph on N nodes (pairing model)",
+		compile: func(args string) (func(rng *RNG) (*Graph, error), error) {
+			v, err := parseInts(args, 2, 2)
+			if err != nil {
+				return nil, err
+			}
+			if v[1] < 1 || v[1] >= v[0] || v[0]*v[1]%2 != 0 {
+				return nil, fmt.Errorf("no %d-regular graph on %d nodes", v[1], v[0])
+			}
+			return func(rng *RNG) (*Graph, error) { return RandomRegular(v[0], v[1], rng) }, nil
+		},
+	})
+	registerWorkload(CatalogEntry{
+		Name: "randm", Syntax: "randm:N,M (N-1 <= M <= N(N-1)/2)",
+		Summary: "random connected graph with exactly N nodes and M edges",
+		compile: func(args string) (func(rng *RNG) (*Graph, error), error) {
+			v, err := parseInts(args, 2, 2)
+			if err != nil {
+				return nil, err
+			}
+			if v[0] < 1 || v[1] < v[0]-1 || v[1] > v[0]*(v[0]-1)/2 {
+				return nil, fmt.Errorf("infeasible edge count %d for %d nodes", v[1], v[0])
+			}
+			return func(rng *RNG) (*Graph, error) { return RandomConnected(v[0], v[1], rng) }, nil
+		},
+	})
+	registerWorkload(CatalogEntry{
+		Name: "wheel", Syntax: "wheel:N (N >= 4)",
+		Summary: "wheel: hub adjacent to an (N-1)-cycle rim",
+		compile: func(args string) (func(rng *RNG) (*Graph, error), error) {
+			v, err := parseInts(args, 1, 1)
+			if err != nil {
+				return nil, err
+			}
+			if v[0] < 4 {
+				return nil, fmt.Errorf("need N >= 4")
+			}
+			return deterministic(func() (*Graph, error) { return checked(func() *Graph { return Wheel(v[0]) }) }), nil
+		},
+	})
+	registerWorkload(CatalogEntry{
+		Name: "petersen", Syntax: "petersen",
+		Summary: "the Petersen graph: 10 nodes, 3-regular, vertex-transitive",
+		compile: func(args string) (func(rng *RNG) (*Graph, error), error) {
+			if args != "" {
+				return nil, fmt.Errorf("takes no arguments")
+			}
+			return deterministic(func() (*Graph, error) { return Petersen(), nil }), nil
+		},
+	})
+	registerWorkload(CatalogEntry{
+		Name: "circulant", Syntax: "circulant:N,J1[,J2...] (1 <= J <= N/2)",
+		Summary: "circulant C_N(J1,J2,...): node v adjacent to v±Ji mod N",
+		compile: func(args string) (func(rng *RNG) (*Graph, error), error) {
+			v, err := parseInts(args, 2, 16)
+			if err != nil {
+				return nil, err
+			}
+			n, jumps := v[0], v[1:]
+			for _, j := range jumps {
+				if j < 1 || 2*j > n {
+					return nil, fmt.Errorf("jump %d out of range for n=%d", j, n)
+				}
+			}
+			return deterministic(func() (*Graph, error) { return checked(func() *Graph { return Circulant(n, jumps) }) }), nil
+		},
+	})
+	registerWorkload(CatalogEntry{
+		Name: "caterpillar", Syntax: "caterpillar:SPINE,LEGS",
+		Summary: "caterpillar tree: spine path with pendant leaves per node",
+		compile: func(args string) (func(rng *RNG) (*Graph, error), error) {
+			v, err := parseInts(args, 2, 2)
+			if err != nil {
+				return nil, err
+			}
+			if v[0] < 1 || v[1] < 0 {
+				return nil, fmt.Errorf("need SPINE >= 1, LEGS >= 0")
+			}
+			return deterministic(func() (*Graph, error) { return checked(func() *Graph { return Caterpillar(v[0], v[1]) }) }), nil
+		},
+	})
+	registerWorkload(CatalogEntry{
+		Name: "barbell", Syntax: "barbell:CLIQUE[,BRIDGE] (CLIQUE >= 2)",
+		Summary: "two cliques joined by a bridge path",
+		compile: func(args string) (func(rng *RNG) (*Graph, error), error) {
+			v, err := parseInts(args, 1, 2)
+			if err != nil {
+				return nil, err
+			}
+			bridge := 0
+			if len(v) == 2 {
+				bridge = v[1]
+			}
+			if v[0] < 2 || bridge < 0 {
+				return nil, fmt.Errorf("need CLIQUE >= 2, BRIDGE >= 0")
+			}
+			return deterministic(func() (*Graph, error) { return checked(func() *Graph { return Barbell(v[0], bridge) }) }), nil
+		},
+	})
+	registerWorkload(CatalogEntry{
+		Name: "bipartite", Syntax: "bipartite:AxB | bipartite:A,B",
+		Summary: "complete bipartite graph K_{A,B}",
+		compile: func(args string) (func(rng *RNG) (*Graph, error), error) {
+			v, err := parseInts(args, 2, 2)
+			if err != nil {
+				return nil, err
+			}
+			if v[0] < 1 || v[1] < 1 {
+				return nil, fmt.Errorf("need both parts >= 1")
+			}
+			return deterministic(func() (*Graph, error) { return CompleteBipartite(v[0], v[1]), nil }), nil
+		},
+	})
+	registerWorkload(CatalogEntry{
+		Name: "bintree", Syntax: "bintree:N",
+		Summary: "complete-ish binary tree on N nodes",
+		compile: func(args string) (func(rng *RNG) (*Graph, error), error) {
+			v, err := parseInts(args, 1, 1)
+			if err != nil {
+				return nil, err
+			}
+			if v[0] < 1 {
+				return nil, fmt.Errorf("need N >= 1")
+			}
+			return deterministic(func() (*Graph, error) { return BinaryTree(v[0]), nil }), nil
+		},
+	})
+}
+
+// squareDims turns a 1- or 2-element dimension list into rows, cols; a
+// single N yields the near-square shape with each dim at least minDim.
+func squareDims(v []int, minDim int) (rows, cols int) {
+	if len(v) == 2 {
+		return v[0], v[1]
+	}
+	n := v[0]
+	r := minDim
+	for r*r < n {
+		r++
+	}
+	c := (n + r - 1) / r
+	if c < minDim {
+		c = minDim
+	}
+	return r, c
+}

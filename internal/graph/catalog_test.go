@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleSpecs maps every catalog entry to at least one small concrete
+// spec. TestCatalogCoversEveryEntry fails if a new entry lands without a
+// sample here, so the property suite below always covers the full
+// registry.
+var sampleSpecs = map[string][]string{
+	"path":        {"path:7"},
+	"cycle":       {"cycle:9", "cycle:1"}, // 1 rounds up to the minimum cycle
+	"grid":        {"grid:3x5", "grid:10"},
+	"tree":        {"tree:11"},
+	"random":      {"random:12"},
+	"complete":    {"complete:5"},
+	"lollipop":    {"lollipop:9"},
+	"star":        {"star:6"},
+	"hypercube":   {"hypercube:9"},
+	"torus":       {"torus:3x4", "torus:10"},
+	"maze":        {"maze:4x5,3", "maze:4"},
+	"rreg":        {"rreg:10,3"},
+	"randm":       {"randm:8,12"},
+	"wheel":       {"wheel:7"},
+	"petersen":    {"petersen"},
+	"circulant":   {"circulant:11,1,3"},
+	"caterpillar": {"caterpillar:4,2"},
+	"barbell":     {"barbell:3,2"},
+	"bipartite":   {"bipartite:2x4"},
+	"bintree":     {"bintree:10"},
+}
+
+func TestCatalogCoversEveryEntry(t *testing.T) {
+	for _, e := range Catalog() {
+		if len(sampleSpecs[e.Name]) == 0 {
+			t.Errorf("catalog entry %q has no sample spec in catalog_test.go: the property suite would skip it", e.Name)
+		}
+	}
+	for name := range sampleSpecs {
+		if _, ok := catalog[name]; !ok {
+			t.Errorf("sample spec for unknown entry %q", name)
+		}
+	}
+}
+
+// TestCatalogProperties checks, for every workload in the catalog, the
+// structural contract of the frozen CSR form: port involution
+// (Neighbor(Neighbor(u,p)) == (u,p)), degree/offset consistency, and
+// connectivity — plus determinism of the (spec, seed) -> graph function.
+func TestCatalogProperties(t *testing.T) {
+	for name, specs := range sampleSpecs {
+		for _, spec := range specs {
+			for _, seed := range []uint64{1, 42} {
+				g, err := BuildWorkload(spec, NewRNG(seed))
+				if err != nil {
+					t.Fatalf("%s: %v", spec, err)
+				}
+
+				// Degree/offset consistency: offsets monotone, degrees sum
+				// to 2m, Degree agrees with the offset deltas, max degree
+				// cached correctly.
+				if got := len(g.offsets) - 1; got != g.N() {
+					t.Fatalf("%s: %d offsets for n=%d", spec, len(g.offsets), g.N())
+				}
+				if g.offsets[0] != 0 || int(g.offsets[g.N()]) != len(g.halves) {
+					t.Fatalf("%s: offset endpoints [%d, %d] want [0, %d]", spec, g.offsets[0], g.offsets[g.N()], len(g.halves))
+				}
+				sumDeg, maxDeg := 0, 0
+				for u := 0; u < g.N(); u++ {
+					if g.offsets[u+1] < g.offsets[u] {
+						t.Fatalf("%s: offsets not monotone at %d", spec, u)
+					}
+					d := g.Degree(u)
+					if d != int(g.offsets[u+1]-g.offsets[u]) {
+						t.Fatalf("%s: Degree(%d) = %d != offset delta", spec, u, d)
+					}
+					sumDeg += d
+					if d > maxDeg {
+						maxDeg = d
+					}
+				}
+				if sumDeg != 2*g.M() {
+					t.Fatalf("%s: degree sum %d != 2m = %d", spec, sumDeg, 2*g.M())
+				}
+				if maxDeg != g.MaxDegree() {
+					t.Fatalf("%s: MaxDegree %d, actual %d", spec, g.MaxDegree(), maxDeg)
+				}
+
+				// Port involution: traversing (u,p) and then the reported
+				// reverse port must return to (u,p) exactly.
+				for u := 0; u < g.N(); u++ {
+					for p := 0; p < g.Degree(u); p++ {
+						v, q := g.Neighbor(u, p)
+						u2, p2 := g.Neighbor(v, q)
+						if u2 != u || p2 != p {
+							t.Fatalf("%s: involution broken: (%d,%d) -> (%d,%d) -> (%d,%d)", spec, u, p, v, q, u2, p2)
+						}
+					}
+				}
+
+				// Connectivity (and the rest of the structural contract).
+				if !g.IsConnected() {
+					t.Fatalf("%s: not connected", spec)
+				}
+				if err := g.Validate(); err != nil {
+					t.Fatalf("%s: %v", spec, err)
+				}
+
+				// Determinism: the same (spec, seed) must rebuild the same
+				// port-labeled graph, half for half.
+				h, err := BuildWorkload(spec, NewRNG(seed))
+				if err != nil {
+					t.Fatalf("%s rebuild: %v", spec, err)
+				}
+				if h.N() != g.N() || h.M() != g.M() || len(h.halves) != len(g.halves) {
+					t.Fatalf("%s: rebuild changed shape", spec)
+				}
+				for i := range g.halves {
+					if g.halves[i] != h.halves[i] {
+						t.Fatalf("%s: rebuild differs at half %d", spec, i)
+					}
+				}
+				_ = name
+			}
+		}
+	}
+}
+
+// TestCatalogRejectsBadSpecs pins the eager-validation contract of
+// ParseWorkload: unknown names and malformed or infeasible parameters
+// fail at parse time, not at build time.
+func TestCatalogRejectsBadSpecs(t *testing.T) {
+	bad := []string{
+		"",             // empty name
+		"nosuch:4",     // unknown entry
+		"cycle",        // missing required arg
+		"cycle:x",      // non-integer
+		"cycle:4,5",    // too many args
+		"rreg:5,3",     // odd n*d
+		"rreg:4,4",     // d >= n
+		"randm:5,3",    // m < n-1
+		"randm:5,11",   // m > max
+		"torus:2x4",    // dim < 3
+		"petersen:10",  // args on an arg-less entry
+		"circulant:8,5", // jump > n/2
+	}
+	for _, spec := range bad {
+		if _, err := ParseWorkload(spec); err == nil {
+			t.Errorf("ParseWorkload(%q) accepted a bad spec", spec)
+		} else if !strings.Contains(err.Error(), "workload") {
+			t.Errorf("ParseWorkload(%q): error %q does not identify the workload", spec, err)
+		}
+	}
+}
+
+// TestWithPermutedPortsMatchesLegacyStream pins the rng-consumption
+// contract WithPermutedPorts documents: one Perm(δ) per node with δ >= 2,
+// in node order — so a generator followed by WithPermutedPorts leaves the
+// rng in exactly the state the pre-CSR in-place PermutePorts did.
+func TestWithPermutedPortsMatchesLegacyStream(t *testing.T) {
+	rng := NewRNG(77)
+	g := Lollipop(4, 3)
+	_ = g.WithPermutedPorts(rng)
+	// Reference: consume the stream the way the old implementation did.
+	ref := NewRNG(77)
+	for u := 0; u < g.N(); u++ {
+		if d := g.Degree(u); d >= 2 {
+			ref.Perm(d)
+		}
+	}
+	if rng.Uint64() != ref.Uint64() {
+		t.Fatal("WithPermutedPorts consumed a different rng stream than the legacy PermutePorts")
+	}
+}

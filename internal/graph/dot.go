@@ -31,9 +31,9 @@ func (g *Graph) WriteDOT(w io.Writer, robots map[int][]int) error {
 		fmt.Fprintf(&b, "  %d [label=\"%s\"];\n", v, label)
 	}
 	for u := 0; u < g.N(); u++ {
-		for p, h := range g.adj[u] {
-			if u < h.To {
-				fmt.Fprintf(&b, "  %d -- %d [label=\"%d:%d\"];\n", u, h.To, p, h.RevPort)
+		for p, h := range g.ports(u) {
+			if u < int(h.to) {
+				fmt.Fprintf(&b, "  %d -- %d [label=\"%d:%d\"];\n", u, h.to, p, h.rev)
 			}
 		}
 	}

@@ -12,47 +12,48 @@ func Wheel(n int) *Graph {
 	if n < 4 {
 		panic("graph: Wheel needs n >= 4")
 	}
-	g := New(n)
+	b := NewBuilder(n)
 	for v := 1; v < n; v++ {
-		g.MustEdge(0, v)
+		b.MustEdge(0, v)
 	}
 	for v := 1; v < n-1; v++ {
-		g.MustEdge(v, v+1)
+		b.MustEdge(v, v+1)
 	}
-	g.MustEdge(n-1, 1)
-	return g
+	b.MustEdge(n-1, 1)
+	return b.Freeze()
 }
 
 // Petersen returns the Petersen graph: 10 nodes, 15 edges, 3-regular,
 // vertex-transitive — a classic worst case for local exploration
 // heuristics. Nodes 0-4 form the outer cycle, 5-9 the inner pentagram.
 func Petersen() *Graph {
-	g := New(10)
+	b := NewBuilder(10)
 	for v := 0; v < 5; v++ {
-		g.MustEdge(v, (v+1)%5) // outer cycle
-		g.MustEdge(v, v+5)     // spokes
+		b.MustEdge(v, (v+1)%5) // outer cycle
+		b.MustEdge(v, v+5)     // spokes
 	}
 	for v := 0; v < 5; v++ {
-		g.MustEdge(5+v, 5+(v+2)%5) // inner pentagram
+		b.MustEdge(5+v, 5+(v+2)%5) // inner pentagram
 	}
-	return g
+	return b.Freeze()
 }
 
 // Circulant returns the circulant graph C_n(jumps): node v is adjacent to
 // v±j (mod n) for every jump j. Jumps must be in [1, n/2] and distinct.
 func Circulant(n int, jumps []int) *Graph {
-	g := New(n)
+	b := NewBuilder(n)
 	for _, j := range jumps {
 		if j < 1 || 2*j > n {
 			panic(fmt.Sprintf("graph: circulant jump %d out of range for n=%d", j, n))
 		}
 		for v := 0; v < n; v++ {
 			u := (v + j) % n
-			if !g.HasEdge(v, u) {
-				g.MustEdge(v, u)
+			if !b.HasEdge(v, u) {
+				b.MustEdge(v, u)
 			}
 		}
 	}
+	g := b.Freeze()
 	if !g.IsConnected() {
 		panic("graph: circulant jumps do not generate a connected graph")
 	}
@@ -65,34 +66,53 @@ func Caterpillar(spine, legs int) *Graph {
 	if spine < 1 || legs < 0 {
 		panic("graph: Caterpillar needs spine >= 1, legs >= 0")
 	}
-	g := New(spine * (1 + legs))
+	b := NewBuilder(spine * (1 + legs))
 	for i := 0; i+1 < spine; i++ {
-		g.MustEdge(i, i+1)
+		b.MustEdge(i, i+1)
 	}
 	leaf := spine
 	for i := 0; i < spine; i++ {
 		for l := 0; l < legs; l++ {
-			g.MustEdge(i, leaf)
+			b.MustEdge(i, leaf)
 			leaf++
 		}
 	}
-	return g
+	return b.Freeze()
 }
 
+// maxPairingAttempts caps RandomRegular's rejection loop: for the small d
+// and n the experiments use, a valid connected pairing is found within a
+// handful of attempts, so exhausting the cap signals infeasible-in-practice
+// parameters rather than bad luck.
+const maxPairingAttempts = 1000
+
 // RandomRegular returns a random d-regular graph on n nodes via the
-// pairing model with rejection (n·d must be even, d < n). For the small
-// d and n the experiments use, a valid pairing is found quickly.
-func RandomRegular(n, d int, rng *RNG) *Graph {
-	if n*d%2 != 0 || d >= n || d < 1 {
-		panic(fmt.Sprintf("graph: no %d-regular graph on %d nodes", d, n))
+// pairing model with rejection. Infeasible parameters (odd n*d, d >= n,
+// d < 1) return an explicit error, as does failing to find a connected
+// simple pairing within the capped number of attempts — the loop cannot
+// spin forever on any input.
+func RandomRegular(n, d int, rng *RNG) (*Graph, error) {
+	if d < 1 || d >= n || n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: no %d-regular graph on %d nodes (need 1 <= d < n, n*d even)", d, n)
 	}
-	for attempt := 0; attempt < 1000; attempt++ {
+	for attempt := 0; attempt < maxPairingAttempts; attempt++ {
 		g, ok := tryPairing(n, d, rng)
 		if ok && g.IsConnected() {
-			return g
+			return g, nil
 		}
 	}
-	panic("graph: RandomRegular failed to find a connected pairing")
+	return nil, fmt.Errorf("graph: RandomRegular(n=%d, d=%d): no connected pairing in %d attempts",
+		n, d, maxPairingAttempts)
+}
+
+// MustRandomRegular is RandomRegular that panics on error, for callers
+// whose parameters are feasible by construction.
+func MustRandomRegular(n, d int, rng *RNG) *Graph {
+	g, err := RandomRegular(n, d, rng)
+	if err != nil {
+		panic(err)
+	}
+	return g
 }
 
 func tryPairing(n, d int, rng *RNG) (*Graph, bool) {
@@ -103,13 +123,13 @@ func tryPairing(n, d int, rng *RNG) (*Graph, bool) {
 		}
 	}
 	rng.Shuffle(stubs)
-	g := New(n)
+	b := NewBuilder(n)
 	for i := 0; i < len(stubs); i += 2 {
 		u, v := stubs[i], stubs[i+1]
-		if u == v || g.HasEdge(u, v) {
+		if u == v || b.HasEdge(u, v) {
 			return nil, false // reject multi-edges/self-loops, retry
 		}
-		g.MustEdge(u, v)
+		b.MustEdge(u, v)
 	}
-	return g, true
+	return b.Freeze(), true
 }

@@ -107,7 +107,10 @@ func TestCaterpillar(t *testing.T) {
 func TestRandomRegular(t *testing.T) {
 	rng := NewRNG(55)
 	for _, c := range []struct{ n, d int }{{8, 3}, {10, 4}, {12, 3}} {
-		g := RandomRegular(c.n, c.d, rng)
+		g, err := RandomRegular(c.n, c.d, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if g.N() != c.n {
 			t.Fatalf("n = %d", g.N())
 		}
@@ -125,13 +128,8 @@ func TestRandomRegular(t *testing.T) {
 func TestRandomRegularRejectsInfeasible(t *testing.T) {
 	rng := NewRNG(1)
 	for _, c := range []struct{ n, d int }{{5, 3}, {4, 4}, {3, 0}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("RandomRegular(%d,%d) did not panic", c.n, c.d)
-				}
-			}()
-			RandomRegular(c.n, c.d, rng)
-		}()
+		if _, err := RandomRegular(c.n, c.d, rng); err == nil {
+			t.Errorf("RandomRegular(%d,%d) accepted infeasible parameters", c.n, c.d)
+		}
 	}
 }

@@ -3,17 +3,20 @@ package graph
 import "fmt"
 
 // This file provides the graph families used by the paper's experiments and
-// examples. All generators produce connected simple graphs with canonical
-// port numbering (insertion order); callers that want adversarial port
-// labels follow up with PermutePorts.
+// examples. All generators build through the Builder phase and return
+// frozen, connected, simple graphs with canonical port numbering (insertion
+// order); callers that want adversarial port labels follow up with
+// WithPermutedPorts.
 
 // Path returns the path graph on n nodes: 0-1-2-...-(n-1).
-func Path(n int) *Graph {
-	g := New(n)
+func Path(n int) *Graph { return pathBuilder(n).Freeze() }
+
+func pathBuilder(n int) *Builder {
+	b := NewBuilder(n)
 	for i := 0; i+1 < n; i++ {
-		g.MustEdge(i, i+1)
+		b.MustEdge(i, i+1)
 	}
-	return g
+	return b
 }
 
 // Cycle returns the cycle graph on n >= 3 nodes.
@@ -21,46 +24,46 @@ func Cycle(n int) *Graph {
 	if n < 3 {
 		panic("graph: Cycle needs n >= 3")
 	}
-	g := Path(n)
-	g.MustEdge(n-1, 0)
-	return g
+	b := pathBuilder(n)
+	b.MustEdge(n-1, 0)
+	return b.Freeze()
 }
 
 // Complete returns the complete graph K_n.
 func Complete(n int) *Graph {
-	g := New(n)
+	b := NewBuilder(n)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			g.MustEdge(u, v)
+			b.MustEdge(u, v)
 		}
 	}
-	return g
+	return b.Freeze()
 }
 
 // Star returns the star graph with node 0 at the center and n-1 leaves.
 func Star(n int) *Graph {
-	g := New(n)
+	b := NewBuilder(n)
 	for v := 1; v < n; v++ {
-		g.MustEdge(0, v)
+		b.MustEdge(0, v)
 	}
-	return g
+	return b.Freeze()
 }
 
 // Grid returns the rows x cols grid graph. Node (r, c) has index r*cols+c.
 func Grid(rows, cols int) *Graph {
-	g := New(rows * cols)
+	b := NewBuilder(rows * cols)
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			u := r*cols + c
 			if c+1 < cols {
-				g.MustEdge(u, u+1)
+				b.MustEdge(u, u+1)
 			}
 			if r+1 < rows {
-				g.MustEdge(u, u+cols)
+				b.MustEdge(u, u+cols)
 			}
 		}
 	}
-	return g
+	return b.Freeze()
 }
 
 // Torus returns the rows x cols torus (grid with wraparound), rows, cols >= 3.
@@ -68,15 +71,15 @@ func Torus(rows, cols int) *Graph {
 	if rows < 3 || cols < 3 {
 		panic("graph: Torus needs rows, cols >= 3")
 	}
-	g := New(rows * cols)
+	b := NewBuilder(rows * cols)
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			u := r*cols + c
-			g.MustEdge(u, r*cols+(c+1)%cols)
-			g.MustEdge(u, ((r+1)%rows)*cols+c)
+			b.MustEdge(u, r*cols+(c+1)%cols)
+			b.MustEdge(u, ((r+1)%rows)*cols+c)
 		}
 	}
-	return g
+	return b.Freeze()
 }
 
 // Hypercube returns the d-dimensional hypercube on 2^d nodes.
@@ -85,27 +88,27 @@ func Hypercube(d int) *Graph {
 		panic("graph: Hypercube dimension out of range")
 	}
 	n := 1 << d
-	g := New(n)
+	b := NewBuilder(n)
 	for u := 0; u < n; u++ {
-		for b := 0; b < d; b++ {
-			v := u ^ (1 << b)
+		for bit := 0; bit < d; bit++ {
+			v := u ^ (1 << bit)
 			if u < v {
-				g.MustEdge(u, v)
+				b.MustEdge(u, v)
 			}
 		}
 	}
-	return g
+	return b.Freeze()
 }
 
 // CompleteBipartite returns K_{a,b} with parts {0..a-1} and {a..a+b-1}.
 func CompleteBipartite(a, b int) *Graph {
-	g := New(a + b)
+	bld := NewBuilder(a + b)
 	for u := 0; u < a; u++ {
 		for v := a; v < a+b; v++ {
-			g.MustEdge(u, v)
+			bld.MustEdge(u, v)
 		}
 	}
-	return g
+	return bld.Freeze()
 }
 
 // Lollipop returns a clique of size clique joined by a path of tail extra
@@ -116,18 +119,18 @@ func Lollipop(clique, tail int) *Graph {
 	if clique < 2 {
 		panic("graph: Lollipop needs clique >= 2")
 	}
-	g := New(clique + tail)
+	b := NewBuilder(clique + tail)
 	for u := 0; u < clique; u++ {
 		for v := u + 1; v < clique; v++ {
-			g.MustEdge(u, v)
+			b.MustEdge(u, v)
 		}
 	}
 	prev := clique - 1
 	for i := 0; i < tail; i++ {
-		g.MustEdge(prev, clique+i)
+		b.MustEdge(prev, clique+i)
 		prev = clique + i
 	}
-	return g
+	return b.Freeze()
 }
 
 // Barbell returns two cliques of size clique connected by a path of bridge
@@ -137,66 +140,96 @@ func Barbell(clique, bridge int) *Graph {
 		panic("graph: Barbell needs clique >= 2")
 	}
 	n := 2*clique + bridge
-	g := New(n)
+	b := NewBuilder(n)
 	for u := 0; u < clique; u++ {
 		for v := u + 1; v < clique; v++ {
-			g.MustEdge(u, v)
+			b.MustEdge(u, v)
 		}
 	}
 	off := clique + bridge
 	for u := off; u < off+clique; u++ {
 		for v := u + 1; v < off+clique; v++ {
-			g.MustEdge(u, v)
+			b.MustEdge(u, v)
 		}
 	}
 	prev := clique - 1
 	for i := 0; i < bridge; i++ {
-		g.MustEdge(prev, clique+i)
+		b.MustEdge(prev, clique+i)
 		prev = clique + i
 	}
-	g.MustEdge(prev, off)
-	return g
+	b.MustEdge(prev, off)
+	return b.Freeze()
 }
 
 // BinaryTree returns the complete-ish binary tree on n nodes with node 0 as
 // the root and node i's children at 2i+1 and 2i+2.
 func BinaryTree(n int) *Graph {
-	g := New(n)
+	b := NewBuilder(n)
 	for i := 0; i < n; i++ {
 		if l := 2*i + 1; l < n {
-			g.MustEdge(i, l)
+			b.MustEdge(i, l)
 		}
 		if r := 2*i + 2; r < n {
-			g.MustEdge(i, r)
+			b.MustEdge(i, r)
 		}
 	}
-	return g
+	return b.Freeze()
 }
 
 // RandomTree returns a uniform-ish random tree on n nodes built by attaching
 // each node i >= 1 to a random earlier node.
-func RandomTree(n int, rng *RNG) *Graph {
-	g := New(n)
+func RandomTree(n int, rng *RNG) *Graph { return randomTreeBuilder(n, rng).Freeze() }
+
+func randomTreeBuilder(n int, rng *RNG) *Builder {
+	b := NewBuilder(n)
 	for i := 1; i < n; i++ {
-		g.MustEdge(i, rng.Intn(i))
+		b.MustEdge(i, rng.Intn(i))
 	}
-	return g
+	return b
 }
 
 // RandomConnected returns a random connected graph with n nodes and exactly
-// m edges (n-1 <= m <= n(n-1)/2): a random tree plus m-(n-1) random extra
-// edges.
-func RandomConnected(n, m int, rng *RNG) *Graph {
-	if m < n-1 || m > n*(n-1)/2 {
-		panic(fmt.Sprintf("graph: RandomConnected infeasible m=%d for n=%d", m, n))
+// m edges: a random tree plus m-(n-1) random extra edges. Infeasible
+// parameters (m < n-1 or m > n(n-1)/2) return an explicit error, as does
+// exhausting the (generously) capped rejection budget — the loop cannot
+// spin forever on any input.
+func RandomConnected(n, m int, rng *RNG) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: RandomConnected needs n >= 1, got n=%d", n)
 	}
-	g := RandomTree(n, rng)
-	for g.M() < m {
+	if m < n-1 || m > n*(n-1)/2 {
+		return nil, fmt.Errorf("graph: RandomConnected infeasible m=%d for n=%d (need %d <= m <= %d)",
+			m, n, n-1, n*(n-1)/2)
+	}
+	b := randomTreeBuilder(n, rng)
+	// Each extra edge needs one uniform hit among the remaining non-edges;
+	// even at m = n(n-1)/2 the expected number of draws is O(n^2 log n),
+	// so this cap only triggers on a broken RNG, never on feasible input.
+	// Computed in int64: the product overflows int32 (and, for dense
+	// graphs near the CSR half-edge cap, even flirts with int64 ranges on
+	// smaller words), and an overflowed negative budget would spuriously
+	// reject feasible parameters.
+	budget := 1000 + 64*int64(n)*int64(n)*int64(m-n+2)
+	for tries := int64(0); b.M() < m; tries++ {
+		if tries >= budget {
+			return nil, fmt.Errorf("graph: RandomConnected(n=%d, m=%d): rejection budget %d exhausted at %d edges",
+				n, m, budget, b.M())
+		}
 		u, v := rng.Intn(n), rng.Intn(n)
-		if u == v || g.HasEdge(u, v) {
+		if u == v || b.HasEdge(u, v) {
 			continue
 		}
-		g.MustEdge(u, v)
+		b.MustEdge(u, v)
+	}
+	return b.Freeze(), nil
+}
+
+// MustRandomConnected is RandomConnected that panics on error, for callers
+// whose parameters are feasible by construction.
+func MustRandomConnected(n, m int, rng *RNG) *Graph {
+	g, err := RandomConnected(n, m, rng)
+	if err != nil {
+		panic(err)
 	}
 	return g
 }
@@ -222,42 +255,51 @@ const (
 // shape). The rng drives random families and, in all cases, adversarial
 // port permutation so that canonical labelings don't leak structure.
 func FromFamily(f Family, n int, rng *RNG) *Graph {
-	var g *Graph
+	g, err := fromFamilyRaw(f, n, rng)
+	if err != nil {
+		panic(err)
+	}
+	return g.WithPermutedPorts(rng)
+}
+
+// fromFamilyRaw builds the family member with canonical ports (no
+// adversarial permutation); the catalog layer composes it with
+// WithPermutedPorts so that FromFamily and Workload.Build consume the rng
+// identically and draw bit-identical instances.
+func fromFamilyRaw(f Family, n int, rng *RNG) (*Graph, error) {
 	switch f {
 	case FamPath:
-		g = Path(n)
+		return Path(n), nil
 	case FamCycle:
-		g = Cycle(max(n, 3))
+		return Cycle(max(n, 3)), nil
 	case FamGrid:
 		r := 1
 		for r*r < n {
 			r++
 		}
 		c := (n + r - 1) / r
-		g = Grid(r, c)
+		return Grid(r, c), nil
 	case FamTree:
-		g = RandomTree(n, rng)
+		return RandomTree(n, rng), nil
 	case FamRandom:
 		m := min(2*n, n*(n-1)/2)
-		g = RandomConnected(n, m, rng)
+		return RandomConnected(n, m, rng)
 	case FamComplete:
-		g = Complete(n)
+		return Complete(n), nil
 	case FamLollipop:
 		c := max(n/2, 2)
-		g = Lollipop(c, n-c)
+		return Lollipop(c, n-c), nil
 	case FamStar:
-		g = Star(n)
+		return Star(n), nil
 	case FamHypercube:
 		d := 1
 		for 1<<d < n {
 			d++
 		}
-		g = Hypercube(d)
+		return Hypercube(d), nil
 	default:
-		panic("graph: unknown family " + string(f))
+		return nil, fmt.Errorf("graph: unknown family %q", string(f))
 	}
-	g.PermutePorts(rng)
-	return g
 }
 
 // AllFamilies lists the families exercised by the default sweeps.

@@ -29,15 +29,13 @@ func TestGoldenRNGStream(t *testing.T) {
 func TestGoldenGraphConstruction(t *testing.T) {
 	// Seed-fixed random graphs must be identical across runs: the
 	// experiments' graphs are part of their identity.
-	a := RandomConnected(10, 16, NewRNG(7))
-	b := RandomConnected(10, 16, NewRNG(7))
+	a := MustRandomConnected(10, 16, NewRNG(7))
+	b := MustRandomConnected(10, 16, NewRNG(7))
 	if !IsomorphicFrom(a, 0, b, 0) {
 		t.Fatal("seed-fixed random graph not reproducible")
 	}
-	ap := a.Clone()
-	ap.PermutePorts(NewRNG(9))
-	bp := b.Clone()
-	bp.PermutePorts(NewRNG(9))
+	ap := a.WithPermutedPorts(NewRNG(9))
+	bp := b.WithPermutedPorts(NewRNG(9))
 	if !IsomorphicFrom(ap, 0, bp, 0) {
 		t.Fatal("seed-fixed port permutation not reproducible")
 	}

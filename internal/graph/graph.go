@@ -6,6 +6,14 @@
 // incident edges. The two endpoints of an edge may assign it different port
 // numbers, exactly as in the paper's model (§1.1). Internally nodes are
 // indexed 0..n-1 so that the simulator and the harness can observe runs.
+//
+// Graphs have a two-phase lifecycle: a Builder accepts AddEdge mutations,
+// and Freeze compacts the result into an immutable Graph in CSR layout —
+// one flat half-edge array plus per-node offsets. A frozen Graph is deeply
+// immutable and therefore safe to share across any number of goroutines:
+// parallel sweeps reference one *Graph from every job instead of rebuilding
+// it, and all per-run mutable state (occupancy, schedulers, scratch) lives
+// in the worlds built on top.
 package graph
 
 import (
@@ -20,88 +28,99 @@ type Half struct {
 	RevPort int // port number of the same edge at To
 }
 
-// Graph is a connected, undirected, simple, port-labeled graph.
-// The zero value is an empty graph; use New to allocate nodes.
-type Graph struct {
-	adj [][]Half
-	m   int
+// half32 is the packed in-memory form of Half used by the CSR arrays:
+// 8 bytes instead of 16, so a cache line holds 8 half-edges.
+type half32 struct {
+	to  int32
+	rev int32
 }
 
-// New returns a graph with n isolated nodes and no edges.
-func New(n int) *Graph {
-	if n < 0 {
-		panic("graph: negative node count")
+// Graph is a connected, undirected, simple, port-labeled graph in frozen
+// CSR form: halves[offsets[u]:offsets[u+1]] are node u's ports in order.
+// A Graph is immutable after Freeze — every method is read-only and safe
+// for concurrent use. The zero value is an empty graph; use NewBuilder to
+// construct graphs edge by edge.
+type Graph struct {
+	halves  []half32
+	offsets []int32 // len N()+1; offsets[u+1]-offsets[u] = Degree(u)
+	m       int
+	maxDeg  int
+}
+
+// freeze compacts an adjacency-list form into the CSR arrays. It copies,
+// so later mutation of adj cannot reach the frozen graph.
+func freeze(adj [][]Half, m int) *Graph {
+	total := 0
+	for _, ports := range adj {
+		total += len(ports)
 	}
-	return &Graph{adj: make([][]Half, n)}
+	if total > 1<<31-2 {
+		panic("graph: too many half-edges for int32 CSR offsets")
+	}
+	g := &Graph{
+		halves:  make([]half32, 0, total),
+		offsets: make([]int32, len(adj)+1),
+		m:       m,
+	}
+	for u, ports := range adj {
+		if d := len(ports); d > g.maxDeg {
+			g.maxDeg = d
+		}
+		for _, h := range ports {
+			g.halves = append(g.halves, half32{to: int32(h.To), rev: int32(h.RevPort)})
+		}
+		g.offsets[u+1] = int32(len(g.halves))
+	}
+	return g
+}
+
+// ports returns node u's half-edges as a slice into the CSR array
+// (in-package read-only accessor for traversals and rendering).
+func (g *Graph) ports(u int) []half32 {
+	return g.halves[g.offsets[u]:g.offsets[u+1]]
 }
 
 // N returns the number of nodes.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
 
 // M returns the number of edges.
 func (g *Graph) M() int { return g.m }
 
 // Degree returns the degree of node u.
-func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u int) int { return int(g.offsets[u+1] - g.offsets[u]) }
 
 // MaxDegree returns the maximum degree Δ of the graph.
-func (g *Graph) MaxDegree() int {
-	max := 0
-	for u := range g.adj {
-		if d := len(g.adj[u]); d > max {
-			max = d
-		}
-	}
-	return max
-}
+func (g *Graph) MaxDegree() int { return g.maxDeg }
 
 // Neighbor returns the node reached by leaving u through port, together
 // with the port number assigned to the traversed edge at the destination.
 // It panics if the port is out of range, mirroring a robot attempting to
-// use a port that does not exist.
+// use a port that does not exist. (The unsigned compare folds the
+// negative and too-large cases into one cold branch on the hot path.)
 func (g *Graph) Neighbor(u, port int) (v, revPort int) {
-	h := g.adj[u][port]
-	return h.To, h.RevPort
+	off := g.offsets[u]
+	if uint64(port) >= uint64(g.offsets[u+1]-off) {
+		panic(fmt.Sprintf("graph: port %d out of range at degree-%d node %d", port, g.Degree(u), u))
+	}
+	h := g.halves[off+int32(port)]
+	return int(h.to), int(h.rev)
 }
 
 // Half returns the Half record for (u, port).
-func (g *Graph) Half(u, port int) Half { return g.adj[u][port] }
-
-// AddEdge inserts an undirected edge between u and v, assigning it the next
-// free port number at each endpoint. It returns an error for self-loops,
-// duplicate edges, or out-of-range nodes; the model assumes simple graphs.
-func (g *Graph) AddEdge(u, v int) error {
-	n := len(g.adj)
-	if u < 0 || u >= n || v < 0 || v >= n {
-		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
-	}
-	if u == v {
-		return fmt.Errorf("graph: self-loop at %d", u)
-	}
-	for _, h := range g.adj[u] {
-		if h.To == v {
-			return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
-		}
-	}
-	pu, pv := len(g.adj[u]), len(g.adj[v])
-	g.adj[u] = append(g.adj[u], Half{To: v, RevPort: pv})
-	g.adj[v] = append(g.adj[v], Half{To: u, RevPort: pu})
-	g.m++
-	return nil
-}
-
-// MustEdge is AddEdge that panics on error, for use in generators whose
-// inputs are valid by construction.
-func (g *Graph) MustEdge(u, v int) {
-	if err := g.AddEdge(u, v); err != nil {
-		panic(err)
-	}
+func (g *Graph) Half(u, port int) Half {
+	v, rev := g.Neighbor(u, port)
+	return Half{To: v, RevPort: rev}
 }
 
 // HasEdge reports whether u and v are adjacent.
 func (g *Graph) HasEdge(u, v int) bool {
-	for _, h := range g.adj[u] {
-		if h.To == v {
+	for _, h := range g.ports(u) {
+		if int(h.to) == v {
 			return true
 		}
 	}
@@ -111,54 +130,56 @@ func (g *Graph) HasEdge(u, v int) bool {
 // PortTo returns the port at u leading to v, or -1 if u and v are not
 // adjacent.
 func (g *Graph) PortTo(u, v int) int {
-	for p, h := range g.adj[u] {
-		if h.To == v {
+	for p, h := range g.ports(u) {
+		if int(h.to) == v {
 			return p
 		}
 	}
 	return -1
 }
 
-// Clone returns a deep copy of g.
-func (g *Graph) Clone() *Graph {
-	c := &Graph{adj: make([][]Half, len(g.adj)), m: g.m}
-	for u := range g.adj {
-		c.adj[u] = append([]Half(nil), g.adj[u]...)
-	}
-	return c
-}
-
 // Validate checks the structural invariants of a port-labeled graph:
-// every Half record must be mirrored exactly by its counterpart, ports are
-// dense in 0..δ-1 by construction, and the graph must be simple.
+// every half-edge must be mirrored exactly by its counterpart, ports are
+// dense in 0..δ-1 by construction of the CSR layout, and the graph must
+// be simple and connected.
 func (g *Graph) Validate() error {
-	seen := 0
-	for u := range g.adj {
-		dup := make(map[int]bool, len(g.adj[u]))
-		for p, h := range g.adj[u] {
-			if h.To < 0 || h.To >= len(g.adj) {
-				return fmt.Errorf("graph: node %d port %d points to invalid node %d", u, p, h.To)
+	n := g.N()
+	if len(g.halves) != 2*g.m {
+		return fmt.Errorf("graph: %d half-edges for m=%d", len(g.halves), g.m)
+	}
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		if g.offsets[u+1] < g.offsets[u] {
+			return fmt.Errorf("graph: offsets not monotone at node %d", u)
+		}
+		if d := g.Degree(u); d > maxDeg {
+			maxDeg = d
+		}
+		dup := make(map[int]bool, g.Degree(u))
+		for p, h := range g.ports(u) {
+			to := int(h.to)
+			if to < 0 || to >= n {
+				return fmt.Errorf("graph: node %d port %d points to invalid node %d", u, p, to)
 			}
-			if h.To == u {
+			if to == u {
 				return fmt.Errorf("graph: self-loop at node %d port %d", u, p)
 			}
-			if dup[h.To] {
-				return fmt.Errorf("graph: parallel edge between %d and %d", u, h.To)
+			if dup[to] {
+				return fmt.Errorf("graph: parallel edge between %d and %d", u, to)
 			}
-			dup[h.To] = true
-			if h.RevPort < 0 || h.RevPort >= len(g.adj[h.To]) {
-				return fmt.Errorf("graph: node %d port %d has invalid reverse port %d", u, p, h.RevPort)
+			dup[to] = true
+			if h.rev < 0 || int(h.rev) >= g.Degree(to) {
+				return fmt.Errorf("graph: node %d port %d has invalid reverse port %d", u, p, h.rev)
 			}
-			back := g.adj[h.To][h.RevPort]
-			if back.To != u || back.RevPort != p {
+			back := g.ports(to)[h.rev]
+			if int(back.to) != u || int(back.rev) != p {
 				return fmt.Errorf("graph: edge (%d,%d) port mismatch: (%d,%d) vs (%d,%d)",
-					u, h.To, p, h.RevPort, back.RevPort, back.To)
+					u, to, p, h.rev, back.rev, back.to)
 			}
-			seen++
 		}
 	}
-	if seen != 2*g.m {
-		return fmt.Errorf("graph: edge count mismatch: %d half-edges, m=%d", seen, g.m)
+	if maxDeg != g.maxDeg {
+		return fmt.Errorf("graph: cached max degree %d, actual %d", g.maxDeg, maxDeg)
 	}
 	if !g.IsConnected() {
 		return errors.New("graph: not connected")
@@ -166,36 +187,57 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
-// PermutePorts relabels the ports of every node with an independent
-// permutation drawn from rng. This models the adversary's freedom to choose
-// port numbers; algorithms must be correct for every labeling. The graph's
-// structure (adjacency) is unchanged.
-func (g *Graph) PermutePorts(rng *RNG) {
-	for u := range g.adj {
-		d := len(g.adj[u])
-		if d < 2 {
-			continue
+// WithPermutedPorts returns a new frozen graph whose adjacency equals g's
+// but whose ports at every node are relabeled by an independent permutation
+// drawn from rng. This models the adversary's freedom to choose port
+// numbers; algorithms must be correct for every labeling. g itself is
+// unchanged (frozen graphs are immutable).
+//
+// The rng consumption — one Perm(δ) per node with δ >= 2, in node order —
+// and the resulting labeling are bit-identical to the pre-CSR in-place
+// PermutePorts, which keeps every seeded scenario and golden hash stable.
+func (g *Graph) WithPermutedPorts(rng *RNG) *Graph {
+	n := g.N()
+	// Pass 1: one permutation per node (perm[p] = new label of old port p);
+	// nil means identity (degree < 2 draws nothing, as before).
+	perms := make([][]int, n)
+	for u := 0; u < n; u++ {
+		if g.Degree(u) >= 2 {
+			perms[u] = rng.Perm(g.Degree(u))
 		}
-		perm := rng.Perm(d) // perm[p] = new label of old port p
-		// Fix the reverse-port references held by neighbors first.
-		for p, h := range g.adj[u] {
-			g.adj[h.To][h.RevPort].RevPort = perm[p]
-		}
-		next := make([]Half, d)
-		for p, h := range g.adj[u] {
-			next[perm[p]] = h
-		}
-		g.adj[u] = next
 	}
+	newLabel := func(u, p int) int32 {
+		if perms[u] == nil {
+			return int32(p)
+		}
+		return int32(perms[u][p])
+	}
+	// Pass 2: rebuild the CSR arrays under the new labels. For an edge with
+	// old endpoints (u,p)-(v,q) the new half at u's slot newLabel(u,p) is
+	// {v, newLabel(v,q)} — exactly the fixed point the old in-place rewrite
+	// converged to.
+	out := &Graph{
+		halves:  make([]half32, len(g.halves)),
+		offsets: g.offsets, // same shape; offsets are immutable, share them
+		m:       g.m,
+		maxDeg:  g.maxDeg,
+	}
+	for u := 0; u < n; u++ {
+		base := g.offsets[u]
+		for p, h := range g.ports(u) {
+			out.halves[base+newLabel(u, p)] = half32{to: h.to, rev: newLabel(int(h.to), int(h.rev))}
+		}
+	}
+	return out
 }
 
 // Edges returns all edges as pairs (u,v) with u < v, in deterministic order.
 func (g *Graph) Edges() [][2]int {
 	es := make([][2]int, 0, g.m)
-	for u := range g.adj {
-		for _, h := range g.adj[u] {
-			if u < h.To {
-				es = append(es, [2]int{u, h.To})
+	for u := 0; u < g.N(); u++ {
+		for _, h := range g.ports(u) {
+			if u < int(h.to) {
+				es = append(es, [2]int{u, int(h.to)})
 			}
 		}
 	}

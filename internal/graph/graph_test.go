@@ -5,10 +5,11 @@ import (
 	"testing/quick"
 )
 
-func TestAddEdgeAssignsDensePorts(t *testing.T) {
-	g := New(3)
-	g.MustEdge(0, 1)
-	g.MustEdge(0, 2)
+func TestBuilderAssignsDensePorts(t *testing.T) {
+	b := NewBuilder(3)
+	b.MustEdge(0, 1)
+	b.MustEdge(0, 2)
+	g := b.Freeze()
 	if g.Degree(0) != 2 || g.Degree(1) != 1 || g.Degree(2) != 1 {
 		t.Fatalf("degrees = %d,%d,%d", g.Degree(0), g.Degree(1), g.Degree(2))
 	}
@@ -25,17 +26,37 @@ func TestAddEdgeAssignsDensePorts(t *testing.T) {
 	}
 }
 
-func TestAddEdgeRejectsBadEdges(t *testing.T) {
-	g := New(2)
-	if err := g.AddEdge(0, 0); err == nil {
+func TestBuilderRejectsBadEdges(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddEdge(0, 0); err == nil {
 		t.Error("self-loop accepted")
 	}
-	if err := g.AddEdge(0, 2); err == nil {
+	if err := b.AddEdge(0, 2); err == nil {
 		t.Error("out-of-range accepted")
 	}
-	g.MustEdge(0, 1)
-	if err := g.AddEdge(1, 0); err == nil {
+	b.MustEdge(0, 1)
+	if err := b.AddEdge(1, 0); err == nil {
 		t.Error("duplicate accepted")
+	}
+}
+
+func TestFreezeIsolatesBuilderMutation(t *testing.T) {
+	// A frozen graph must be immune to further builder mutation: freezing
+	// copies, it does not alias.
+	b := NewBuilder(4)
+	b.MustEdge(0, 1)
+	g1 := b.Freeze()
+	b.MustEdge(1, 2)
+	b.MustEdge(2, 3)
+	g2 := b.Freeze()
+	if g1.M() != 1 || g1.Degree(1) != 1 {
+		t.Fatalf("first freeze changed after later AddEdge: %v", g1)
+	}
+	if g2.M() != 3 {
+		t.Fatalf("second freeze wrong: %v", g2)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -71,7 +92,10 @@ func TestRandomConnected(t *testing.T) {
 	rng := NewRNG(7)
 	for _, n := range []int{2, 5, 10, 20} {
 		m := min(2*n, n*(n-1)/2)
-		g := RandomConnected(n, m, rng)
+		g, err := RandomConnected(n, m, rng)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
 		if g.M() != m {
 			t.Errorf("n=%d: m=%d want %d", n, g.M(), m)
 		}
@@ -81,14 +105,35 @@ func TestRandomConnected(t *testing.T) {
 	}
 }
 
+func TestRandomConnectedRejectsInfeasible(t *testing.T) {
+	rng := NewRNG(7)
+	cases := []struct{ n, m int }{{5, 3}, {5, 11}, {0, 0}, {4, 2}}
+	for _, c := range cases {
+		if _, err := RandomConnected(c.n, c.m, rng); err == nil {
+			t.Errorf("RandomConnected(%d,%d) accepted infeasible parameters", c.n, c.m)
+		}
+	}
+	// The densest feasible case must still succeed (the rejection budget
+	// is a spin guard, not a practical limit).
+	g, err := RandomConnected(12, 12*11/2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPermutePortsPreservesStructure(t *testing.T) {
 	rng := NewRNG(42)
 	for _, n := range []int{5, 9, 16} {
-		g := RandomConnected(n, min(2*n, n*(n-1)/2), rng)
-		before := g.Clone()
-		g.PermutePorts(rng)
+		before := MustRandomConnected(n, min(2*n, n*(n-1)/2), rng)
+		g := before.WithPermutedPorts(rng)
 		if err := g.Validate(); err != nil {
 			t.Fatalf("n=%d: invalid after permute: %v", n, err)
+		}
+		if err := before.Validate(); err != nil {
+			t.Fatalf("n=%d: original mutated by permute: %v", n, err)
 		}
 		if g.M() != before.M() {
 			t.Fatalf("n=%d: edge count changed", n)
@@ -118,8 +163,7 @@ func TestBFSDistancesOnPath(t *testing.T) {
 
 func TestShortestPathPorts(t *testing.T) {
 	rng := NewRNG(3)
-	g := RandomConnected(12, 20, rng)
-	g.PermutePorts(rng)
+	g := MustRandomConnected(12, 20, rng).WithPermutedPorts(rng)
 	for u := 0; u < g.N(); u++ {
 		for v := 0; v < g.N(); v++ {
 			ports := g.ShortestPathPorts(u, v)
@@ -136,11 +180,11 @@ func TestShortestPathPorts(t *testing.T) {
 func TestEulerTourVisitsAllNodesAndReturns(t *testing.T) {
 	rng := NewRNG(11)
 	for _, n := range []int{1, 2, 5, 17} {
-		g := RandomConnected(n, min(2*n, max(n-1, n*(n-1)/2)), rng)
+		g := MustRandomConnected(n, min(2*n, max(n-1, n*(n-1)/2)), rng)
 		if n > 1 {
-			g = RandomConnected(n, min(2*n, n*(n-1)/2), rng)
+			g = MustRandomConnected(n, min(2*n, n*(n-1)/2), rng)
 		}
-		g.PermutePorts(rng)
+		g = g.WithPermutedPorts(rng)
 		tree := g.BFSTree(0)
 		ports := tree.EulerTourPorts()
 		if len(ports) != 2*(n-1) {
@@ -165,9 +209,8 @@ func TestEulerTourVisitsAllNodesAndReturns(t *testing.T) {
 }
 
 func TestPathToRootPorts(t *testing.T) {
-	g := Grid(3, 3)
 	rng := NewRNG(5)
-	g.PermutePorts(rng)
+	g := Grid(3, 3).WithPermutedPorts(rng)
 	tree := g.BFSTree(4)
 	for u := 0; u < g.N(); u++ {
 		ports := tree.PathToRootPorts(u)
@@ -179,10 +222,9 @@ func TestPathToRootPorts(t *testing.T) {
 
 func TestIsomorphicFromSelf(t *testing.T) {
 	rng := NewRNG(9)
-	g := RandomConnected(10, 18, rng)
-	g.PermutePorts(rng)
-	if !IsomorphicFrom(g, 3, g.Clone(), 3) {
-		t.Error("graph not isomorphic to its own clone")
+	g := MustRandomConnected(10, 18, rng).WithPermutedPorts(rng)
+	if !IsomorphicFrom(g, 3, g, 3) {
+		t.Error("graph not isomorphic to itself")
 	}
 	// A different rooting of an asymmetric graph should fail.
 	h := Path(4)
@@ -288,7 +330,7 @@ func TestBFSDistancesLipschitz(t *testing.T) {
 		n := int(nRaw%20) + 2
 		rng := NewRNG(seed)
 		m := min(2*n, n*(n-1)/2)
-		g := RandomConnected(n, m, rng)
+		g := MustRandomConnected(n, m, rng)
 		d := g.BFSDistances(rng.Intn(n))
 		for u := 0; u < n; u++ {
 			for p := 0; p < g.Degree(u); p++ {

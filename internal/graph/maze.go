@@ -7,7 +7,7 @@ package graph
 // walls are opened beyond the tree (0 yields a perfect maze).
 func Maze(rows, cols, extra int, rng *RNG) *Graph {
 	n := rows * cols
-	g := New(n)
+	g := NewBuilder(n)
 	id := func(r, c int) int { return r*cols + c }
 
 	visited := make([]bool, n)
@@ -47,5 +47,5 @@ func Maze(rows, cols, extra int, rng *RNG) *Graph {
 		g.MustEdge(id(r, c), id(nr, nc))
 		added++
 	}
-	return g
+	return g.Freeze()
 }

@@ -33,14 +33,14 @@ func (g *Graph) BFSTree(root int) *SpanningTree {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for p, h := range g.adj[u] {
-			if !visited[h.To] {
-				visited[h.To] = true
-				t.Parent[h.To] = u
-				t.PortDown[h.To] = p
-				t.PortUp[h.To] = h.RevPort
-				t.childOrder[u] = append(t.childOrder[u], h.To)
-				queue = append(queue, h.To)
+		for p, h := range g.ports(u) {
+			if !visited[h.to] {
+				visited[h.to] = true
+				t.Parent[h.to] = u
+				t.PortDown[h.to] = p
+				t.PortUp[h.to] = int(h.rev)
+				t.childOrder[u] = append(t.childOrder[u], int(h.to))
+				queue = append(queue, int(h.to))
 			}
 		}
 	}

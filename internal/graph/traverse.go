@@ -12,10 +12,10 @@ func (g *Graph) BFSDistances(src int) []int {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, h := range g.adj[u] {
-			if dist[h.To] < 0 {
-				dist[h.To] = dist[u] + 1
-				queue = append(queue, h.To)
+		for _, h := range g.ports(u) {
+			if dist[h.to] < 0 {
+				dist[h.to] = dist[u] + 1
+				queue = append(queue, int(h.to))
 			}
 		}
 	}
@@ -71,10 +71,10 @@ func (g *Graph) ShortestPathPorts(u, v int) []int {
 	cur := u
 	for cur != v {
 		moved := false
-		for p, h := range g.adj[cur] {
-			if dist[h.To] == dist[cur]-1 {
+		for p, h := range g.ports(cur) {
+			if dist[h.to] == dist[cur]-1 {
 				ports = append(ports, p)
-				cur = h.To
+				cur = int(h.to)
 				moved = true
 				break
 			}
@@ -92,7 +92,7 @@ func (g *Graph) ShortestPathPorts(u, v int) []int {
 func (g *Graph) Walk(start int, ports []int) int {
 	cur := start
 	for _, p := range ports {
-		cur = g.adj[cur][p].To
+		cur, _ = g.Neighbor(cur, p)
 	}
 	return cur
 }

@@ -60,7 +60,7 @@ func TestBuildMapSingleEdge(t *testing.T) {
 }
 
 func TestBuildMapSingleNode(t *testing.T) {
-	g := graph.New(1)
+	g := graph.NewBuilder(1).Freeze()
 	finder := NewFinderAgent(1, 1, 2)
 	token := NewTokenAgent(2, 1)
 	w, err := sim.NewWorld(g, []sim.Agent{finder, token}, []int{0, 0})

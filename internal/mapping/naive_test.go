@@ -48,7 +48,7 @@ func TestNaiveBuildMapOnFamilies(t *testing.T) {
 }
 
 func TestNaiveBuildMapSingleNode(t *testing.T) {
-	g := graph.New(1)
+	g := graph.NewBuilder(1).Freeze()
 	finder := NewNaiveFinderAgent(1, 1, 2)
 	token := NewTokenAgent(2, 1)
 	w, _ := sim.NewWorld(g, []sim.Agent{finder, token}, []int{0, 0})

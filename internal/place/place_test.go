@@ -107,7 +107,7 @@ func TestMaxMinProperty(t *testing.T) {
 		n := int(nRaw%12) + 4
 		k := int(kRaw)%(n-1) + 2
 		rng := graph.NewRNG(seed)
-		g := graph.RandomConnected(n, min(2*n, n*(n-1)/2), rng)
+		g := graph.MustRandomConnected(n, min(2*n, n*(n-1)/2), rng)
 		adv := MaxMinDispersed(g, k, rng)
 		seen := make(map[int]bool)
 		for _, p := range adv {

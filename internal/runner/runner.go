@@ -7,8 +7,12 @@
 // (base ^ splitmix64(index)), never from scheduling order, so a batch
 // produces bit-identical results whether it runs on one worker or many.
 // Jobs must build all randomness from that seed (or from state captured
-// before submission) and must not share mutable state; graphs and
-// configs are safe to share read-only.
+// before submission) and must not share mutable state. Frozen
+// graph.Graphs are deeply immutable and may be shared freely: the
+// preferred sweep shape builds the instance (graph, IDs, positions,
+// certified config) once before submission and references it from every
+// job, constructing only the per-run world — and, via
+// Scenario.WithScheduler, a per-run scheduler — inside Build.
 package runner
 
 import (

@@ -23,7 +23,7 @@ func gatherJobs(count int) []Job {
 			Build: func(seed uint64) (*sim.World, int, error) {
 				rng := graph.NewRNG(seed)
 				g := graph.Cycle(n)
-				g.PermutePorts(rng)
+				g = g.WithPermutedPorts(rng)
 				k := n/2 + 1
 				sc := &gather.Scenario{
 					G:         g,
@@ -124,6 +124,56 @@ func TestErrorsAndSkipsRecordedPerJob(t *testing.T) {
 	}
 	if st.Failed != 2 || st.Skipped != 1 {
 		t.Errorf("stats %+v", st)
+	}
+}
+
+// sharedGraphJobs builds a batch in which every job references ONE frozen
+// graph and scenario skeleton: only worlds (and per-job placements) are
+// constructed inside Build. This is the shared-graph sweep shape the
+// immutable CSR layout exists for.
+func sharedGraphJobs(sc *gather.Scenario, count int) []Job {
+	jobs := make([]Job, count)
+	for i := range jobs {
+		jobs[i] = Job{Build: func(seed uint64) (*sim.World, int, error) {
+			jrng := graph.NewRNG(seed)
+			job := *sc // shallow copy: same frozen graph, per-job placement
+			job.Positions = place.MaxMinDispersed(sc.G, len(sc.IDs), jrng)
+			w, err := job.NewFasterWorld()
+			return w, job.Cfg.FasterBound(sc.G.N()) + 10, err
+		}}
+	}
+	return jobs
+}
+
+// TestSharedFrozenGraphAcrossWorkers is the data-race proof for graph
+// sharing: many concurrent jobs run full simulations against one frozen
+// *graph.Graph (this test is meaningful under -race, which CI runs), and
+// the results must be bit-identical to the serial reference.
+func TestSharedFrozenGraphAcrossWorkers(t *testing.T) {
+	rng := graph.NewRNG(9)
+	g, err := graph.BuildWorkload("rreg:12,3", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &gather.Scenario{G: g, IDs: gather.AssignIDs(5, g.N(), rng)}
+	sc.Certify()
+
+	ref, _ := New(1).Run(11, sharedGraphJobs(sc, 24))
+	if err := FirstErr(ref); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := New(8).Run(11, sharedGraphJobs(sc, 24))
+	if !reflect.DeepEqual(stripTiming(ref), stripTiming(got)) {
+		t.Error("shared-graph batch differs between 1 and 8 workers")
+	}
+	for i, r := range got {
+		if r.Err != nil || !r.Res.DetectionCorrect {
+			t.Fatalf("job %d on shared graph failed: err=%v res=%+v", i, r.Err, r.Res)
+		}
+	}
+	// The shared graph must be untouched by 24 concurrent runs.
+	if err := g.Validate(); err != nil {
+		t.Fatalf("shared graph corrupted: %v", err)
 	}
 }
 

@@ -26,13 +26,13 @@ func allConnectedGraphs(n int) []*graph.Graph {
 	}
 	var out []*graph.Graph
 	for mask := 0; mask < 1<<len(edges); mask++ {
-		g := graph.New(n)
+		b := graph.NewBuilder(n)
 		for i, e := range edges {
 			if mask&(1<<i) != 0 {
-				g.MustEdge(e.u, e.v)
+				b.MustEdge(e.u, e.v)
 			}
 		}
-		if g.M() >= n-1 && g.IsConnected() {
+		if g := b.Freeze(); g.M() >= n-1 && g.IsConnected() {
 			out = append(out, g)
 		}
 	}
@@ -74,8 +74,7 @@ func TestExhaustiveCoverageUnderPortPermutations(t *testing.T) {
 	u := New(4, Scaled)
 	for gi, g := range allConnectedGraphs(4) {
 		for trial := 0; trial < 12; trial++ {
-			h := g.Clone()
-			h.PermutePorts(rng)
+			h := g.WithPermutedPorts(rng)
 			if err := h.Validate(); err != nil {
 				t.Fatalf("graph %d trial %d: %v", gi, trial, err)
 			}
@@ -97,7 +96,7 @@ func TestExhaustiveCoverageN5Trees(t *testing.T) {
 			continue
 		}
 		count++
-		g.PermutePorts(rng)
+		g = g.WithPermutedPorts(rng)
 		if !u.Covers(g) {
 			t.Errorf("tree %d not covered", count)
 		}

@@ -80,7 +80,7 @@ func TestCoverageRoundsBounds(t *testing.T) {
 }
 
 func TestCoverageSingleNode(t *testing.T) {
-	g := graph.New(1)
+	g := graph.NewBuilder(1).Freeze()
 	u := New(1, Scaled)
 	if u.CoverageRounds(g, 0) != 1 {
 		t.Error("single node not covered instantly")
@@ -155,8 +155,8 @@ func TestWalkPortSafety(t *testing.T) {
 	f := func(seed uint64, nRaw uint8) bool {
 		n := int(nRaw%12) + 2
 		rng := graph.NewRNG(seed)
-		g := graph.RandomConnected(n, min(2*n, n*(n-1)/2), rng)
-		g.PermutePorts(rng)
+		g := graph.MustRandomConnected(n, min(2*n, n*(n-1)/2), rng)
+		g = g.WithPermutedPorts(rng)
 		u := WithLength(n, 500)
 		cur, entry := rng.Intn(n), -1
 		for i := 0; i < 500; i++ {
