@@ -140,6 +140,14 @@ func (a *wanderer) Decide(env *sim.Env) sim.Action {
 	return sim.MoveAction(a.step % env.Degree)
 }
 
+// Reset implements sim.Resettable so BenchmarkWorldReset can replay the
+// exact same trajectory each iteration (keeping every high-water mark
+// warm).
+func (a *wanderer) Reset(id int) {
+	a.Base = sim.NewBase(id)
+	a.step = 0
+}
+
 // BenchmarkStepHotLoop measures the steady-state cost of one engine round
 // on a many-robot world and reports allocs/op: the engine's contract is
 // zero allocations per Step once the scratch state is warm.
@@ -383,6 +391,102 @@ func BenchmarkNeighborWalk(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkWorldReset measures the pooled-sweep reset path: rewinding a
+// dirty world (plus its Resettable agents) back to round zero. The
+// engine's contract — gated in CI — is zero allocations per reset once
+// shapes match: a pooled sweep's per-job engine cost is exactly this.
+func BenchmarkWorldReset(b *testing.B) {
+	for _, k := range []int{32, 256} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rng := graph.NewRNG(15)
+			g := graph.Grid(16, 16).WithPermutedPorts(rng)
+			agents := make([]sim.Agent, k)
+			pos := make([]int, k)
+			for i := range agents {
+				agents[i] = &wanderer{Base: sim.NewBase(i + 1)}
+				pos[i] = rng.Intn(g.N())
+			}
+			w, err := sim.NewWorld(g, agents, pos)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm every high-water mark, then measure reset+step cycles:
+			// the Step keeps the world dirty so each Reset does real work,
+			// and resetting the agents too makes every iteration replay the
+			// same (pre-warmed) round-zero trajectory.
+			for i := 0; i < 1024; i++ {
+				w.Step()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, a := range agents {
+					a.(sim.Resettable).Reset(a.ID())
+				}
+				if err := w.Reset(agents, pos); err != nil {
+					b.Fatal(err)
+				}
+				w.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkSweepPooledWorld pins the payoff of the pooled-execution
+// layer: the identical 64-job batch (k-robot UXS gathering on one shared
+// frozen graph, 8 rounds each — the UXS agents' rounds are themselves
+// allocation-free, so the measurement isolates per-job SETUP cost) run
+// with a fresh World + agent set per job ("rebuild", the PR 3 state of
+// the art) versus per-worker pooled arenas ("pooled", every job after a
+// worker's first reusing its world and agents via Reset). allocs/op is
+// per batch; results are bit-identical between the arms. CI gates the
+// >= 5x per-job allocation win.
+func BenchmarkSweepPooledWorld(b *testing.B) {
+	const (
+		jobs     = 64
+		k        = 32
+		rounds   = 8
+		wlSpec   = "torus:16x16"
+		baseSeed = uint64(33)
+	)
+	g, err := graph.BuildWorkload(wlSpec, graph.NewRNG(baseSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	shared := &gather.Scenario{G: g}
+	shared.Certify()
+	buildJobs := func() []runner.Job {
+		out := make([]runner.Job, jobs)
+		for i := range out {
+			out[i] = runner.Job{BuildIn: func(seed uint64, state any) (*sim.World, int, error) {
+				rng := graph.NewRNG(seed)
+				job := *shared
+				job.IDs = gather.AssignIDs(k, job.G.N(), rng)
+				job.Positions = place.Clustered(job.G, k, k/2, rng)
+				w, err := job.NewUXSWorldIn(gather.ArenaOf(state))
+				return w, rounds, err
+			}}
+		}
+		return out
+	}
+	run := func(b *testing.B, r *runner.Runner) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			results, _ := r.Run(baseSeed, buildJobs())
+			if err := runner.FirstErr(results); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// rebuild: no worker state, so ArenaOf(nil) = nil and every job
+	// constructs a fresh world + agents.
+	b.Run("rebuild", func(b *testing.B) { run(b, runner.New(0)) })
+	b.Run("pooled", func(b *testing.B) {
+		run(b, runner.New(0).WithWorkerState(func(int) any { return gather.NewArena() }))
+	})
 }
 
 // BenchmarkSweepSharedGraph pins the payoff of shared-graph sweeps: the

@@ -22,9 +22,17 @@ import (
 	"time"
 
 	"repro/internal/expt"
+	"repro/internal/prof"
 )
 
 func main() {
+	os.Exit(experiments())
+}
+
+// experiments is the real main, returning an exit code instead of calling
+// os.Exit so the profiling teardown (StopCPUProfile, heap snapshot)
+// always runs.
+func experiments() int {
 	var (
 		runIDs   = flag.String("run", "", "comma-separated experiment IDs (empty = all)")
 		quick    = flag.Bool("quick", false, "use reduced sweeps")
@@ -32,6 +40,8 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		outDir   = flag.String("outdir", "", "also write each experiment's output to <outdir>/<ID>.txt")
 		parallel = flag.Int("parallel", 0, "sweep worker-pool size (0 = GOMAXPROCS, 1 = serial)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -39,8 +49,15 @@ func main() {
 		for _, e := range expt.All() {
 			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Title, e.Claim)
 		}
-		return
+		return 0
 	}
+
+	stopProf, err := prof.Start(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	defer stopProf()
 
 	var selected []expt.Experiment
 	if *runIDs == "" {
@@ -50,7 +67,7 @@ func main() {
 			e, ok := expt.ByID(strings.TrimSpace(id))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
-				os.Exit(1)
+				return 1
 			}
 			selected = append(selected, e)
 		}
@@ -59,7 +76,7 @@ func main() {
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -75,7 +92,7 @@ func main() {
 			file, err = os.Create(filepath.Join(*outDir, e.ID+".txt"))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Fprintf(file, "== %s: %s ==\n   claim: %s\n\n", e.ID, e.Title, e.Claim)
 			sink = io.MultiWriter(os.Stdout, file)
@@ -93,6 +110,7 @@ func main() {
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "\n%d experiment(s) failed\n", failed)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

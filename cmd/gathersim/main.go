@@ -11,9 +11,11 @@
 // With -seeds N it becomes a batch harness: ONE frozen graph is built from
 // -seed and shared, read-only, by all N jobs on the internal/runner worker
 // pool (-parallel sets the pool size; 0 = all cores); each seed draws its
-// own IDs, placement and scheduler. One summary row prints per seed plus
-// aggregate stats; rows are bit-identical at every -parallel setting, and
-// no job constructs a graph.
+// own IDs, placement and scheduler. Each worker owns a pooled simulation
+// arena, so after its first job it rewinds one long-lived world via Reset
+// instead of rebuilding the engine. One summary row prints per seed plus
+// aggregate stats; rows are bit-identical at every -parallel setting
+// (pooled or not), and no job constructs a graph.
 //
 //	gathersim -workload cycle:12 -k 7 -seeds 32 -parallel 8
 //
@@ -39,11 +41,19 @@ import (
 	"repro/internal/gather"
 	"repro/internal/graph"
 	"repro/internal/place"
+	"repro/internal/prof"
 	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
 func main() {
+	os.Exit(gathersim())
+}
+
+// gathersim is the real main, returning an exit code instead of calling
+// os.Exit so the profiling teardown (StopCPUProfile, heap snapshot) always
+// runs.
+func gathersim() int {
 	var (
 		workload  = flag.String("workload", "", "workload spec from the catalog, e.g. cycle:12, torus:8x8, rreg:64,3 (overrides -family/-n; see -list)")
 		family    = flag.String("family", "cycle", "legacy graph family (path|cycle|grid|tree|random|complete|lollipop|star|hypercube); with -n, shorthand for -workload family:n")
@@ -61,17 +71,26 @@ func main() {
 		dotFile   = flag.String("dot", "", "write the scenario graph (with start positions) as Graphviz DOT to this file")
 		times     = flag.Bool("times", true, "print per-run and aggregate wall times (disable for diffable output)")
 		list      = flag.Bool("list", false, "print the workload/algorithm/scheduler/placement catalog and exit")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
 	if *list {
 		printCatalog()
-		return
+		return 0
 	}
+
+	stopProf, err := prof.Start(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gathersim:", err)
+		return 1
+	}
+	defer stopProf()
 
 	if _, err := sim.ParseScheduler(*sched, 0); err != nil {
 		fmt.Fprintln(os.Stderr, "gathersim:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	spec := *workload
@@ -81,7 +100,7 @@ func main() {
 	wl, err := graph.ParseWorkload(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gathersim:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	if *seeds > 1 {
@@ -94,8 +113,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gathersim:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // printCatalog renders the discoverability listing: every workload with
@@ -187,28 +207,30 @@ func buildScenario(wl *graph.Workload, placement string, k int, seed uint64) (*g
 }
 
 // buildWorld loads the scenario into a world for the requested algorithm
-// and returns it with the algorithm-derived round cap.
-func buildWorld(sc *gather.Scenario, algo string, radius int) (*sim.World, int, error) {
+// and returns it with the algorithm-derived round cap. A non-nil arena
+// pools the world and agents across calls (batch mode hands each worker
+// one); nil builds fresh.
+func buildWorld(sc *gather.Scenario, algo string, radius int, arena *gather.Arena) (*sim.World, int, error) {
 	n := sc.G.N()
 	switch algo {
 	case "faster":
-		w, err := sc.NewFasterWorld()
+		w, err := sc.NewFasterWorldIn(arena)
 		return w, sc.Cfg.FasterBound(n) + 10, err
 	case "uxs":
-		w, err := sc.NewUXSWorld()
+		w, err := sc.NewUXSWorldIn(arena)
 		return w, sc.Cfg.UXSGatherBound(n) + 2, err
 	case "undispersed":
-		w, err := sc.NewUndispersedWorld()
+		w, err := sc.NewUndispersedWorldIn(arena)
 		return w, gather.R(n) + 2, err
 	case "hopmeet":
-		w, err := sc.NewHopMeetWorld(radius)
+		w, err := sc.NewHopMeetWorldIn(arena, radius)
 		return w, sc.Cfg.HopDuration(radius, n) + 2, err
 	case "dessmark":
-		w, err := sc.NewDessmarkWorld()
+		w, err := sc.NewDessmarkWorldIn(arena)
 		return w, sc.Cfg.FasterBound(n) + 10, err
 	case "beep":
 		// The beeping-model algorithm is defined for at most two robots.
-		w, err := sc.NewBeepWorld()
+		w, err := sc.NewBeepWorldIn(arena)
 		return w, sc.Cfg.UXSGatherBound(n) + 2, err
 	default:
 		return nil, 0, fmt.Errorf("unknown algorithm %q", algo)
@@ -250,7 +272,7 @@ func run(wl *graph.Workload, algo, placement, sched, dotFile string, k, radius i
 		fmt.Printf("scenario graph written to %s\n", dotFile)
 	}
 
-	w, cap, err := buildWorld(sc, algo, radius)
+	w, cap, err := buildWorld(sc, algo, radius, nil)
 	if err != nil {
 		return err
 	}
@@ -277,7 +299,11 @@ func run(wl *graph.Workload, algo, placement, sched, dotFile string, k, radius i
 // the base -seed and shared read-only by every job; each job draws its
 // own IDs, placement and scheduler from its row seed (schedulers are
 // per-run stateful), so rows are bit-identical at every -parallel setting
-// and no worker ever constructs a graph.
+// and no worker ever constructs a graph. Each worker additionally owns a
+// pooled gather.Arena: every job after a worker's first reuses that
+// worker's world and agents via Reset instead of allocating a fresh
+// engine, so the batch's steady-state per-job cost is IDs + placement +
+// scheduler, nothing else.
 func runBatch(wl *graph.Workload, algo, placement, sched string, k, radius int, base uint64, seeds, parallel, maxRounds int, times bool) error {
 	g, err := wl.Build(graph.NewRNG(base))
 	if err != nil {
@@ -291,7 +317,7 @@ func runBatch(wl *graph.Workload, algo, placement, sched string, k, radius int, 
 	for i := range jobs {
 		scSeed := base + uint64(i)
 		jobs[i] = runner.Job{Meta: scSeed,
-			Build: func(uint64) (*sim.World, int, error) {
+			BuildIn: func(_ uint64, state any) (*sim.World, int, error) {
 				rng := graph.NewRNG(scSeed)
 				if k < 1 {
 					return nil, 0, fmt.Errorf("need at least one robot")
@@ -304,14 +330,14 @@ func runBatch(wl *graph.Workload, algo, placement, sched string, k, radius int, 
 				if sc.Sched, err = buildSched(sched, scSeed); err != nil {
 					return nil, 0, err
 				}
-				w, cap, err := buildWorld(sc, algo, radius)
+				w, cap, err := buildWorld(sc, algo, radius, gather.ArenaOf(state))
 				if maxRounds > 0 {
 					cap = maxRounds
 				}
 				return w, cap, err
 			}}
 	}
-	r := runner.New(parallel)
+	r := runner.New(parallel).WithWorkerState(func(int) any { return gather.NewArena() })
 	fmt.Printf("batch: %d seeds (%d..%d), algo %s, workload %s, sched %s, k=%d\n",
 		seeds, base, base+uint64(seeds)-1, algo, wl, sched, k)
 	fmt.Printf("shared graph: %s (diameter %d), built once from seed %d",

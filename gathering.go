@@ -59,10 +59,19 @@ type (
 	Config = gather.Config
 	// Result summarizes a run (rounds, detection verdicts, move counts).
 	Result = sim.Result
-	// World is the synchronous round engine, for custom agent work.
+	// World is the synchronous round engine, for custom agent work. Its
+	// Reset method rewinds a world for reuse (grow-only, zero allocations
+	// when shapes match) — the substrate of pooled sweeps.
 	World = sim.World
 	// Agent is the robot-algorithm interface of the simulator.
 	Agent = sim.Agent
+	// Resettable is the optional pooling protocol of an Agent: Reset(id)
+	// restores constructor state so arenas can reuse agents across runs.
+	Resettable = sim.Resettable
+	// Arena is a worker-owned pool of simulation state (one long-lived
+	// world + agent set) for zero-rebuild sweeps; see Scenario's
+	// New*WorldIn constructors and Runner.WithWorkerState.
+	Arena = gather.Arena
 	// Mode selects scaled or paper-faithful UXS lengths.
 	Mode = uxs.Mode
 	// Tracer observes the world after every round.
@@ -209,11 +218,18 @@ var (
 // Parallel sweep engine.
 var (
 	// NewRunner returns a runner with the given worker count; 0 selects
-	// GOMAXPROCS, 1 is the serial reference executor.
+	// GOMAXPROCS, 1 is the serial reference executor. Chain
+	// WithWorkerState(func(int) any { return gathering.NewArena() }) to
+	// give every worker a pooled simulation arena for Job.BuildIn.
 	NewRunner = runner.New
 	// JobSeed derives the deterministic seed of the i-th job of a batch,
 	// for reproducing a single sweep point in isolation.
 	JobSeed = runner.JobSeed
+	// NewArena returns an empty pooled-simulation arena.
+	NewArena = gather.NewArena
+	// ArenaOf coerces a runner worker-state value into an arena (nil =
+	// build fresh), for use inside Job.BuildIn callbacks.
+	ArenaOf = gather.ArenaOf
 )
 
 // Activation schedulers (Scenario.Sched / World.SetScheduler).

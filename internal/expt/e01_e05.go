@@ -234,13 +234,13 @@ func runE3(w io.Writer, o Options) error {
 		idPair := idPair
 		m := &e3meta{idSweep: true}
 		jobs = append(jobs, runner.Job{Meta: m,
-			Build: func(seed uint64) (*sim.World, int, error) {
+			BuildIn: func(seed uint64, state any) (*sim.World, int, error) {
 				sc := &gather.Scenario{G: gID, IDs: []int{idPair[0], idPair[1]},
 					Positions: place.MaxMinDispersed(gID, 2, graph.NewRNG(seed)),
 					Cfg:       cfgID}
 				m.n, m.maxID = nID, idPair[1]
 				m.bound = sc.Cfg.UXSGatherBound(nID)
-				world, err := sc.NewUXSWorld()
+				world, err := sc.NewUXSWorldIn(gather.ArenaOf(state))
 				return world, m.bound + 2, err
 			}})
 	}

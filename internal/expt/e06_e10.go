@@ -142,14 +142,14 @@ func runE7(w io.Writer, o Options) error {
 		k := k
 		m := &e7meta{k: k}
 		jobs = append(jobs, runner.Job{Meta: m,
-			Build: func(seed uint64) (*sim.World, int, error) {
+			BuildIn: func(seed uint64, state any) (*sim.World, int, error) {
 				jrng := graph.NewRNG(seed)
 				ids := gather.AssignIDs(k, n, jrng)
 				pos := place.MaxMinDispersed(g, k, jrng)
 				sc := &gather.Scenario{G: g, IDs: ids, Positions: pos}
-				sc.Certify()
+				sc.Certify() // shared frozen graph: certification-cache hit after job one
 				m.minDist = place.MinPairwise(g, pos)
-				world, err := sc.NewFasterWorld()
+				world, err := sc.NewFasterWorldIn(gather.ArenaOf(state))
 				return world, sc.Cfg.FasterBound(n) + 10, err
 			}})
 	}
@@ -208,12 +208,12 @@ func runE8(w io.Writer, o Options) error {
 	for ci, c := range cases {
 		sc := scenario(c, runner.JobSeed(o.Seed+8, ci))
 		jobs = append(jobs,
-			runner.Job{Build: func(uint64) (*sim.World, int, error) {
-				world, err := sc.NewFasterWorld()
+			runner.Job{BuildIn: func(_ uint64, state any) (*sim.World, int, error) {
+				world, err := sc.NewFasterWorldIn(gather.ArenaOf(state))
 				return world, sc.Cfg.FasterBound(n) + 10, err
 			}},
-			runner.Job{Build: func(uint64) (*sim.World, int, error) {
-				world, err := sc.NewUXSWorld()
+			runner.Job{BuildIn: func(_ uint64, state any) (*sim.World, int, error) {
+				world, err := sc.NewUXSWorldIn(gather.ArenaOf(state))
 				return world, sc.Cfg.UXSGatherBound(n) + 2, err
 			}})
 	}
@@ -319,12 +319,12 @@ func runE10(w io.Writer, o Options) error {
 		clustered := c.name == "clustered"
 		sc := scenario(c.k, clustered, runner.JobSeed(o.Seed+10, ci))
 		jobs = append(jobs,
-			runner.Job{Build: func(uint64) (*sim.World, int, error) {
-				world, err := sc.NewFasterWorld()
+			runner.Job{BuildIn: func(_ uint64, state any) (*sim.World, int, error) {
+				world, err := sc.NewFasterWorldIn(gather.ArenaOf(state))
 				return world, sc.Cfg.FasterBound(n) + 10, err
 			}},
-			runner.Job{Build: func(uint64) (*sim.World, int, error) {
-				world, err := sc.NewUXSWorld()
+			runner.Job{BuildIn: func(_ uint64, state any) (*sim.World, int, error) {
+				world, err := sc.NewUXSWorldIn(gather.ArenaOf(state))
 				return world, sc.Cfg.UXSGatherBound(n) + 2, err
 			}})
 	}

@@ -30,23 +30,24 @@ func init() {
 // fresh inside every job (schedulers are per-run stateful).
 var e19Scheds = []string{"full", "semi:0.75", "adv:3"}
 
-// e19Algos maps an algorithm name to its world builder and round bound.
+// e19Algos maps an algorithm name to its (arena-pooled) world builder and
+// round bound.
 var e19Algos = []struct {
 	name  string
-	build func(sc *gather.Scenario) (*sim.World, error)
+	build func(sc *gather.Scenario, a *gather.Arena) (*sim.World, error)
 	bound func(sc *gather.Scenario) int
 }{
 	{"undispersed",
-		func(sc *gather.Scenario) (*sim.World, error) { return sc.NewUndispersedWorld() },
+		func(sc *gather.Scenario, a *gather.Arena) (*sim.World, error) { return sc.NewUndispersedWorldIn(a) },
 		func(sc *gather.Scenario) int { return gather.R(sc.G.N()) + 2 }},
 	{"uxs",
-		func(sc *gather.Scenario) (*sim.World, error) { return sc.NewUXSWorld() },
+		func(sc *gather.Scenario, a *gather.Arena) (*sim.World, error) { return sc.NewUXSWorldIn(a) },
 		func(sc *gather.Scenario) int { return sc.Cfg.UXSGatherBound(sc.G.N()) + 2 }},
 	{"faster",
-		func(sc *gather.Scenario) (*sim.World, error) { return sc.NewFasterWorld() },
+		func(sc *gather.Scenario, a *gather.Arena) (*sim.World, error) { return sc.NewFasterWorldIn(a) },
 		func(sc *gather.Scenario) int { return sc.Cfg.FasterBound(sc.G.N()) + 10 }},
 	{"dessmark",
-		func(sc *gather.Scenario) (*sim.World, error) { return sc.NewDessmarkWorld() },
+		func(sc *gather.Scenario, a *gather.Arena) (*sim.World, error) { return sc.NewDessmarkWorldIn(a) },
 		func(sc *gather.Scenario) int { return sc.Cfg.FasterBound(sc.G.N()) + 10 }},
 }
 
@@ -108,13 +109,13 @@ func runE19(w io.Writer, o Options) error {
 				algo, spec, inst := algo, spec, inst
 				c.total++
 				jobs = append(jobs, runner.Job{Meta: c,
-					Build: func(uint64) (*sim.World, int, error) {
+					BuildIn: func(_ uint64, state any) (*sim.World, int, error) {
 						sched, err := sim.ParseScheduler(spec, inst.seed^0x19)
 						if err != nil {
 							return nil, 0, err
 						}
 						sc := inst.sc.WithScheduler(sched)
-						world, err := algo.build(sc)
+						world, err := algo.build(sc, gather.ArenaOf(state))
 						// Double the synchronous budget: enough for the
 						// 1/p activation stretch, and a clear timeout
 						// verdict for runs desynchronization breaks.
@@ -123,7 +124,7 @@ func runE19(w io.Writer, o Options) error {
 			}
 		}
 	}
-	results, _ := runner.New(o.Parallelism).Run(o.Seed+19, jobs)
+	results, _ := sweepRunner(o).Run(o.Seed+19, jobs)
 	for _, res := range results {
 		c := res.Meta.(*cell)
 		switch {
@@ -205,15 +206,15 @@ func runE20(w io.Writer, o Options) error {
 			pt := pt
 			m := &jobMeta{pt: pt, inst: ii}
 			jobs = append(jobs, runner.Job{Meta: m,
-				Build: func(uint64) (*sim.World, int, error) {
+				BuildIn: func(_ uint64, state any) (*sim.World, int, error) {
 					sc := inst.WithScheduler(sim.NewSemiSync(pt.p, caseSeed^0x20))
-					world, err := sc.NewDessmarkWorld()
+					world, err := sc.NewDessmarkWorldIn(gather.ArenaOf(state))
 					m.cap = 8 * (sc.Cfg.FasterBound(sc.G.N()) + 10)
 					return world, m.cap, err
 				}})
 		}
 	}
-	results, _ := runner.New(o.Parallelism).Run(o.Seed+20, jobs)
+	results, _ := sweepRunner(o).Run(o.Seed+20, jobs)
 	if err := runner.FirstErr(results); err != nil {
 		return err
 	}

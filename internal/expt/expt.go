@@ -33,13 +33,22 @@ type Options struct {
 
 // sweep executes a batch of scenario jobs through the shared parallel
 // runner and returns per-job results in submission order, surfacing the
-// earliest job error.
+// earliest job error. Every worker carries a gather.Arena, so jobs written
+// against Job.BuildIn + the Scenario.New*WorldIn constructors reuse one
+// long-lived world per worker instead of allocating a fresh engine per
+// sweep point; jobs using plain Build are unaffected.
 func sweep(o Options, base uint64, jobs []runner.Job) ([]runner.JobResult, error) {
-	results, _ := runner.New(o.Parallelism).Run(base, jobs)
+	results, _ := sweepRunner(o).Run(base, jobs)
 	if err := runner.FirstErr(results); err != nil {
 		return nil, err
 	}
 	return results, nil
+}
+
+// sweepRunner builds the experiment runner: o.Parallelism workers, each
+// owning a pooled simulation arena.
+func sweepRunner(o Options) *runner.Runner {
+	return runner.New(o.Parallelism).WithWorkerState(func(int) any { return gather.NewArena() })
 }
 
 // certifiedConfig returns the gather.Config whose UXS length is pinned

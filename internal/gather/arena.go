@@ -1,0 +1,144 @@
+package gather
+
+import (
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Arena is a worker-owned pool of simulation state: one long-lived
+// sim.World plus the agent set loaded into it. Sweeps that run thousands
+// of short jobs hand each runner worker an Arena
+// (runner.WithWorkerState(func(int) any { return gather.NewArena() })) and
+// build every job's world *in* it via the Scenario.New*WorldIn
+// constructors; when consecutive jobs share the arena's shape — same
+// frozen graph, algorithm, robot count and config — the world is rewound
+// with World.Reset and the agents with sim.Resettable.Reset instead of
+// being reallocated, which removes per-job setup cost entirely (zero
+// allocations on the engine side). On any shape change the arena falls
+// back to fresh construction and adopts the new shape, so pooled builders
+// are always safe to call: the pooling is an optimization, never a
+// constraint.
+//
+// An Arena is NOT safe for concurrent use and backs at most one live world
+// at a time: the world returned by a pooled builder is invalidated by the
+// next builder call on the same arena. Pooling is bit-transparent — a
+// pooled run produces exactly the results of a fresh one (the golden suite
+// pins this) — so results never depend on which worker, or which arena
+// history, a job lands on.
+type Arena struct {
+	world  *sim.World
+	agents []sim.Agent
+	key    arenaKey
+	pooled bool // every agent implements sim.Resettable
+}
+
+// arenaKey identifies the shape an arena currently holds. Two builds with
+// equal keys are guaranteed interchangeable up to Reset: the graph pointer
+// pins the (immutable) topology, and algo/radius/cfg/k pin the agent
+// construction inputs.
+type arenaKey struct {
+	algo   string
+	g      *graph.Graph
+	k      int
+	cfg    Config
+	radius int
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// ArenaOf coerces a runner worker-state value into an arena. A nil state
+// (runner without WithWorkerState) or a foreign type yields nil, which
+// every pooled builder treats as "construct fresh" — so job code can
+// thread the state through unconditionally.
+func ArenaOf(state any) *Arena {
+	a, _ := state.(*Arena)
+	return a
+}
+
+// newWorldIn is the pooled counterpart of newWorld: it builds the
+// scenario's world inside the arena, reusing the arena's world and agents
+// when the shape key matches, reusing just the world (grow-only Reset)
+// when only the graph matches, and constructing from scratch otherwise.
+// The scenario's scheduler (nil = FullSync) is installed in every case,
+// exactly as the fresh path does.
+func (s *Scenario) newWorldIn(a *Arena, algo string, radius int, mk func(id int) sim.Agent) (*sim.World, error) {
+	if a == nil {
+		return s.newWorld(mk)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	key := arenaKey{algo: algo, g: s.G, k: len(s.IDs), cfg: s.Cfg, radius: radius}
+	if a.pooled && a.key == key {
+		for i, id := range s.IDs {
+			a.agents[i].(sim.Resettable).Reset(id)
+		}
+		if err := a.world.Reset(a.agents, s.Positions); err != nil {
+			return nil, err
+		}
+		a.world.SetScheduler(s.Sched)
+		return a.world, nil
+	}
+	agents := make([]sim.Agent, len(s.IDs))
+	pooled := true
+	for i, id := range s.IDs {
+		agents[i] = mk(id)
+		if _, ok := agents[i].(sim.Resettable); !ok {
+			pooled = false
+		}
+	}
+	var (
+		w   *sim.World
+		err error
+	)
+	if a.world != nil && a.world.Graph() == s.G {
+		// Same frozen graph, different shape: the engine state still fits
+		// (grow-only), only the agents had to be rebuilt.
+		w = a.world
+		err = w.Reset(agents, s.Positions)
+	} else {
+		w, err = sim.NewWorld(s.G, agents, s.Positions)
+	}
+	if err != nil {
+		return nil, err
+	}
+	w.SetScheduler(s.Sched)
+	a.world, a.agents, a.key, a.pooled = w, agents, key, pooled
+	return w, nil
+}
+
+// NewFasterWorldIn is NewFasterWorld built in the arena (nil = fresh).
+func (s *Scenario) NewFasterWorldIn(a *Arena) (*sim.World, error) {
+	return s.newWorldIn(a, "faster", 0, func(id int) sim.Agent { return NewFasterAgent(s.Cfg, s.G.N(), id) })
+}
+
+// NewUXSWorldIn is NewUXSWorld built in the arena (nil = fresh).
+func (s *Scenario) NewUXSWorldIn(a *Arena) (*sim.World, error) {
+	return s.newWorldIn(a, "uxs", 0, func(id int) sim.Agent { return NewUXSGAgent(s.Cfg, s.G.N(), id) })
+}
+
+// NewUndispersedWorldIn is NewUndispersedWorld built in the arena (nil =
+// fresh).
+func (s *Scenario) NewUndispersedWorldIn(a *Arena) (*sim.World, error) {
+	return s.newWorldIn(a, "undispersed", 0, func(id int) sim.Agent { return NewUGAgent(s.G.N(), id) })
+}
+
+// NewHopMeetWorldIn is NewHopMeetWorld built in the arena (nil = fresh).
+func (s *Scenario) NewHopMeetWorldIn(a *Arena, radius int) (*sim.World, error) {
+	return s.newWorldIn(a, "hopmeet", radius, func(id int) sim.Agent { return NewHopMeetAgent(s.Cfg, radius, s.G.N(), id) })
+}
+
+// NewDessmarkWorldIn is NewDessmarkWorld built in the arena (nil = fresh).
+func (s *Scenario) NewDessmarkWorldIn(a *Arena) (*sim.World, error) {
+	return s.newWorldIn(a, "dessmark", 0, func(id int) sim.Agent { return NewDessmarkAgent(s.Cfg, s.G.N(), id) })
+}
+
+// NewBeepWorldIn is NewBeepWorld built in the arena (nil = fresh); the
+// scenario must have at most two robots (the [21] setting).
+func (s *Scenario) NewBeepWorldIn(a *Arena) (*sim.World, error) {
+	if len(s.IDs) > 2 {
+		return nil, errTooManyForBeep
+	}
+	return s.newWorldIn(a, "beep", 0, func(id int) sim.Agent { return NewBeepAgent(s.Cfg, s.G.N(), id) })
+}

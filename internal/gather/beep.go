@@ -46,6 +46,15 @@ func NewBeepG(cfg Config, n, id int) *BeepG {
 	return &BeepG{n: n, id: id, T: T, seq: uxs.WithLength(n, T), bits: Bits(id)}
 }
 
+// Reset returns the controller to its NewBeepG state for a new run as
+// robot id, reusing the (cfg, n)-derived sequence.
+func (g *BeepG) Reset(id int) {
+	g.id = id
+	g.bits = AppendBits(g.bits[:0], id)
+	g.r = 0
+	g.done = false
+}
+
 // Terminated reports whether the controller concluded gathering.
 func (g *BeepG) Terminated() bool { return g.done }
 
@@ -111,6 +120,12 @@ type BeepAgent struct {
 // NewBeepAgent returns a standalone beeping-model gathering agent.
 func NewBeepAgent(cfg Config, n, id int) *BeepAgent {
 	return &BeepAgent{Base: sim.NewBase(id), G: NewBeepG(cfg, n, id)}
+}
+
+// Reset implements sim.Resettable.
+func (a *BeepAgent) Reset(id int) {
+	a.Base = sim.NewBase(id)
+	a.G.Reset(id)
 }
 
 // Compose implements sim.Agent.

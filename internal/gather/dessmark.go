@@ -28,6 +28,14 @@ func NewDessmarkAgent(cfg Config, n, id int) *DessmarkAgent {
 	return a
 }
 
+// Reset implements sim.Resettable: the agent restarts its iterated
+// deepening from radius 1 as robot id.
+func (a *DessmarkAgent) Reset(id int) {
+	a.Base = sim.NewBase(id)
+	a.radius = 1
+	a.hop = NewHopMeet(a.cfg, 1, a.n, id)
+}
+
 // Decide implements sim.Agent.
 func (a *DessmarkAgent) Decide(env *sim.Env) sim.Action {
 	if a.hop.Done() {

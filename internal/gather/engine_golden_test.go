@@ -122,6 +122,116 @@ func TestSchedulerRunsDeterministic(t *testing.T) {
 	}
 }
 
+// buildGoldenWorldIn maps an algorithm name to its pooled world and round
+// cap: the single builder behind every pooled golden check (a nil arena
+// builds fresh).
+func buildGoldenWorldIn(t *testing.T, sc *Scenario, algo string, a *Arena) (*sim.World, int) {
+	t.Helper()
+	n := sc.G.N()
+	var (
+		w   *sim.World
+		cap int
+		err error
+	)
+	switch algo {
+	case "faster":
+		w, err = sc.NewFasterWorldIn(a)
+		cap = sc.Cfg.FasterBound(n) + 10
+	case "uxs":
+		w, err = sc.NewUXSWorldIn(a)
+		cap = sc.Cfg.UXSGatherBound(n) + 2
+	case "undispersed":
+		w, err = sc.NewUndispersedWorldIn(a)
+		cap = R(n) + 2
+	case "hopmeet":
+		w, err = sc.NewHopMeetWorldIn(a, 2)
+		cap = sc.Cfg.HopDuration(2, n) + 2
+	case "dessmark":
+		w, err = sc.NewDessmarkWorldIn(a)
+		cap = 4 * (sc.Cfg.FasterBound(n) + 10)
+	default:
+		t.Fatalf("unknown algorithm %q", algo)
+	}
+	if err != nil {
+		t.Fatalf("%s pooled build: %v", algo, err)
+	}
+	return w, cap
+}
+
+// runGoldenIn is runGolden through the pooled arena path: the world is
+// built in (and, on repeated calls with matching shapes, Reset inside) the
+// given arena instead of freshly constructed.
+func runGoldenIn(t *testing.T, sc *Scenario, algo string, a *Arena) sim.Result {
+	t.Helper()
+	w, cap := buildGoldenWorldIn(t, sc, algo, a)
+	return w.Run(cap)
+}
+
+// The pooled-execution counterpart of TestEngineGoldenFullSync: every
+// golden instance runs TWICE through one long-lived arena per algorithm —
+// the second run re-enters a world the first run dirtied (via World.Reset
+// and the agents' Resettable.Reset whenever the instance shape repeats) —
+// and the second runs must hash to the exact same golden values as fresh
+// construction. Any pooling state leak shifts the hash.
+func TestEngineGoldenPooledReset(t *testing.T) {
+	for _, algo := range []string{"faster", "uxs", "undispersed", "hopmeet"} {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			arena := NewArena()
+			h := fnv.New64a()
+			for _, sc := range goldenInstances(algo) {
+				first := runGoldenIn(t, sc, algo, arena)
+				second := runGoldenIn(t, sc, algo, arena) // Reset path: same shape, dirty world
+				if fmt.Sprint(first) != fmt.Sprint(second) {
+					t.Fatalf("pooled rerun diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+				}
+				hashResult(h, second)
+			}
+			if got, want := h.Sum64(), engineGolden[algo]; got != want {
+				t.Errorf("pooled engine drift: %s hash = %#x, want %#x (a Reset world no longer matches fresh construction)", algo, got, want)
+			}
+		})
+	}
+}
+
+// Pooled execution must match fresh execution under every scheduler, for
+// every algorithm — including the runs that legitimately crash outside
+// the synchronous model (the outcome, result or panic message, must be
+// identical too).
+func TestPooledMatchesFreshAcrossSchedulers(t *testing.T) {
+	outcome := func(sc *Scenario, algo string, a *Arena) string {
+		w, cap := buildGoldenWorldIn(t, sc, algo, a)
+		res, err := w.SafeRun(cap)
+		return fmt.Sprintf("%+v err=%v", res, err)
+	}
+	for _, algo := range []string{"faster", "uxs", "undispersed", "hopmeet", "dessmark"} {
+		for _, spec := range []string{"full", "semi:0.6", "adv:2"} {
+			algo, spec := algo, spec
+			t.Run(algo+"/"+spec, func(t *testing.T) {
+				arena := NewArena()
+				for i, sc := range goldenInstances(algo)[:6] {
+					mkSched := func() sim.Scheduler {
+						sched, err := sim.ParseScheduler(spec, 1234+uint64(i))
+						if err != nil {
+							t.Fatal(err)
+						}
+						return sched
+					}
+					fresh := outcome(sc.WithScheduler(mkSched()), algo, nil)
+					// Warm the arena on this shape, then compare the Reset
+					// rerun against the fresh run (schedulers are per-run
+					// stateful, so each run gets its own instance).
+					outcome(sc.WithScheduler(mkSched()), algo, arena)
+					pooled := outcome(sc.WithScheduler(mkSched()), algo, arena)
+					if fresh != pooled {
+						t.Fatalf("instance %d: pooled run under %s diverged from fresh:\nfresh:  %s\npooled: %s", i, spec, fresh, pooled)
+					}
+				}
+			})
+		}
+	}
+}
+
 func TestEngineGoldenFullSync(t *testing.T) {
 	for _, algo := range []string{"faster", "uxs", "undispersed", "hopmeet"} {
 		algo := algo

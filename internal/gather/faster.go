@@ -66,6 +66,15 @@ func NewFasterAgent(cfg Config, n, id int) *FasterAgent {
 	return a
 }
 
+// Reset implements sim.Resettable: the agent restarts as robot id with the
+// config and graph size it was built for. The segment list is a pure
+// function of the retained config, so it is kept; the first segment's
+// controller is rebuilt exactly as the constructor does.
+func (a *FasterAgent) Reset(id int) {
+	a.Base = sim.NewBase(id)
+	a.enter(0)
+}
+
 // enter instantiates the controller for segment si.
 func (a *FasterAgent) enter(si int) {
 	a.si = si

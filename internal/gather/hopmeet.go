@@ -92,6 +92,16 @@ func NewHopMeet(cfg Config, radius, n, id int) *HopMeet {
 	}
 }
 
+// Reset returns the controller to its NewHopMeet state for a new run as
+// robot id: same radius and (cfg, n)-derived durations, fresh bit
+// schedule, enumeration state cleared.
+func (h *HopMeet) Reset(id int) {
+	h.bits = AppendBits(h.bits[:0], id)
+	h.r = 0
+	h.frozen = false
+	h.enum = nil
+}
+
 // Done reports whether the procedure's fixed duration has elapsed.
 func (h *HopMeet) Done() bool { return h.r >= h.total }
 
@@ -137,6 +147,12 @@ type HopMeetAgent struct {
 // NewHopMeetAgent returns a standalone i-Hop-Meeting agent.
 func NewHopMeetAgent(cfg Config, radius, n, id int) *HopMeetAgent {
 	return &HopMeetAgent{Base: sim.NewBase(id), H: NewHopMeet(cfg, radius, n, id)}
+}
+
+// Reset implements sim.Resettable.
+func (a *HopMeetAgent) Reset(id int) {
+	a.Base = sim.NewBase(id)
+	a.H.Reset(id)
 }
 
 // Decide implements sim.Agent.

@@ -43,14 +43,20 @@ func bitLen(x int) int {
 // The slice length is the position of the most significant set bit, so
 // every ID (>= 1) ends with a true bit.
 func Bits(id int) []bool {
+	return AppendBits(make([]bool, 0, bitLen(id)), id)
+}
+
+// AppendBits appends the LSB-first bits of id to dst and returns it, so
+// pooled agents can recompute their bit schedule for a new ID into storage
+// they already own (pass dst[:0] to reuse).
+func AppendBits(dst []bool, id int) []bool {
 	if id < 1 {
 		panic("gather: robot IDs start at 1")
 	}
-	bits := make([]bool, 0, bitLen(id))
 	for x := id; x > 0; x >>= 1 {
-		bits = append(bits, x&1 == 1)
+		dst = append(dst, x&1 == 1)
 	}
-	return bits
+	return dst
 }
 
 // AssignIDs draws k distinct robot IDs from [1, MaxID(n)] using rng.

@@ -57,6 +57,14 @@ func NewUG(n, id int) *UG {
 	return &UG{n: n, id: id, r1: R1(n), total: R(n), leader: -1, groupid: -1}
 }
 
+// Reset returns the controller to its NewUG(n, id) state for a new run as
+// robot id, keeping the graph size (and hence the R₁/R budgets) it was
+// built with. The map builder and token are rebuilt lazily by init, as in
+// a fresh controller.
+func (u *UG) Reset(id int) {
+	*u = UG{n: u.n, id: id, r1: u.r1, total: u.total, leader: -1, groupid: -1}
+}
+
 // Done reports whether the fixed R(n) budget has elapsed.
 func (u *UG) Done() bool { return u.r >= u.total }
 
@@ -266,6 +274,13 @@ type UGAgent struct {
 // NewUGAgent returns a standalone Undispersed-Gathering agent.
 func NewUGAgent(n, id int) *UGAgent {
 	return &UGAgent{Base: sim.NewBase(id), U: NewUG(n, id)}
+}
+
+// Reset implements sim.Resettable: the agent restarts as robot id, exactly
+// as NewUGAgent would build it.
+func (a *UGAgent) Reset(id int) {
+	a.Base = sim.NewBase(id)
+	a.U.Reset(id)
 }
 
 // Compose implements sim.Agent.

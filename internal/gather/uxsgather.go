@@ -39,6 +39,17 @@ func NewUXSG(cfg Config, n, id int) *UXSG {
 	}
 }
 
+// Reset returns the controller to its NewUXSG state for a new run as
+// robot id. The sequence and phase length depend only on the retained
+// (cfg, n), so they are reused; the bit schedule is recomputed in place.
+func (g *UXSG) Reset(id int) {
+	g.id = id
+	g.bits = AppendBits(g.bits[:0], id)
+	g.r = 0
+	g.leader = -1
+	g.done = false
+}
+
 // Terminated reports whether the controller decided gathering is complete.
 func (g *UXSG) Terminated() bool { return g.done }
 
@@ -163,6 +174,12 @@ type UXSGAgent struct {
 // NewUXSGAgent returns a standalone UXS-gathering agent.
 func NewUXSGAgent(cfg Config, n, id int) *UXSGAgent {
 	return &UXSGAgent{Base: sim.NewBase(id), G: NewUXSG(cfg, n, id)}
+}
+
+// Reset implements sim.Resettable.
+func (a *UXSGAgent) Reset(id int) {
+	a.Base = sim.NewBase(id)
+	a.G.Reset(id)
 }
 
 // Compose implements sim.Agent.

@@ -1,0 +1,52 @@
+// Package prof wires the standard -cpuprofile / -memprofile flags into
+// the command-line tools, so perf work on the sweep engines starts from a
+// profile instead of a guess (e.g. `experiments -quick -cpuprofile
+// cpu.pb.gz`, then `go tool pprof cpu.pb.gz`).
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (cpuPath non-empty) and/or schedules a heap
+// snapshot at teardown (memPath non-empty) and returns the teardown
+// function, which is safe to call exactly once and is a no-op when both
+// paths are empty. Callers must route exits through the teardown (return
+// codes, not os.Exit) or the CPU profile will be truncated.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	stop = func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return stop, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if memPath != "" {
+		cpuStop := stop
+		stop = func() {
+			cpuStop()
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // snapshot live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}
+	return stop, nil
+}

@@ -13,6 +13,12 @@
 // certified config) once before submission and references it from every
 // job, constructing only the per-run world — and, via
 // Scenario.WithScheduler, a per-run scheduler — inside Build.
+//
+// For zero-rebuild sweeps, WithWorkerState gives every worker a
+// long-lived value (typically a gather.Arena) that Job.BuildIn receives
+// alongside the seed, so even the per-run world is reused — rewound with
+// World.Reset — instead of reconstructed. Worker state is an allocation
+// pool only: results must never depend on it.
 package runner
 
 import (
@@ -38,6 +44,15 @@ import (
 // simulate (e.g. no node pair at the requested distance).
 type Job struct {
 	Build func(seed uint64) (*sim.World, int, error)
+	// BuildIn, when non-nil, takes precedence over Build and additionally
+	// receives the executing worker's long-lived state (see
+	// Runner.WithWorkerState) — typically a pooled simulation arena the
+	// job builds its world *in* instead of allocating a fresh one. The
+	// state a job observes depends on scheduling, so it must be a pure
+	// allocation pool: the job's RESULT must be a function of its seed and
+	// captured read-only data alone, never of what previous jobs left in
+	// the state. On a runner without worker state, BuildIn receives nil.
+	BuildIn func(seed uint64, state any) (*sim.World, int, error)
 	// Stop, when non-nil, is an extra termination predicate checked
 	// between rounds: the run ends as soon as it returns true, before
 	// the cap and before all agents terminate. Sweeps over agents that
@@ -78,6 +93,7 @@ type Stats struct {
 // Runner executes job batches on a bounded worker pool.
 type Runner struct {
 	workers int
+	state   func(worker int) any
 }
 
 // New returns a runner with the given worker count; workers <= 0 selects
@@ -92,6 +108,19 @@ func New(workers int) *Runner {
 
 // Workers returns the pool size.
 func (r *Runner) Workers() int { return r.workers }
+
+// WithWorkerState installs a per-worker state initializer and returns the
+// runner for chaining. Each worker goroutine of each Run calls init once
+// (with its worker index) and hands the value to every Job.BuildIn it
+// executes, so jobs can reuse worker-owned allocations — a pooled World
+// and agent arena — instead of rebuilding them per job. The state is only
+// ever touched by its own worker, so init needs no synchronization; which
+// jobs share a state instance depends on scheduling, which is exactly why
+// state must never influence results (see Job.BuildIn).
+func (r *Runner) WithWorkerState(init func(worker int) any) *Runner {
+	r.state = init
+	return r
+}
 
 // splitmix64 is the SplitMix64 finalizer: a bijective scrambler whose
 // outputs for consecutive inputs are statistically independent, which is
@@ -124,16 +153,20 @@ func (r *Runner) Run(base uint64, jobs []Job) ([]JobResult, Stats) {
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			var state any
+			if r.state != nil {
+				state = r.state(worker)
+			}
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(jobs) {
 					return
 				}
-				results[i] = runOne(base, i, jobs[i])
+				results[i] = runOne(base, i, jobs[i], state)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 
@@ -164,7 +197,7 @@ func FirstErr(results []JobResult) error {
 	return nil
 }
 
-func runOne(base uint64, i int, j Job) JobResult {
+func runOne(base uint64, i int, j Job, state any) JobResult {
 	out := JobResult{Index: i, Seed: JobSeed(base, i), Meta: j.Meta}
 	t0 := time.Now()
 	func() {
@@ -182,7 +215,19 @@ func runOne(base uint64, i int, j Job) JobResult {
 				out.Stack = string(debug.Stack())
 			}
 		}()
-		w, cap, err := j.Build(out.Seed)
+		var (
+			w   *sim.World
+			cap int
+			err error
+		)
+		switch {
+		case j.BuildIn != nil:
+			w, cap, err = j.BuildIn(out.Seed, state)
+		case j.Build != nil:
+			w, cap, err = j.Build(out.Seed)
+		default:
+			err = fmt.Errorf("runner: job %d has neither Build nor BuildIn", i)
+		}
 		switch {
 		case err != nil:
 			out.Err = err

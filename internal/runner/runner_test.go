@@ -3,6 +3,7 @@ package runner
 import (
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/gather"
@@ -174,6 +175,151 @@ func TestSharedFrozenGraphAcrossWorkers(t *testing.T) {
 	// The shared graph must be untouched by 24 concurrent runs.
 	if err := g.Validate(); err != nil {
 		t.Fatalf("shared graph corrupted: %v", err)
+	}
+}
+
+// pooledGatherJobs is gatherJobs written against the pooled path: every
+// job builds its world in the executing worker's arena via BuildIn.
+func pooledGatherJobs(count int) []Job {
+	jobs := make([]Job, count)
+	for i := 0; i < count; i++ {
+		n := 8 + 2*(i%3)
+		jobs[i] = Job{
+			Meta: n,
+			BuildIn: func(seed uint64, state any) (*sim.World, int, error) {
+				rng := graph.NewRNG(seed)
+				g := graph.Cycle(n)
+				g = g.WithPermutedPorts(rng)
+				k := n/2 + 1
+				sc := &gather.Scenario{
+					G:         g,
+					IDs:       gather.AssignIDs(k, n, rng),
+					Positions: place.MaxMinDispersed(g, k, rng),
+				}
+				sc.Certify()
+				w, err := sc.NewFasterWorldIn(gather.ArenaOf(state))
+				return w, sc.Cfg.FasterBound(n) + 10, err
+			},
+		}
+	}
+	return jobs
+}
+
+// Pooled execution must not change a single bit of a batch's results: the
+// serial fresh-construction reference, the serial pooled run and pooled
+// runs at several worker counts (different arena reuse patterns each
+// time) must all agree.
+func TestPooledWorkerStateDeterminism(t *testing.T) {
+	const base = 77
+	ref, _ := New(1).Run(base, gatherJobs(12))
+	if err := FirstErr(ref); err != nil {
+		t.Fatal(err)
+	}
+	arenas := func(int) any { return gather.NewArena() }
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, _ := New(workers).WithWorkerState(arenas).Run(base, pooledGatherJobs(12))
+		if err := FirstErr(got); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(stripTiming(ref), stripTiming(got)) {
+			t.Errorf("workers=%d: pooled results differ from fresh serial reference", workers)
+		}
+	}
+}
+
+// Worker-state plumbing: init runs once per worker, BuildIn receives that
+// worker's value on every job, and a job with neither Build nor BuildIn
+// is an error, not a panic.
+func TestWorkerStatePlumbing(t *testing.T) {
+	var mu sync.Mutex
+	inits := map[int]int{}
+	r := New(3).WithWorkerState(func(worker int) any {
+		mu.Lock()
+		inits[worker]++
+		mu.Unlock()
+		return &worker
+	})
+	jobs := make([]Job, 12)
+	for i := range jobs {
+		jobs[i] = Job{BuildIn: func(_ uint64, state any) (*sim.World, int, error) {
+			if _, ok := state.(*int); !ok {
+				return nil, 0, fmt.Errorf("job saw state %T, want *int", state)
+			}
+			return nil, 0, nil // pure-compute skip
+		}}
+	}
+	jobs = append(jobs, Job{}) // no builder at all
+	results, st := r.Run(5, jobs)
+	for i := 0; i < 12; i++ {
+		if results[i].Err != nil {
+			t.Fatal(results[i].Err)
+		}
+	}
+	if results[12].Err == nil {
+		t.Error("builder-less job did not error")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(inits) == 0 || len(inits) > 3 {
+		t.Errorf("worker-state init ran for %d workers, want 1..3", len(inits))
+	}
+	for w, n := range inits {
+		if n != 1 {
+			t.Errorf("worker %d initialized %d times", w, n)
+		}
+	}
+	if st.Skipped != 12 {
+		t.Errorf("skips = %d, want 12", st.Skipped)
+	}
+}
+
+// BuildIn without WithWorkerState receives nil state, which the pooled
+// scenario builders treat as fresh construction.
+func TestBuildInWithoutWorkerState(t *testing.T) {
+	results, _ := New(2).Run(3, pooledGatherJobs(4))
+	if err := FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if !r.Res.DetectionCorrect {
+			t.Errorf("job %d without worker state failed: %+v", i, r.Res)
+		}
+	}
+}
+
+// TestCertifyCacheUnderConcurrentJobs is the runner-level race proof for
+// the UXS certification cache: many concurrent jobs call Certify (via
+// Scenario.Certify) on ONE shared frozen graph while others certify
+// job-private graphs. Meaningful under -race, which CI runs.
+func TestCertifyCacheUnderConcurrentJobs(t *testing.T) {
+	rng := graph.NewRNG(13)
+	g, err := graph.BuildWorkload("grid:4x4", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]Job, 32)
+	for i := range jobs {
+		shared := i%2 == 0
+		jobs[i] = Job{Build: func(seed uint64) (*sim.World, int, error) {
+			jrng := graph.NewRNG(seed)
+			gg := g
+			if !shared {
+				gg = graph.Cycle(8).WithPermutedPorts(jrng)
+			}
+			sc := &gather.Scenario{G: gg, IDs: gather.AssignIDs(3, gg.N(), jrng),
+				Positions: place.Clustered(gg, 3, 1, jrng)}
+			sc.Certify() // shared jobs hammer one cache key concurrently
+			w, err := sc.NewUndispersedWorld()
+			return w, gather.R(gg.N()) + 2, err
+		}}
+	}
+	ref, _ := New(1).Run(17, jobs)
+	if err := FirstErr(ref); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := New(8).Run(17, jobs)
+	if !reflect.DeepEqual(stripTiming(ref), stripTiming(got)) {
+		t.Error("certify-cache batch differs between 1 and 8 workers")
 	}
 }
 

@@ -122,6 +122,20 @@ type Agent interface {
 	Decide(env *Env) Action
 }
 
+// Resettable is the optional pooling protocol of an Agent: Reset(id)
+// returns the agent to the exact state its constructor would produce for a
+// robot with the given ID, reusing its internal storage where possible.
+// Pooled sweep layers (gather.Arena) call it to re-run a long-lived agent
+// set on a fresh instance instead of constructing k new agents per job;
+// agents that do not implement it are simply rebuilt. Implementations must
+// make a pooled run bit-identical to a fresh one — anything less breaks
+// the sweep determinism contract.
+type Resettable interface {
+	Agent
+	// Reset re-initializes the agent for a new run as robot id.
+	Reset(id int)
+}
+
 // Base provides common Agent plumbing: ID and card storage plus a no-op
 // Compose. Algorithm agents embed it and override what they need.
 type Base struct {

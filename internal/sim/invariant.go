@@ -16,6 +16,7 @@ type InvariantTracer struct {
 	Err error
 
 	prevPos   []int
+	curPos    []int // reused observation buffer, swapped with prevPos
 	prevDone  []bool
 	prevRound int
 	started   bool
@@ -26,7 +27,8 @@ func (t *InvariantTracer) Observe(w *World) {
 	if t.Err != nil {
 		return
 	}
-	pos := w.Positions()
+	pos := w.PositionsInto(t.curPos)
+	t.curPos = pos
 	n := w.Graph().N()
 	for i, p := range pos {
 		if p < 0 || p >= n {
@@ -47,8 +49,11 @@ func (t *InvariantTracer) Observe(w *World) {
 			}
 		}
 	}
-	t.prevPos = pos
-	if t.prevDone == nil {
+	// Double-buffer: this round's positions become the reference, and the
+	// old reference becomes next round's observation buffer — the tracer
+	// allocates nothing per round once both buffers exist.
+	t.prevPos, t.curPos = pos, t.prevPos
+	if len(t.prevDone) < len(pos) {
 		t.prevDone = make([]bool, len(pos))
 	}
 	copy(t.prevDone, w.done)

@@ -20,20 +20,26 @@ type occupancy struct {
 	count    int     // robots currently in the index
 }
 
-// init builds the index for a world with the given per-agent IDs and
-// starting positions.
-func (o *occupancy) init(nNodes int, ids, pos []int) {
+// reset (re)builds the index for a world with the given per-agent IDs and
+// starting positions; on a zero-value occupancy it is the initial build.
+// Re-indexing allocates nothing: every bucket that held robots is
+// truncated in place (keeping its capacity) and refilled — add keeps
+// buckets ID-sorted on every insertion, so fill order is irrelevant to
+// the final index state. The bucket table is reused whenever it is large
+// enough and only reallocated on growth, matching World.Reset's grow-only
+// contract.
+func (o *occupancy) reset(nNodes int, ids, pos []int) {
+	for _, node := range o.occupied {
+		o.buckets[node] = o.buckets[node][:0]
+	}
+	if len(o.buckets) < nNodes {
+		o.buckets = make([][]int, nNodes)
+	}
 	o.ids = ids
-	o.buckets = make([][]int, nNodes)
 	o.occupied = o.occupied[:0]
 	o.multi = 0
 	o.count = 0
-	order := make([]int, len(pos))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return ids[order[a]] < ids[order[b]] })
-	for _, i := range order {
+	for i := range pos {
 		o.add(i, pos[i])
 	}
 }

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// rotor is a minimal Resettable agent: it walks ports round-robin.
+type rotor struct {
+	Base
+	step int
+}
+
+func (r *rotor) Decide(env *Env) Action {
+	r.step++
+	return MoveAction(r.step % env.Degree)
+}
+
+func (r *rotor) Reset(id int) {
+	r.Base = NewBase(id)
+	r.step = 0
+}
+
+func newRotorWorld(t testing.TB, g *graph.Graph, k int, seed uint64) (*World, []Agent, []int) {
+	t.Helper()
+	rng := graph.NewRNG(seed)
+	agents := make([]Agent, k)
+	pos := make([]int, k)
+	for i := range agents {
+		agents[i] = &rotor{Base: NewBase(i + 1)}
+		pos[i] = rng.Intn(g.N())
+	}
+	w, err := NewWorld(g, agents, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, agents, pos
+}
+
+// snapshot captures every externally observable run outcome.
+func snapshot(w *World) string {
+	return fmt.Sprintf("%+v occ=%d done=%d crashed=%d", w.Summary(), w.OccupiedNodes(), w.DoneCount(), w.CrashedCount())
+}
+
+// A Reset world must replay a run bit-for-bit: same agents, same
+// positions, same step count => identical summary, even after the first
+// run dirtied every piece of engine state (moves, occupancy, crashes).
+func TestResetReplaysIdentically(t *testing.T) {
+	g := graph.Grid(5, 5).WithPermutedPorts(graph.NewRNG(3))
+	w, agents, pos := newRotorWorld(t, g, 8, 7)
+	if err := w.CrashAt(3, 10); err != nil {
+		t.Fatal(err)
+	}
+	run := func() string {
+		for i := 0; i < 64; i++ {
+			w.Step()
+		}
+		return snapshot(w)
+	}
+	first := run()
+
+	for _, a := range agents {
+		a.(Resettable).Reset(a.ID())
+	}
+	if err := w.Reset(agents, pos); err != nil {
+		t.Fatal(err)
+	}
+	if w.Round() != 0 || w.CrashedCount() != 0 || w.DoneCount() != 0 {
+		t.Fatalf("reset world not pristine: round=%d crashed=%d done=%d", w.Round(), w.CrashedCount(), w.DoneCount())
+	}
+	if err := w.CrashAt(3, 10); err != nil {
+		t.Fatal(err)
+	}
+	if second := run(); second != first {
+		t.Errorf("reset replay diverged:\nfirst:  %s\nsecond: %s", first, second)
+	}
+}
+
+// Reset must produce the identical state a fresh NewWorld would: step a
+// reset world and a fresh world in lockstep and compare summaries.
+func TestResetMatchesFreshWorld(t *testing.T) {
+	g := graph.Torus(4, 4).WithPermutedPorts(graph.NewRNG(5))
+	w, agents, pos := newRotorWorld(t, g, 6, 11)
+	for i := 0; i < 37; i++ {
+		w.Step() // dirty the engine
+	}
+	for _, a := range agents {
+		a.(Resettable).Reset(a.ID())
+	}
+	if err := w.Reset(agents, pos); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _, _ := newRotorWorld(t, g, 6, 11)
+	for i := 0; i < 50; i++ {
+		w.Step()
+		fresh.Step()
+		if got, want := snapshot(w), snapshot(fresh); got != want {
+			t.Fatalf("round %d: reset world diverged from fresh:\nreset: %s\nfresh: %s", i, got, want)
+		}
+	}
+}
+
+// Reset with a different robot count grows storage and still replays the
+// run a fresh world of that count produces.
+func TestResetGrowsAcrossRobotCounts(t *testing.T) {
+	g := graph.Cycle(12).WithPermutedPorts(graph.NewRNG(9))
+	w, _, _ := newRotorWorld(t, g, 2, 1)
+	for _, k := range []int{5, 3, 9, 1, 9} {
+		rng := graph.NewRNG(uint64(k))
+		agents := make([]Agent, k)
+		pos := make([]int, k)
+		for i := range agents {
+			agents[i] = &rotor{Base: NewBase(100 + i)}
+			pos[i] = rng.Intn(g.N())
+		}
+		if err := w.Reset(agents, pos); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		fresh, err := NewWorld(g, cloneRotors(agents), pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			w.Step()
+			fresh.Step()
+		}
+		if got, want := snapshot(w), snapshot(fresh); got != want {
+			t.Fatalf("k=%d: grown reset diverged:\nreset: %s\nfresh: %s", k, got, want)
+		}
+	}
+}
+
+func cloneRotors(agents []Agent) []Agent {
+	out := make([]Agent, len(agents))
+	for i, a := range agents {
+		r := *(a.(*rotor))
+		out[i] = &r
+	}
+	return out
+}
+
+// Reset validates its inputs like NewWorld does.
+func TestResetRejectsBadInput(t *testing.T) {
+	g := graph.Path(4)
+	w, agents, pos := newRotorWorld(t, g, 3, 2)
+	cases := []struct {
+		name   string
+		agents []Agent
+		pos    []int
+	}{
+		{"length mismatch", agents, pos[:2]},
+		{"empty", nil, nil},
+		{"bad position", agents, []int{0, 1, 99}},
+		{"duplicate ID", []Agent{&rotor{Base: NewBase(1)}, &rotor{Base: NewBase(1)}, &rotor{Base: NewBase(2)}}, pos},
+		{"non-positive ID", []Agent{&rotor{Base: NewBase(0)}, &rotor{Base: NewBase(1)}, &rotor{Base: NewBase(2)}}, pos},
+	}
+	for _, c := range cases {
+		if err := w.Reset(c.agents, c.pos); err == nil {
+			t.Errorf("%s: Reset accepted invalid input", c.name)
+		}
+	}
+}
+
+// The reset path's contract: when shapes match, Reset allocates nothing.
+// This is the steady state of a pooled sweep (one Reset per job) and is
+// additionally gated in CI via BenchmarkWorldReset.
+func TestResetZeroAllocs(t *testing.T) {
+	g := graph.Grid(8, 8).WithPermutedPorts(graph.NewRNG(4))
+	w, agents, pos := newRotorWorld(t, g, 32, 6)
+	// Warm every high-water mark: run, then reset once so the map and all
+	// buckets have seen their final sizes.
+	for i := 0; i < 128; i++ {
+		w.Step()
+	}
+	if err := w.Reset(agents, pos); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, a := range agents {
+			a.(Resettable).Reset(a.ID())
+		}
+		if err := w.Reset(agents, pos); err != nil {
+			t.Fatal(err)
+		}
+		w.Step() // keep the world dirty so Reset does real work
+	})
+	// One Step on a warm world is also allocation-free (the PR 2
+	// contract), so the whole reset+step cycle must report zero.
+	if allocs != 0 {
+		t.Errorf("reset path allocates: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// PositionsInto and MovesInto must match their cloning counterparts while
+// reusing the caller's buffer.
+func TestNonCopyingAccessors(t *testing.T) {
+	g := graph.Cycle(6)
+	w, _, _ := newRotorWorld(t, g, 4, 8)
+	for i := 0; i < 17; i++ {
+		w.Step()
+	}
+	var pbuf []int
+	var mbuf []int64
+	pbuf = w.PositionsInto(pbuf)
+	mbuf = w.MovesInto(mbuf)
+	if fmt.Sprint(pbuf) != fmt.Sprint(w.Positions()) {
+		t.Errorf("PositionsInto %v != Positions %v", pbuf, w.Positions())
+	}
+	if fmt.Sprint(mbuf) != fmt.Sprint(w.Moves()) {
+		t.Errorf("MovesInto %v != Moves %v", mbuf, w.Moves())
+	}
+	for i := range mbuf {
+		if w.MoveCount(i) != mbuf[i] {
+			t.Errorf("MoveCount(%d) = %d, want %d", i, w.MoveCount(i), mbuf[i])
+		}
+	}
+	p2 := w.PositionsInto(pbuf)
+	if &p2[0] != &pbuf[0] {
+		t.Error("PositionsInto reallocated despite sufficient capacity")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		pbuf = w.PositionsInto(pbuf)
+		mbuf = w.MovesInto(mbuf)
+	})
+	if allocs != 0 {
+		t.Errorf("Into accessors allocate with warm buffers: %.1f allocs/op", allocs)
+	}
+}

@@ -23,6 +23,8 @@ func (f TracerFunc) Observe(w *World) { f(w) }
 type PositionLogger struct {
 	W     io.Writer
 	Every int
+
+	buf []int // reused observation buffer
 }
 
 // Observe implements Tracer.
@@ -34,7 +36,8 @@ func (l *PositionLogger) Observe(w *World) {
 	if w.Round()%every != 0 {
 		return
 	}
-	fmt.Fprintf(l.W, "round %6d: positions %v\n", w.Round(), w.Positions())
+	l.buf = w.PositionsInto(l.buf)
+	fmt.Fprintf(l.W, "round %6d: positions %v\n", w.Round(), l.buf)
 }
 
 // OccupancyTracer records, per round, the number of distinct nodes

@@ -99,9 +99,79 @@ func NewWorld(g *graph.Graph, agents []Agent, positions []int) (*World, error) {
 		}
 		w.arrival[i] = -1
 	}
-	w.occ.init(g.N(), w.ids, w.pos)
+	w.occ.reset(g.N(), w.ids, w.pos)
 	w.noteGather()
 	return w, nil
+}
+
+// Reset rewinds the world to round zero with a new agent set and starting
+// positions on the same graph, reusing every piece of run state it already
+// owns: the per-robot slices, the ID index, the occupancy index and the
+// phase scratch. When the robot count matches the previous run the reset
+// path performs zero allocations; when it differs, storage grows (never
+// shrinks) to fit. This is what makes pooled sweeps cheap: a worker builds
+// one World and Resets it per job instead of constructing a fresh engine.
+//
+// Reset puts the world in exactly the state NewWorld would have produced —
+// in particular the tracer is cleared and the scheduler reverts to
+// FullSync; reinstall both after Reset if the next run needs them. The
+// agents slice is retained (not copied) like in NewWorld; positions are
+// copied. On a validation error the world is left partially reset and must
+// not be stepped until a subsequent Reset succeeds.
+func (w *World) Reset(agents []Agent, positions []int) error {
+	if len(agents) != len(positions) {
+		return fmt.Errorf("sim: %d agents but %d positions", len(agents), len(positions))
+	}
+	if len(agents) == 0 {
+		return fmt.Errorf("sim: no agents")
+	}
+	k := len(agents)
+	w.agents = agents
+	w.ids = growSlice(w.ids, k)
+	w.pos = growSlice(w.pos, k)
+	w.arrival = growSlice(w.arrival, k)
+	w.done = growSlice(w.done, k)
+	w.verdict = growSlice(w.verdict, k)
+	w.moves = growSlice(w.moves, k)
+	w.crashAt = growSlice(w.crashAt, k)
+	w.crashed = growSlice(w.crashed, k)
+	clear(w.idIndex)
+	for i, a := range agents {
+		if a.ID() <= 0 {
+			return fmt.Errorf("sim: agent %d has non-positive ID %d", i, a.ID())
+		}
+		if _, dup := w.idIndex[a.ID()]; dup {
+			return fmt.Errorf("sim: duplicate robot ID %d", a.ID())
+		}
+		if positions[i] < 0 || positions[i] >= w.g.N() {
+			return fmt.Errorf("sim: agent %d starts at invalid node %d", i, positions[i])
+		}
+		w.idIndex[a.ID()] = i
+		w.ids[i] = a.ID()
+		w.pos[i] = positions[i]
+		w.arrival[i] = -1
+		w.done[i] = false
+		w.verdict[i] = false
+		w.moves[i] = 0
+		w.crashAt[i] = -1
+		w.crashed[i] = false
+	}
+	w.round = 0
+	w.firstGather, w.firstMeet = -1, -1
+	w.tracer = nil
+	w.sched = NewFullSync()
+	w.occ.reset(w.g.N(), w.ids, w.pos)
+	w.noteGather()
+	return nil
+}
+
+// growSlice reslices s to length n, reallocating only when the capacity is
+// short: Reset's grow-only storage primitive.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
 }
 
 // SetTracer installs an observer invoked after every round.
@@ -168,11 +238,37 @@ func (w *World) Robots() int { return len(w.agents) }
 // Position returns the current node of the i-th robot (by agent index).
 func (w *World) Position(i int) int { return w.pos[i] }
 
-// Positions returns a copy of the robots' current nodes.
+// Positions returns a copy of the robots' current nodes. It allocates per
+// call; per-round observers should use PositionsInto with a reused buffer.
 func (w *World) Positions() []int { return append([]int(nil), w.pos...) }
 
-// Moves returns a copy of the per-robot edge-traversal counts.
+// PositionsInto overwrites dst with the robots' current nodes, growing it
+// only when its capacity is short, and returns the filled slice. Tracers
+// and aggregation loops that run every round use it to observe positions
+// without a per-call clone.
+func (w *World) PositionsInto(dst []int) []int {
+	dst = growSlice(dst, len(w.pos))
+	copy(dst, w.pos)
+	return dst
+}
+
+// Moves returns a copy of the per-robot edge-traversal counts. It
+// allocates per call; hot aggregation paths should use MovesInto or
+// MoveCount.
 func (w *World) Moves() []int64 { return append([]int64(nil), w.moves...) }
+
+// MovesInto overwrites dst with the per-robot edge-traversal counts,
+// growing it only when its capacity is short, and returns the filled
+// slice.
+func (w *World) MovesInto(dst []int64) []int64 {
+	dst = growSlice(dst, len(w.moves))
+	copy(dst, w.moves)
+	return dst
+}
+
+// MoveCount returns the edge-traversal count of the i-th robot (by agent
+// index) without copying the whole counter slice.
+func (w *World) MoveCount(i int) int64 { return w.moves[i] }
 
 // OccupiedNodes returns the number of distinct nodes holding at least one
 // live (non-crashed) robot, read from the incremental occupancy index.
@@ -237,19 +333,21 @@ type scratch struct {
 	state    []int
 }
 
-// ensureScratch allocates the per-round scratch once, on first use.
+// ensureScratch sizes the per-round scratch to the current robot count:
+// allocated on first use, resliced within capacity after a same-or-smaller
+// Reset (the per-robot sub-slices keep their grown capacity), reallocated
+// only when the world grows past every previous high-water mark.
 func (w *World) ensureScratch() *scratch {
 	s := &w.scratch
-	if s.cards == nil {
-		n := len(w.agents)
-		s.active = make([]bool, n)
-		s.cards = make([]Card, n)
-		s.envs = make([]Env, n)
-		s.others = make([][]Card, n)
-		s.inbox = make([][]Message, n)
-		s.acts = make([]Action, n)
-		s.resolved = make([]mv, n)
-		s.state = make([]int, n)
+	if n := len(w.agents); len(s.cards) != n {
+		s.active = growSlice(s.active, n)
+		s.cards = growSlice(s.cards, n)
+		s.envs = growSlice(s.envs, n)
+		s.others = growSlice(s.others, n)
+		s.inbox = growSlice(s.inbox, n)
+		s.acts = growSlice(s.acts, n)
+		s.resolved = growSlice(s.resolved, n)
+		s.state = growSlice(s.state, n)
 	}
 	return s
 }

@@ -1,0 +1,100 @@
+package uxs
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Certify must be a pure function of (graph topology, mode) with the
+// cache being invisible: repeated calls on the same frozen graph return
+// the identical (pointer-equal, hence definitely equal) sequence, and a
+// structurally identical graph at a different address certifies to an
+// equal sequence.
+func TestCertifyCachedAndTransparent(t *testing.T) {
+	g1 := graph.Cycle(9).WithPermutedPorts(graph.NewRNG(4))
+	g2 := graph.Cycle(9).WithPermutedPorts(graph.NewRNG(4)) // same topology, new pointer
+
+	u1 := Certify(g1, Scaled)
+	if u1 == nil || !u1.Covers(g1) {
+		t.Fatal("certified sequence does not cover its graph")
+	}
+	if again := Certify(g1, Scaled); again != u1 {
+		t.Error("second Certify on the same frozen graph did not hit the cache")
+	}
+	u2 := Certify(g2, Scaled)
+	if u2 == u1 {
+		t.Error("distinct graph pointers share a cache entry")
+	}
+	if u2.Len() != u1.Len() || u2.N() != u1.N() {
+		t.Errorf("identical topologies certified differently: len %d vs %d", u1.Len(), u2.Len())
+	}
+	// Modes are separate keys.
+	if uf := Certify(g1, Faithful); uf.Len() == u1.Len() {
+		t.Error("faithful and scaled certification collide in the cache")
+	}
+}
+
+// The cache is concurrency-safe: many goroutines certifying a mix of
+// shared and private graphs must all observe covering sequences of the
+// deterministic length. This test is the Certify-cache race proof and is
+// meaningful under -race, which CI runs; a second, runner-level proof
+// (concurrent sweep jobs certifying one shared instance) lives in
+// internal/runner.
+func TestCertifyConcurrent(t *testing.T) {
+	shared := graph.Grid(4, 4).WithPermutedPorts(graph.NewRNG(7))
+	want := certify(shared, Scaled).Len()
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 16; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			private := graph.Cycle(8).WithPermutedPorts(graph.NewRNG(uint64(w)))
+			for i := 0; i < 20; i++ {
+				if got := Certify(shared, Scaled).Len(); got != want {
+					errs <- "shared graph certified to a different length"
+					return
+				}
+				if u := Certify(private, Scaled); u.N() != 8 {
+					errs <- "private graph certification corrupted"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// The two-generation scheme bounds retention at 2*certCacheGen entries
+// while keeping repeatedly-hit (shared-graph) entries alive across
+// generation turnover; certification results are unaffected.
+func TestCertifyCacheBounded(t *testing.T) {
+	hot := graph.Grid(3, 3).WithPermutedPorts(graph.NewRNG(99))
+	hotSeq := Certify(hot, Scaled)
+	// Stream enough distinct graphs to force generation turnover, touching
+	// the hot entry along the way like a shared-graph sweep would.
+	for i := 0; i < certCacheGen+64; i++ {
+		g := graph.Path(4).WithPermutedPorts(graph.NewRNG(uint64(i)))
+		u := Certify(g, Scaled)
+		if !u.Covers(g) {
+			t.Fatal("certification wrong while exercising the bound")
+		}
+		if n := certifyCacheLen(); n > 2*certCacheGen {
+			t.Fatalf("cache exceeded its bound: %d > %d", n, 2*certCacheGen)
+		}
+		if i%16 == 0 && Certify(hot, Scaled) != hotSeq {
+			t.Fatal("hot entry lost its identity across generation turnover")
+		}
+	}
+	if Certify(hot, Scaled) != hotSeq {
+		t.Error("repeatedly-hit entry evicted despite promotion")
+	}
+}

@@ -41,13 +41,8 @@ func (u *UXS) Covers(g *graph.Graph) bool {
 	return true
 }
 
-// Certify returns a sequence for g.N() nodes, of at least the given mode's
-// length, that covers g from every start node: it doubles the length until
-// coverage holds. The result is still a deterministic function of (n,
-// final length), so handing the same certified length to every robot
-// preserves the "computable from n" contract; the harness records the
-// length used. For all standard families the initial length suffices.
-func Certify(g *graph.Graph, m Mode) *UXS {
+// certify is the uncached certification walk behind Certify (cache.go).
+func certify(g *graph.Graph, m Mode) *UXS {
 	n := g.N()
 	u := New(n, m)
 	for !u.Covers(g) {
