@@ -1,0 +1,31 @@
+# Developer entry points. CI runs the same commands (.github/workflows/ci.yml).
+
+.PHONY: all build test race lint bench-smoke
+
+all: build lint test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# The repo's own static-analysis suite (DESIGN.md §5, "Statically
+# enforced contracts"): nomapiter, detsource, frozenwrite,
+# resetcomplete. Runs `go vet` as a subprocess, so this is the one
+# lint entry point.
+lint:
+	go run ./cmd/repolint ./...
+
+# The allocation gates CI enforces, runnable locally; failures echo the
+# offending benchmark line (scripts/benchgate.awk).
+bench-smoke:
+	go test -run '^$$' -bench 'StepHotLoop|NeighborWalk|WorldReset|SweepPooledWorld' -benchtime 1x . > /tmp/bench-smoke.txt
+	@cat /tmp/bench-smoke.txt
+	awk -f scripts/benchgate.awk -v mode=zeroalloc -v re='^BenchmarkStepHotLoop' -v want=2 /tmp/bench-smoke.txt
+	awk -f scripts/benchgate.awk -v mode=zeroalloc -v re='^BenchmarkWorldReset' -v want=2 /tmp/bench-smoke.txt
+	awk -f scripts/benchgate.awk -v mode=zeroalloc -v re='^BenchmarkNeighborWalk' -v want=3 /tmp/bench-smoke.txt
+	awk -f scripts/benchgate.awk -v mode=ratio -v num='^BenchmarkSweepPooledWorld/pooled' -v den='^BenchmarkSweepPooledWorld/rebuild' -v factor=5 /tmp/bench-smoke.txt

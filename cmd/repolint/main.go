@@ -1,0 +1,111 @@
+// Command repolint is the repo's static contract checker: it runs the
+// four custom analyzers from internal/analysis — nomapiter, detsource,
+// frozenwrite, resetcomplete — over the given package patterns, then (by
+// default) the standard `go vet` suite, and exits non-zero if anything is
+// flagged. CI runs it as a required step; locally,
+//
+//	make lint        # == go run ./cmd/repolint ./...
+//
+// reproduces the gate before a push. The contracts, the annotation
+// grammar (//repolint:ordered, //repolint:keep, //repolint:wallclock,
+// //repolint:mutable) and the annotate-vs-restructure guidance live in
+// DESIGN.md §"Statically enforced contracts".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/detsource"
+	"repro/internal/analysis/frozenwrite"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/nomapiter"
+	"repro/internal/analysis/resetcomplete"
+)
+
+// analyzers is the full custom suite, in reporting order.
+var analyzers = []*analysis.Analyzer{
+	nomapiter.Analyzer,
+	detsource.Analyzer,
+	frozenwrite.Analyzer,
+	resetcomplete.Analyzer,
+}
+
+func main() {
+	vet := flag.Bool("vet", true, "also run the standard `go vet` pass suite on the same patterns")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: repolint [flags] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Checks the repo's determinism, immutability and pooling contracts.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := load.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "repolint: %s on %s: %v\n", a.Name, pkg.Path, err)
+				os.Exit(2)
+			}
+		}
+	}
+	// Report in file/line order regardless of analyzer or package
+	// iteration order, so output is stable and diffable.
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+
+	failed := len(diags) > 0
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,232 @@
+// Package analysistest runs an analyzer over self-contained testdata
+// packages and checks its diagnostics against `// want` comments, in the
+// spirit of golang.org/x/tools/go/analysis/analysistest but built purely
+// on the standard library.
+//
+// Layout follows the x/tools convention: source lives under
+// <dir>/src/<importpath>/*.go, and imports between testdata packages
+// resolve inside the tree — including stub packages that shadow real
+// import paths ("time", "math/rand", "repro/internal/graph"), so
+// analyzers keyed on package paths can be fed seeded true positives and
+// annotated false-positive traps without touching the real tree.
+//
+// Expectations are trailing comments on the offending line:
+//
+//	for k := range m { // want `range over map`
+//
+// Each `// want` may carry several regexps (backquoted or double-quoted),
+// one per expected diagnostic on that line. The harness fails the test on
+// any unmatched expectation and any unexpected diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run applies the analyzer to each testdata package (by import path,
+// rooted at dir/src) and checks diagnostics against want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := &loader{root: filepath.Join(dir, "src"), fset: token.NewFileSet(), pkgs: map[string]*pkg{}}
+	for _, path := range paths {
+		p, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      l.fset,
+			Files:     p.files,
+			Pkg:       p.types,
+			TypesInfo: p.info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, l.fset, p.files, diags)
+	}
+}
+
+// wantKey identifies one source line.
+type wantKey struct {
+	file string
+	line int
+}
+
+// checkWants matches diagnostics against the package's want comments.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[wantKey][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := wantKey{pos.Filename, pos.Line}
+				for _, pat := range parsePatterns(t, pos, rest) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		key := wantKey{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, re := range wants[key] {
+			if re != nil && re.MatchString(d.Message) {
+				wants[key][i] = nil // consume
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Pos, d.Message)
+		}
+	}
+	keys := make([]wantKey, 0, len(wants))
+	//repolint:ordered keys are sorted before reporting
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, re := range wants[k] {
+			if re != nil {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// parsePatterns splits a want payload into its quoted regexps.
+func parsePatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var pats []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return pats
+		}
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern %q", pos, s)
+			}
+			pats = append(pats, s[1:1+end])
+			s = s[end+2:]
+		case '"':
+			end := strings.IndexByte(s[1:], '"')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern %q", pos, s)
+			}
+			pat, err := strconv.Unquote(s[:end+2])
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %q: %v", pos, s, err)
+			}
+			pats = append(pats, pat)
+			s = s[end+2:]
+		default:
+			t.Fatalf("%s: want patterns must be quoted, got %q", pos, s)
+		}
+	}
+}
+
+// loader parses and type-checks testdata packages, resolving imports
+// inside the testdata tree only.
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*pkg
+}
+
+type pkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+// Import implements types.Importer over the testdata tree.
+func (l *loader) Import(path string) (*types.Package, error) {
+	p, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.types, nil
+}
+
+func (l *loader) load(path string) (*pkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return p, nil
+	}
+	l.pkgs[path] = nil // cycle marker
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("testdata package %s: %v (stub out-of-tree imports under src/)", path, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("testdata package %s: no Go files in %s", path, dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	p := &pkg{files: files, types: tpkg, info: info}
+	l.pkgs[path] = p
+	return p, nil
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //repolint: annotation grammar. An annotation is a line comment of
+// the form
+//
+//	//repolint:<kind> <justification>
+//
+// attached either at the end of the line it suppresses or on the line
+// immediately above it. The justification is mandatory: an annotation is
+// a reviewed exception to a machine-checked contract, and the reviewer of
+// the *next* change needs to know why the exception is safe. Analyzers
+// reject annotations whose justification is empty.
+//
+// Kinds:
+//
+//	ordered   — nomapiter: this map iteration cannot leak ordering into
+//	            results (e.g. commutative fold, keys sorted before use).
+//	keep      — resetcomplete: this struct field is intentionally NOT
+//	            restored by Reset (constructor-derived config, pooled
+//	            grow-only storage).
+//	wallclock — detsource: this wall-clock/entropy read in a
+//	            deterministic package is timing-only and never reaches
+//	            results.
+//	mutable   — frozenwrite: this write targets a Graph still under
+//	            construction, outside the default freeze allowlist.
+const (
+	AnnotOrdered   = "ordered"
+	AnnotKeep      = "keep"
+	AnnotWallclock = "wallclock"
+	AnnotMutable   = "mutable"
+)
+
+// An Annot is one parsed //repolint: annotation.
+type Annot struct {
+	Kind          string
+	Justification string
+	File          string
+	Line          int
+}
+
+// Annotations indexes a package's //repolint: annotations by file and
+// line for suppression lookups.
+type Annotations struct {
+	byLine map[string]map[int][]Annot
+}
+
+// CollectAnnotations scans every comment of every file for //repolint:
+// annotations.
+func CollectAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
+	a := &Annotations{byLine: make(map[string]map[int][]Annot)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//repolint:")
+				if !ok {
+					continue
+				}
+				kind, just, _ := strings.Cut(text, " ")
+				pos := fset.Position(c.Pos())
+				ann := Annot{
+					Kind:          kind,
+					Justification: strings.TrimSpace(just),
+					File:          pos.Filename,
+					Line:          pos.Line,
+				}
+				if a.byLine[ann.File] == nil {
+					a.byLine[ann.File] = make(map[int][]Annot)
+				}
+				a.byLine[ann.File][ann.Line] = append(a.byLine[ann.File][ann.Line], ann)
+			}
+		}
+	}
+	return a
+}
+
+// At returns the annotation of the given kind that applies to pos: one on
+// the same line (trailing) or on the line immediately above (preceding
+// comment). It returns nil when the position carries no such annotation.
+func (a *Annotations) At(fset *token.FileSet, pos token.Pos, kind string) *Annot {
+	p := fset.Position(pos)
+	lines := a.byLine[p.Filename]
+	if lines == nil {
+		return nil
+	}
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for i := range lines[line] {
+			if lines[line][i].Kind == kind {
+				return &lines[line][i]
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+// Package detsource flags entropy and wall-clock sources inside the
+// deterministic packages: imports of math/rand or math/rand/v2 (whose
+// streams are not stable across Go releases and whose global state is
+// shared), and uses of the wall-clock readers time.Now / time.Since /
+// time.Until. Deterministic code draws all randomness from the seeded
+// graph.RNG and never observes real time; timing belongs to the
+// measurement layer (internal/runner, internal/prof, the CLIs), which is
+// outside the deterministic set — that package-level allowlist is the
+// whole suppression story, so in-set escapes require a justified
+// //repolint:wallclock annotation and should be vanishingly rare.
+package detsource
+
+import (
+	"go/token"
+	"strconv"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the detsource check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detsource",
+	Doc:  "flag math/rand imports and wall-clock reads in deterministic packages",
+	Run:  run,
+}
+
+// randPackages are the entropy imports banned outright in deterministic
+// packages: even a seeded *rand.Rand pins results to one Go release's
+// generator stream, which breaks bit-stability across toolchains.
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// wallClockFuncs are the time-package functions that read the wall clock.
+// Types like time.Duration are fine — they are just integers; it is the
+// *reading* of real time that is nondeterministic.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsDeterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	ann := pass.Annotations()
+	report := func(pos token.Pos, format string, args ...any) {
+		switch a := ann.At(pass.Fset, pos, analysis.AnnotWallclock); {
+		case a == nil:
+			pass.Reportf(pos, format, args...)
+		case a.Justification == "":
+			pass.Reportf(pos, "//repolint:wallclock annotation needs a justification explaining why this source cannot reach results")
+		}
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if randPackages[path] {
+				report(imp.Pos(),
+					"import of %s in deterministic package %s: use the seeded graph.RNG so results are bit-stable across Go releases",
+					path, pass.Pkg.Path())
+			}
+		}
+	}
+	// Uses (not Defs): any reference to a banned function, whether called,
+	// stored, or passed, is a wall-clock dependency.
+	for id, obj := range pass.TypesInfo.Uses {
+		if obj == nil || obj.Pkg() == nil {
+			continue
+		}
+		switch pkg := obj.Pkg().Path(); {
+		case pkg == "time" && wallClockFuncs[obj.Name()]:
+			report(id.Pos(),
+				"time.%s in deterministic package %s: wall-clock reads belong to the measurement layer (internal/runner, internal/prof)",
+				obj.Name(), pass.Pkg.Path())
+		case randPackages[pkg]:
+			// Dot-imports or aliased references still resolve here even
+			// if the import line itself was somehow missed.
+			report(id.Pos(),
+				"use of %s.%s in deterministic package %s: use the seeded graph.RNG",
+				pkg, obj.Name(), pass.Pkg.Path())
+		}
+	}
+	return nil
+}

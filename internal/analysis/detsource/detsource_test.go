@@ -1,0 +1,14 @@
+package detsource
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestDetsource(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer,
+		"repro/internal/expt", // deterministic: positives + annotated suppressions
+		"example.com/timing",  // measurement layer: nothing flagged
+	)
+}

@@ -1,0 +1,39 @@
+// Package expt is a testdata stand-in sharing the real deterministic
+// package's import path, so detsource treats it as in-scope.
+package expt
+
+import (
+	"math/rand" // want `import of math/rand in deterministic package`
+	"time"
+)
+
+// Sample draws entropy from the banned generator: the seeded true
+// positive for both the import and the use site.
+func Sample() int {
+	return rand.Intn(6) // want `use of math/rand\.Intn in deterministic package`
+}
+
+// Stamp reads the wall clock twice.
+func Stamp() time.Duration {
+	start := time.Now()      // want `time\.Now in deterministic package`
+	return time.Since(start) // want `time\.Since in deterministic package`
+}
+
+// Budget only *carries* a duration — integer data, not a clock read; the
+// false-positive trap that must NOT be flagged.
+func Budget(d time.Duration) bool {
+	return d > 10*time.Millisecond
+}
+
+// Debug is a justified, reviewed escape: timing that never reaches
+// results.
+func Debug() time.Time {
+	//repolint:wallclock debug-log timestamp only; value is discarded before any result is built
+	return time.Now()
+}
+
+// Sloppy annotates without saying why, which is itself an error.
+func Sloppy() time.Time {
+	//repolint:wallclock
+	return time.Now() // want `needs a justification`
+}

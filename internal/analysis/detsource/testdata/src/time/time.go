@@ -1,0 +1,25 @@
+// Package time is a minimal testdata stub shadowing the real standard
+// library package: detsource keys on the import path "time", so the stub
+// lets the tests exercise wall-clock detection without stdlib access.
+package time
+
+// A Time is a wall-clock instant.
+type Time struct{ ns int64 }
+
+// A Duration is a span of time; plain integer data, deterministic to use.
+type Duration int64
+
+// Millisecond is a Duration unit.
+const Millisecond Duration = 1_000_000
+
+// Now reads the wall clock.
+func Now() Time { return Time{} }
+
+// Since reads the wall clock via Now.
+func Since(t Time) Duration { return 0 }
+
+// Until reads the wall clock via Now.
+func Until(t Time) Duration { return 0 }
+
+// Sub is pure Time arithmetic (not a wall-clock read).
+func (t Time) Sub(u Time) Duration { return Duration(t.ns - u.ns) }

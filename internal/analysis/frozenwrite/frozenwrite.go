@@ -1,0 +1,167 @@
+// Package frozenwrite machine-checks the "deeply immutable after
+// Freeze()" rule of the CSR graph core (PR 3): outside the blessed
+// construction sites, nothing may store into a graph.Graph's CSR arrays —
+// not the `halves` / `offsets` fields directly, not elements reached
+// through them, not slices returned by the in-package `ports` accessor,
+// and not via append. Shared-graph sweeps hand one *Graph to every worker
+// precisely because no code path can mutate it; a single raced write
+// would poison every job's results at once.
+//
+// Construction sites are allowlisted two ways: by function name (freeze
+// and WithPermutedPorts build the arrays of a Graph that is not yet
+// published) and by file basename (builder.go and assembler.go hold the
+// two-phase construction path). A write anywhere else needs a justified
+// //repolint:mutable annotation — which should essentially never happen;
+// restructure into the builder instead.
+package frozenwrite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the frozenwrite check.
+var Analyzer = &analysis.Analyzer{
+	Name: "frozenwrite",
+	Doc:  "flag writes to a frozen graph.Graph's CSR storage outside builder/freeze code",
+	Run:  run,
+}
+
+// csrFields are the frozen storage fields of graph.Graph.
+var csrFields = map[string]bool{"halves": true, "offsets": true}
+
+// allowedFuncs build the CSR arrays of Graphs that are still private to
+// the constructor and therefore legitimately store into them.
+var allowedFuncs = map[string]bool{"freeze": true, "WithPermutedPorts": true}
+
+// allowedFiles hold the two-phase Builder → Freeze construction path.
+var allowedFiles = map[string]bool{"builder.go": true, "assembler.go": true}
+
+func run(pass *analysis.Pass) error {
+	ann := pass.Annotations()
+	for _, f := range pass.Files {
+		file := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if allowedFiles[file] && strings.HasSuffix(pass.Pkg.Path(), "internal/graph") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if allowedFuncs[fn.Name.Name] && strings.HasSuffix(pass.Pkg.Path(), "internal/graph") {
+				continue
+			}
+			checkFunc(pass, ann, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, ann *analysis.Annotations, fn *ast.FuncDecl) {
+	report := func(pos token.Pos, format string, args ...any) {
+		switch a := ann.At(pass.Fset, pos, analysis.AnnotMutable); {
+		case a == nil:
+			pass.Reportf(pos, format, args...)
+		case a.Justification == "":
+			pass.Reportf(pos, "//repolint:mutable annotation needs a justification explaining why this Graph is not yet frozen")
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if name := csrTarget(pass, lhs); name != "" {
+					report(lhs.Pos(),
+						"write to frozen CSR storage %s of graph.Graph in %s: graphs are deeply immutable after Freeze; build through graph.Builder",
+						name, fn.Name.Name)
+				}
+			}
+		case *ast.IncDecStmt:
+			if name := csrTarget(pass, n.X); name != "" {
+				report(n.X.Pos(),
+					"write to frozen CSR storage %s of graph.Graph in %s: graphs are deeply immutable after Freeze; build through graph.Builder",
+					name, fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			// append(g.halves, ...) returns a slice that may alias the
+			// frozen array; growing CSR storage is construction-only.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 0 {
+				if name := csrTarget(pass, n.Args[0]); name != "" {
+					report(n.Args[0].Pos(),
+						"append to frozen CSR storage %s of graph.Graph in %s: graphs are deeply immutable after Freeze; build through graph.Builder",
+						name, fn.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// csrTarget reports whether expr is (or indexes/slices into) one of
+// graph.Graph's CSR storage fields, or a slice returned by the ports
+// accessor; it returns the offending field or accessor name, or "".
+func csrTarget(pass *analysis.Pass, expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.CallExpr:
+			// g.ports(u)[i] = ... stores through the accessor's alias of
+			// the CSR array.
+			sel, ok := e.Fun.(*ast.SelectorExpr)
+			if ok && sel.Sel.Name == "ports" && isGraphExpr(pass, sel.X) {
+				return "ports()"
+			}
+			return ""
+		case *ast.SelectorExpr:
+			if !csrFields[e.Sel.Name] {
+				return ""
+			}
+			if sel, ok := pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok && fromGraphPackage(v) && isGraphExpr(pass, e.X) {
+					return e.Sel.Name
+				}
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}
+
+// isGraphExpr reports whether expr's type is graph.Graph or *graph.Graph.
+func isGraphExpr(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Graph" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/graph")
+}
+
+// fromGraphPackage reports whether the field object is declared in the
+// graph package (real tree or a testdata stub sharing the path suffix).
+func fromGraphPackage(v *types.Var) bool {
+	return v.Pkg() != nil && strings.HasSuffix(v.Pkg().Path(), "internal/graph")
+}

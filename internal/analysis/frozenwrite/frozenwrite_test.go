@@ -1,0 +1,11 @@
+package frozenwrite
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFrozenwrite(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "repro/internal/graph")
+}

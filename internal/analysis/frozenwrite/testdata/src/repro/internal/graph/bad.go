@@ -1,0 +1,42 @@
+package graph
+
+// Corrupt is the seeded true positive set: every write shape the analyzer
+// must catch, in a function outside the construction allowlist.
+func Corrupt(g *Graph) {
+	g.halves[0] = half32{}                // want `write to frozen CSR storage halves`
+	g.offsets = nil                       // want `write to frozen CSR storage offsets`
+	g.offsets[0]++                        // want `write to frozen CSR storage offsets`
+	g.halves = append(g.halves, half32{}) // want `write to frozen CSR storage halves` `append to frozen CSR storage halves`
+	g.ports(0)[0] = half32{}              // want `write to frozen CSR storage ports\(\)`
+}
+
+// Annotated is a justified, reviewed escape: the graph here is documented
+// as still under construction.
+func Annotated(g *Graph) {
+	//repolint:mutable test fixture mutates a graph that is never frozen nor shared
+	g.offsets = []int32{0}
+}
+
+// Unjustified annotates without saying why, which is itself an error.
+func Unjustified(g *Graph) {
+	//repolint:mutable
+	g.offsets = nil // want `needs a justification`
+}
+
+// NotGraph has fields with the same names on a different type: the
+// false-positive trap that must NOT be flagged.
+type NotGraph struct {
+	halves  []int
+	offsets []int32
+}
+
+// Mutate writes to the same-named fields of the unrelated type.
+func (n *NotGraph) Mutate() {
+	n.halves = append(n.halves, 1)
+	n.offsets = nil
+}
+
+// Reads only read the CSR arrays, which is always legal.
+func Reads(g *Graph) int {
+	return len(g.halves) + int(g.offsets[0]) + len(g.ports(0))
+}

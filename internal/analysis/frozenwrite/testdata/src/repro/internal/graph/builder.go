@@ -1,0 +1,15 @@
+package graph
+
+// builder.go is allowlisted wholesale: the two-phase Builder -> Freeze
+// construction path legitimately stores into CSR arrays.
+
+// Builder accumulates edges before freezing.
+type Builder struct{ g Graph }
+
+// Freeze writes the CSR arrays of the under-construction graph.
+func (b *Builder) Freeze() *Graph {
+	b.g.halves = append(b.g.halves, half32{})
+	b.g.offsets = []int32{0, 1}
+	b.g.offsets[1] = int32(len(b.g.halves))
+	return &b.g
+}

@@ -1,0 +1,39 @@
+// Package graph is a testdata stand-in mirroring the real CSR core's
+// shape: the Graph type with its frozen halves/offsets arrays, the ports
+// accessor, and the blessed construction sites.
+package graph
+
+type half32 struct{ to, rev int32 }
+
+// Graph mirrors the frozen CSR layout of the real graph package.
+type Graph struct {
+	halves  []half32
+	offsets []int32
+	m       int
+}
+
+// ports returns a node's half-edges as a slice aliasing the CSR array.
+func (g *Graph) ports(u int) []half32 {
+	return g.halves[g.offsets[u]:g.offsets[u+1]]
+}
+
+// freeze is an allowlisted construction site: it builds the CSR arrays of
+// a Graph that is not yet published, so its writes are legal.
+func freeze(n int) *Graph {
+	g := &Graph{offsets: make([]int32, n+1)}
+	for u := 0; u < n; u++ {
+		g.halves = append(g.halves, half32{})
+		g.offsets[u+1] = int32(len(g.halves))
+	}
+	return g
+}
+
+// WithPermutedPorts is the other allowlisted constructor: it fills the
+// arrays of the new, still-private graph.
+func (g *Graph) WithPermutedPorts() *Graph {
+	out := &Graph{halves: make([]half32, len(g.halves)), offsets: g.offsets}
+	for i := range g.halves {
+		out.halves[i] = g.halves[len(g.halves)-1-i]
+	}
+	return out
+}

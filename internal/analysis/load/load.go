@@ -1,0 +1,179 @@
+// Package load turns `go list` output into the type-checked packages the
+// repolint analyzers consume. It is the stdlib-only stand-in for
+// golang.org/x/tools/go/packages: target packages are parsed from source
+// (comments retained, in-package _test.go files included, external _test
+// packages checked as their own unit), while their dependencies are
+// imported from the compiler's export data, which `go list -export`
+// builds on demand into the build cache. That keeps a full-tree lint run
+// at parse-and-check cost for the repo's own files only.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one type-checked unit ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader reads.
+type listPkg struct {
+	ImportPath      string
+	Dir             string
+	Export          string
+	GoFiles         []string
+	TestGoFiles     []string
+	XTestGoFiles    []string
+	Imports         []string
+	TestImports     []string
+	XTestImports    []string
+	Incomplete      bool
+	DepsErrors      []*struct{ Err string }
+	Error           *struct{ Err string }
+	ForTest         string
+	Standard        bool
+	CompiledGoFiles []string
+}
+
+// Load lists, parses and type-checks the packages matched by patterns
+// (plus their in-package and external test files) and returns them sorted
+// by import path.
+func Load(patterns []string) ([]*Package, error) {
+	targets, err := goList(nil, patterns)
+	if err != nil {
+		return nil, err
+	}
+	// The -deps closure below must also cover test-only imports, which
+	// plain `go list -deps` omits; list them explicitly alongside the
+	// targets.
+	extra := map[string]bool{}
+	for _, t := range targets {
+		for _, deps := range [][]string{t.TestImports, t.XTestImports} {
+			for _, d := range deps {
+				if d != "C" {
+					extra[d] = true
+				}
+			}
+		}
+	}
+	args := make([]string, 0, len(targets)+len(extra))
+	for _, t := range targets {
+		args = append(args, t.ImportPath)
+	}
+	for d := range extra {
+		args = append(args, d)
+	}
+	sort.Strings(args)
+	closure, err := goList([]string{"-export", "-deps"}, args)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(closure))
+	for _, p := range closure {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var out []*Package
+	for _, t := range targets {
+		if len(t.GoFiles)+len(t.TestGoFiles) > 0 {
+			files := append(append([]string{}, t.GoFiles...), t.TestGoFiles...)
+			pkg, err := check(fset, imp, t.ImportPath, t.Dir, files)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pkg)
+		}
+		if len(t.XTestGoFiles) > 0 {
+			pkg, err := check(fset, imp, t.ImportPath+"_test", t.Dir, t.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// check parses and type-checks one package's files.
+func check(fset *token.FileSet, imp types.Importer, path, dir string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp, FakeImportC: true}
+	tpkg, err := conf.Check(path, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: syntax, Types: tpkg, Info: info}, nil
+}
+
+// goList runs `go list -json` with the given extra flags and patterns.
+func goList(flags, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-json"}, flags...)
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go %v: %v\n%s", args, err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}

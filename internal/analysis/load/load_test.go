@@ -1,0 +1,46 @@
+package load
+
+import (
+	"testing"
+)
+
+// TestLoadTypedPackage smoke-tests the production loader end to end: it
+// must parse the target from source with comments (the annotation grammar
+// depends on them), include in-package _test.go files (contract
+// violations in tests are violations too), and deliver full type
+// information resolved through export data.
+func TestLoadTypedPackage(t *testing.T) {
+	pkgs, err := Load([]string{"repro/internal/place"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Path != "repro/internal/place" {
+		t.Fatalf("path %q", p.Path)
+	}
+	var sawTest, sawComment bool
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if len(name) >= 8 && name[len(name)-8:] == "_test.go" {
+			sawTest = true
+		}
+		if len(f.Comments) > 0 {
+			sawComment = true
+		}
+	}
+	if !sawTest {
+		t.Error("in-package _test.go files were not loaded")
+	}
+	if !sawComment {
+		t.Error("comments were stripped; annotation lookups would silently pass")
+	}
+	if p.Types == nil || p.Types.Scope().Lookup("Clustered") == nil {
+		t.Error("type information missing: Clustered not in package scope")
+	}
+	if len(p.Info.Uses) == 0 || len(p.Info.Types) == 0 {
+		t.Error("types.Info maps are empty")
+	}
+}

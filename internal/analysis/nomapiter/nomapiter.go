@@ -1,0 +1,61 @@
+// Package nomapiter flags `range` over a map inside the deterministic
+// packages. Go randomizes map iteration order per run, so any map range
+// whose body's effect depends on visit order — appending to a slice,
+// emitting output, naming subtests, picking "the first" match — is a
+// nondeterminism leak that the golden-hash gates can only catch after the
+// fact, and only on exercised paths.
+//
+// A loop that is genuinely order-insensitive (a commutative fold, a
+// membership check, keys collected and sorted before use) is suppressed
+// with a justified annotation:
+//
+//	//repolint:ordered sum is commutative, order cannot reach the result
+//	for _, v := range m { total += v }
+package nomapiter
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the nomapiter check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nomapiter",
+	Doc:  "flag range-over-map in deterministic packages unless annotated //repolint:ordered",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsDeterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	ann := pass.Annotations()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			switch a := ann.At(pass.Fset, rs.For, analysis.AnnotOrdered); {
+			case a == nil:
+				pass.Reportf(rs.For,
+					"range over map %s in deterministic package %s: iteration order is randomized; iterate a sorted slice, or annotate //repolint:ordered <why> if order cannot reach results",
+					types.ExprString(rs.X), pass.Pkg.Path())
+			case a.Justification == "":
+				pass.Reportf(rs.For,
+					"//repolint:ordered annotation needs a justification explaining why iteration order cannot reach results")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package nomapiter
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestNomapiter(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer,
+		"repro/internal/sim", // deterministic: positives + annotated suppressions
+		"example.com/nondet", // out of scope: nothing flagged
+	)
+}

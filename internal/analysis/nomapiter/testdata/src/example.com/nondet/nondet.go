@@ -1,0 +1,13 @@
+// Package nondet is outside the deterministic set: map ranges here are
+// legal and must not be flagged.
+package nondet
+
+// Keys may observe randomized order; this package does not feed the
+// deterministic pipeline.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

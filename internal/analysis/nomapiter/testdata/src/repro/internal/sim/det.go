@@ -1,0 +1,63 @@
+// Package sim is a testdata stand-in sharing the real deterministic
+// package's import path, so nomapiter treats it as in-scope.
+package sim
+
+// Keys leaks map iteration order into a slice: the seeded true positive.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want `range over map m in deterministic package`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Sum is order-insensitive and carries the justified annotation: the
+// suppression trap that must NOT be flagged.
+func Sum(m map[string]int) int {
+	total := 0
+	//repolint:ordered sum is commutative; iteration order cannot reach the result
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SumTrailing uses the trailing-annotation form.
+func SumTrailing(m map[string]int) int {
+	total := 0
+	for _, v := range m { //repolint:ordered sum is commutative; iteration order cannot reach the result
+		total += v
+	}
+	return total
+}
+
+// Unjustified annotates without saying why, which is itself an error.
+func Unjustified(m map[string]int) int {
+	n := 0
+	//repolint:ordered
+	for range m { // want `needs a justification`
+		n++
+	}
+	return n
+}
+
+// Slices iterates a slice: never flagged.
+func Slices(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+// NamedMap ranges over a named type whose underlying type is a map; the
+// check sees through the name.
+type registry map[string]int
+
+func NamedMap(r registry) []string {
+	var out []string
+	for k := range r { // want `range over map r in deterministic package`
+		out = append(out, k)
+	}
+	return out
+}

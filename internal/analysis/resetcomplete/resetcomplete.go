@@ -1,0 +1,260 @@
+// Package resetcomplete verifies the pooling bit-transparency contract
+// (PR 5): every type with a Reset method — sim.World itself and every
+// sim.Resettable agent — must account for **every** struct field when it
+// rewinds. A field added in some later PR and forgotten by Reset is the
+// nastiest failure mode this repo has: the pooled path silently carries
+// one run's state into the next, results diverge from the fresh path only
+// on reuse, and the golden gates catch it one hash mismatch later with no
+// pointer to the cause. Here it is a build failure naming the field.
+//
+// A field is accounted for when the Reset method (or a same-receiver
+// helper it calls, transitively) does any of:
+//
+//   - assign it:                  w.round = 0, a.Base = sim.NewBase(id)
+//   - overwrite the receiver:     *u = UG{...}
+//   - clear it:                   clear(w.idIndex)
+//   - delegate to it:             w.occ.reset(...), a.H.Reset(id) — any
+//     method named Reset/reset/Clear/clear/Init/init rooted at the field
+//
+// Fields that Reset intentionally preserves — constructor-derived config,
+// pooled grow-only storage — carry a justified annotation on their
+// declaration:
+//
+//	seq *uxs.UXS //repolint:keep derived from (cfg, n), identical for every run
+package resetcomplete
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the resetcomplete check.
+var Analyzer = &analysis.Analyzer{
+	Name: "resetcomplete",
+	Doc:  "verify every Reset method assigns or //repolint:keep-annotates every struct field",
+	Run:  run,
+}
+
+// resetLike are method names that count as resetting the field they are
+// invoked on.
+var resetLike = map[string]bool{
+	"Reset": true, "reset": true,
+	"Clear": true, "clear": true,
+	"Init": true, "init": true,
+}
+
+// methodFacts is what one method body contributes to the fixpoint.
+type methodFacts struct {
+	decl    *ast.FuncDecl
+	handles map[string]bool // fields directly assigned/cleared/delegated
+	calls   map[string]bool // same-receiver methods invoked
+	full    bool            // whole-receiver overwrite: *r = T{...}
+}
+
+func run(pass *analysis.Pass) error {
+	// Group this package's methods by receiver type name.
+	methods := make(map[string]map[string]*methodFacts) // type -> method -> facts
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			tname := recvTypeName(fn.Recv.List[0].Type)
+			if tname == "" {
+				continue
+			}
+			if methods[tname] == nil {
+				methods[tname] = make(map[string]*methodFacts)
+			}
+			methods[tname][fn.Name.Name] = &methodFacts{decl: fn}
+		}
+	}
+
+	ann := pass.Annotations()
+	tnames := make([]string, 0, len(methods))
+	//repolint:ordered keys are sorted before use
+	for tname := range methods {
+		tnames = append(tnames, tname)
+	}
+	sort.Strings(tnames)
+
+	for _, tname := range tnames {
+		ms := methods[tname]
+		reset, ok := ms["Reset"]
+		if !ok {
+			continue
+		}
+		st := structOf(pass, tname)
+		if st == nil || st.NumFields() == 0 {
+			continue
+		}
+		for _, m := range ms {
+			collectFacts(pass, m)
+		}
+		handled := effectiveHandled(ms, "Reset", make(map[string]bool))
+
+		var missing, unjustified []string
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			if handled["*"] || handled[field.Name()] {
+				continue
+			}
+			switch a := ann.At(pass.Fset, field.Pos(), analysis.AnnotKeep); {
+			case a == nil:
+				missing = append(missing, field.Name())
+			case a.Justification == "":
+				unjustified = append(unjustified, field.Name())
+			}
+		}
+		if len(missing) > 0 {
+			pass.Reportf(reset.decl.Name.Pos(),
+				"%s.Reset leaves fields unaccounted for: %s — a pooled run would inherit the previous run's values; assign them or annotate the declaration //repolint:keep <why>",
+				tname, strings.Join(missing, ", "))
+		}
+		if len(unjustified) > 0 {
+			pass.Reportf(reset.decl.Name.Pos(),
+				"%s fields %s: //repolint:keep annotation needs a justification explaining why Reset may preserve them",
+				tname, strings.Join(unjustified, ", "))
+		}
+	}
+	return nil
+}
+
+// recvTypeName extracts the receiver's named-type name from T, *T, or
+// generic forms thereof.
+func recvTypeName(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return recvTypeName(e.X)
+	case *ast.IndexExpr:
+		return recvTypeName(e.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(e.X)
+	}
+	return ""
+}
+
+// structOf returns the underlying struct of the package-level named type,
+// or nil.
+func structOf(pass *analysis.Pass, tname string) *types.Struct {
+	obj := pass.Pkg.Scope().Lookup(tname)
+	if obj == nil {
+		return nil
+	}
+	st, _ := obj.Type().Underlying().(*types.Struct)
+	return st
+}
+
+// collectFacts fills m.handles / m.calls / m.full from the method body.
+func collectFacts(pass *analysis.Pass, m *methodFacts) {
+	m.handles = make(map[string]bool)
+	m.calls = make(map[string]bool)
+	recv := ""
+	if names := m.decl.Recv.List[0].Names; len(names) > 0 {
+		recv = names[0].Name
+	}
+	if recv == "" || recv == "_" {
+		return
+	}
+	ast.Inspect(m.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				switch l := lhs.(type) {
+				case *ast.StarExpr: // *r = T{...}
+					if isIdent(l.X, recv) {
+						m.full = true
+					}
+				case *ast.Ident: // r = T{...} on a value receiver
+					if l.Name == recv {
+						m.full = true
+					}
+				case *ast.SelectorExpr: // r.f = ...
+					if isIdent(l.X, recv) {
+						m.handles[l.Sel.Name] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				// clear(r.f)
+				if fun.Name == "clear" && len(n.Args) == 1 {
+					if sel, ok := n.Args[0].(*ast.SelectorExpr); ok && isIdent(sel.X, recv) {
+						m.handles[sel.Sel.Name] = true
+					}
+				}
+			case *ast.SelectorExpr:
+				if isIdent(fun.X, recv) {
+					// r.m(...): same-receiver helper, folded in by the
+					// fixpoint below.
+					m.calls[fun.Sel.Name] = true
+				} else if resetLike[fun.Sel.Name] {
+					// r.f[...].M(...): a reset-like call rooted at field f.
+					if f := rootField(fun.X, recv); f != "" {
+						m.handles[f] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rootField walks a selector chain (r.f, r.f.g, r.f[i].g, ...) back to
+// the receiver and returns the first-level field name, or "".
+func rootField(expr ast.Expr, recv string) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			if isIdent(e.X, recv) {
+				return e.Sel.Name
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return ""
+		}
+	}
+}
+
+func isIdent(expr ast.Expr, name string) bool {
+	id, ok := expr.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// effectiveHandled resolves the transitive closure of fields handled by
+// method name, following same-receiver helper calls. The "*" key means
+// every field (whole-receiver overwrite).
+func effectiveHandled(ms map[string]*methodFacts, name string, visiting map[string]bool) map[string]bool {
+	out := make(map[string]bool)
+	m, ok := ms[name]
+	if !ok || visiting[name] {
+		return out
+	}
+	visiting[name] = true
+	defer delete(visiting, name)
+	if m.full {
+		out["*"] = true
+		return out
+	}
+	for f := range m.handles {
+		out[f] = true
+	}
+	for callee := range m.calls {
+		for f := range effectiveHandled(ms, callee, visiting) {
+			out[f] = true
+		}
+	}
+	return out
+}

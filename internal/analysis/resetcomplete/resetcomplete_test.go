@@ -1,0 +1,11 @@
+package resetcomplete
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestResetcomplete(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "resettest")
+}

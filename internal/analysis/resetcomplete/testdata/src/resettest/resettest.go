@@ -1,0 +1,103 @@
+// Package resettest seeds every Reset shape resetcomplete must judge:
+// complete resets, incomplete resets, whole-receiver overwrites,
+// helper-delegated resets, and //repolint:keep suppressions.
+package resettest
+
+// Forgot is the seeded true positive: Reset restores x but silently
+// carries y into the next pooled run — the exact failure mode the
+// analyzer exists for.
+type Forgot struct {
+	x int
+	y int
+}
+
+// Reset misses y.
+func (f *Forgot) Reset(id int) { // want `Forgot\.Reset leaves fields unaccounted for: y`
+	f.x = id
+}
+
+// Kept preserves constructor-derived config under a justified annotation:
+// the suppression that must NOT be flagged.
+type Kept struct {
+	cfg int //repolint:keep constructor-derived config, identical for every run
+	run int
+}
+
+// Reset restores the per-run state and legitimately keeps cfg.
+func (k *Kept) Reset(id int) {
+	k.run = id
+}
+
+// KeptSloppy annotates without saying why, which is itself an error.
+type KeptSloppy struct {
+	cfg int //repolint:keep
+	run int
+}
+
+// Reset restores run; the cfg annotation lacks its mandatory why.
+func (k *KeptSloppy) Reset(id int) { // want `needs a justification`
+	k.run = id
+}
+
+// Whole overwrites the entire receiver: every field is accounted for.
+type Whole struct {
+	p, q, r int
+}
+
+// Reset rewinds by full overwrite.
+func (w *Whole) Reset(id int) {
+	*w = Whole{p: id}
+}
+
+// Sub is a resettable component.
+type Sub struct {
+	v int
+}
+
+// Reset restores v.
+func (s *Sub) Reset(id int) { s.v = id }
+
+// Delegator covers the delegation shapes: clear() for maps, a reset-like
+// call rooted at a field, and a same-receiver helper that assigns the
+// rest (transitively).
+type Delegator struct {
+	index map[int]int
+	sub   Sub
+	n     int
+	deep  int
+}
+
+// Reset delegates: clear(index), sub.Reset, and init -> initDeep.
+func (d *Delegator) Reset(id int) {
+	clear(d.index)
+	d.sub.Reset(id)
+	d.init(id)
+}
+
+func (d *Delegator) init(id int) {
+	d.n = id
+	d.initDeep(id)
+}
+
+func (d *Delegator) initDeep(id int) {
+	d.deep = 0
+}
+
+// Partial delegates to a helper that does NOT cover everything: missing
+// fields are still reported through the transitive closure.
+type Partial struct {
+	a int
+	b int
+}
+
+// Reset only reaches a via the helper chain.
+func (p *Partial) Reset(id int) { // want `Partial\.Reset leaves fields unaccounted for: b`
+	p.helper(id)
+}
+
+func (p *Partial) helper(id int) { p.a = id }
+
+// NoReset has no Reset method and is never considered.
+type NoReset struct {
+	anything int
+}

@@ -30,10 +30,11 @@ var errTooManyForBeep = errors.New("gather: the beeping-model algorithm handles 
 // The controller deliberately never reads Env.Others: the beep is its
 // whole perception of other robots.
 type BeepG struct {
-	n, id int
-	T     int
-	seq   *uxs.UXS
-	bits  []bool
+	n    int //repolint:keep graph size is fixed per controller; Reset reruns on the same n
+	id   int
+	T    int      //repolint:keep pure function of (cfg, n) retained across runs
+	seq  *uxs.UXS //repolint:keep pure function of (cfg, n), identical for every run
+	bits []bool
 
 	r    int
 	done bool

@@ -13,8 +13,8 @@ import "repro/internal/sim"
 // terminates at the end of the first phase in which it met another robot.
 type DessmarkAgent struct {
 	sim.Base
-	cfg Config
-	n   int
+	cfg Config //repolint:keep construction-time config; Reset reruns under the same cfg
+	n   int    //repolint:keep graph size is fixed per agent; Reset reruns on the same n
 
 	radius int
 	hop    *HopMeet

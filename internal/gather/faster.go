@@ -46,12 +46,12 @@ func schedule(cfg Config) []segment {
 // or inside the final UXS stage, which carries its own detection.
 type FasterAgent struct {
 	sim.Base
-	cfg Config
-	n   int
+	cfg Config //repolint:keep construction-time config; Reset reruns under the same cfg
+	n   int    //repolint:keep graph size is fixed per agent; Reset reruns on the same n
 
-	segs []segment
-	si   int // current segment index
-	lr   int // local round within the current segment
+	segs []segment //repolint:keep pure function of the retained cfg, identical for every run
+	si   int       // current segment index
+	lr   int       // local round within the current segment
 
 	ug   *UG
 	hop  *HopMeet

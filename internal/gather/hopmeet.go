@@ -71,9 +71,9 @@ func (d *dfsEnum) Done() bool { return d.finished }
 // co-located with any other robot: the met pair is the undispersed seed
 // the following Undispersed-Gathering run needs.
 type HopMeet struct {
-	radius   int
-	cycleLen int
-	total    int
+	radius   int //repolint:keep fixed per controller; Reset reruns the same radius
+	cycleLen int //repolint:keep pure function of (cfg, radius, n) retained across runs
+	total    int //repolint:keep pure function of (cfg, radius, n) retained across runs
 	bits     []bool
 
 	r      int

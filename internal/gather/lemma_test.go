@@ -133,6 +133,7 @@ func TestLemma11AlonenessIsUnanimous(t *testing.T) {
 			occupied[p]++
 		}
 		if dispersedInput := sc.Dispersed(); dispersedInput {
+			//repolint:ordered every node is checked independently; order can only permute failure messages
 			for node, c := range occupied {
 				if c > 1 {
 					t.Fatalf("trial %d: dispersed input but %d robots share node %d", trial, c, node)

@@ -16,10 +16,11 @@ import (
 // final 2T rounds; if nobody shows up, gathering is complete (Lemma 2) and
 // it terminates, telling its followers to do the same.
 type UXSG struct {
-	n, id int
-	T     int
-	seq   *uxs.UXS
-	bits  []bool
+	n    int //repolint:keep graph size is fixed per controller; Reset reruns on the same n
+	id   int
+	T    int      //repolint:keep pure function of (cfg, n) retained across runs
+	seq  *uxs.UXS //repolint:keep pure function of (cfg, n), identical for every run
+	bits []bool
 
 	r      int
 	leader int // -1 while leading

@@ -38,6 +38,7 @@ func TestCatalogCoversEveryEntry(t *testing.T) {
 			t.Errorf("catalog entry %q has no sample spec in catalog_test.go: the property suite would skip it", e.Name)
 		}
 	}
+	//repolint:ordered every entry is checked independently; order can only permute failure messages
 	for name := range sampleSpecs {
 		if _, ok := catalog[name]; !ok {
 			t.Errorf("sample spec for unknown entry %q", name)
@@ -50,6 +51,7 @@ func TestCatalogCoversEveryEntry(t *testing.T) {
 // (Neighbor(Neighbor(u,p)) == (u,p)), degree/offset consistency, and
 // connectivity — plus determinism of the (spec, seed) -> graph function.
 func TestCatalogProperties(t *testing.T) {
+	//repolint:ordered every entry is checked independently against (spec, seed) inputs only
 	for name, specs := range sampleSpecs {
 		for _, spec := range specs {
 			for _, seed := range []uint64{1, 42} {
@@ -133,17 +135,17 @@ func TestCatalogProperties(t *testing.T) {
 // fail at parse time, not at build time.
 func TestCatalogRejectsBadSpecs(t *testing.T) {
 	bad := []string{
-		"",             // empty name
-		"nosuch:4",     // unknown entry
-		"cycle",        // missing required arg
-		"cycle:x",      // non-integer
-		"cycle:4,5",    // too many args
-		"rreg:5,3",     // odd n*d
-		"rreg:4,4",     // d >= n
-		"randm:5,3",    // m < n-1
-		"randm:5,11",   // m > max
-		"torus:2x4",    // dim < 3
-		"petersen:10",  // args on an arg-less entry
+		"",              // empty name
+		"nosuch:4",      // unknown entry
+		"cycle",         // missing required arg
+		"cycle:x",       // non-integer
+		"cycle:4,5",     // too many args
+		"rreg:5,3",      // odd n*d
+		"rreg:4,4",      // d >= n
+		"randm:5,3",     // m < n-1
+		"randm:5,11",    // m > max
+		"torus:2x4",     // dim < 3
+		"petersen:10",   // args on an arg-less entry
 		"circulant:8,5", // jump > n/2
 	}
 	for _, spec := range bad {

@@ -31,6 +31,7 @@ func TestClusteredShape(t *testing.T) {
 	if len(counts) != 3 {
 		t.Fatalf("placed on %d nodes, want 3 clusters", len(counts))
 	}
+	//repolint:ordered every cluster is checked independently; order can only permute failure messages
 	for node, c := range counts {
 		if c != 3 {
 			t.Errorf("cluster at %d has %d robots, want 3", node, c)
@@ -126,18 +127,25 @@ func TestMaxMinProperty(t *testing.T) {
 func TestPanicsOnInfeasible(t *testing.T) {
 	g := graph.Path(3)
 	rng := graph.NewRNG(6)
-	for name, fn := range map[string]func(){
-		"dispersed": func() { RandomDispersed(g, 4, rng) },
-		"maxmin":    func() { MaxMinDispersed(g, 4, rng) },
-		"clusters":  func() { Clustered(g, 2, 3, rng) },
-	} {
+	// A map literal here would name the cases in randomized order across
+	// runs (the first in-tree true positive repolint's nomapiter catches);
+	// a slice keeps the case order fixed.
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"dispersed", func() { RandomDispersed(g, 4, rng) }},
+		{"maxmin", func() { MaxMinDispersed(g, 4, rng) }},
+		{"clusters", func() { Clustered(g, 2, 3, rng) }},
+	}
+	for _, tc := range cases {
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("%s: no panic on infeasible input", name)
+					t.Errorf("%s: no panic on infeasible input", tc.name)
 				}
 			}()
-			fn()
+			tc.fn()
 		}()
 	}
 }

@@ -21,7 +21,7 @@ import (
 //   - Step is a fixed phase pipeline over reusable scratch state:
 //     snapshot -> communicate -> decide -> resolve -> apply.
 type World struct {
-	g       *graph.Graph
+	g       *graph.Graph //repolint:keep Reset rewinds runs on the same frozen graph; swapping graphs means a new World
 	agents  []Agent
 	ids     []int // robot ID of each agent index
 	pos     []int // node of each robot (by agent index)
@@ -46,6 +46,7 @@ type World struct {
 	// millions of rounds in the deeper experiment regimes, so the hot
 	// loop must not allocate. Env.Others and Env.Inbox slices handed to
 	// agents alias this scratch and are only valid during the callback.
+	//repolint:keep pooled grow-only storage; ensureScratch resizes and every phase overwrites before reading
 	scratch scratch
 }
 

@@ -1,0 +1,75 @@
+# benchgate.awk — loud CI gates over `go test -bench` output.
+#
+# Every gate that trips prints the offending benchmark line(s), so a red
+# CI run says WHICH benchmark regressed and by how much instead of a bare
+# non-zero exit from grep. Two modes, selected with -v mode=...:
+#
+#   zeroalloc   Every benchmark line matching -v re=REGEX must report
+#               0 allocs/op. With -v want=N, exactly N matching lines
+#               must carry an allocs/op column — a renamed or vanished
+#               benchmark must not pass the gate vacuously.
+#
+#                 awk -f scripts/benchgate.awk -v mode=zeroalloc \
+#                     -v re='^BenchmarkStepHotLoop' -v want=2 bench.txt
+#
+#   ratio       The allocs/op of the line matching -v den=REGEX must be
+#               at least -v factor=F times the allocs/op of the line
+#               matching -v num=REGEX (i.e. num wins by >= F x).
+#
+#                 awk -f scripts/benchgate.awk -v mode=ratio \
+#                     -v num='^BenchmarkSweepPooledWorld/pooled' \
+#                     -v den='^BenchmarkSweepPooledWorld/rebuild' \
+#                     -v factor=5 bench.txt
+#
+# Exit status: 0 pass, 1 gate failed, 2 usage error.
+
+function metric(name,    i) {
+	for (i = 2; i <= NF; i++)
+		if ($i == name)
+			return $(i - 1)
+	return ""
+}
+
+mode == "zeroalloc" && $0 ~ re {
+	a = metric("allocs/op")
+	if (a == "")
+		next
+	seen++
+	if (a + 0 != 0) {
+		bad++
+		print "benchgate: nonzero allocs/op: " $0
+	}
+}
+
+mode == "ratio" && $0 ~ num { numallocs = metric("allocs/op"); numline = $0 }
+mode == "ratio" && $0 ~ den { denallocs = metric("allocs/op"); denline = $0 }
+
+END {
+	if (mode == "zeroalloc") {
+		if (want != "" && seen != want + 0) {
+			print "benchgate: expected " want " benchmark line(s) matching /" re "/ with an allocs/op column, saw " seen
+			print "benchgate: a vanished or renamed benchmark must not pass the gate vacuously"
+			exit 1
+		}
+		if (bad)
+			exit 1
+		print "benchgate: OK — " seen " line(s) matching /" re "/ all report 0 allocs/op"
+	} else if (mode == "ratio") {
+		if (numallocs == "" || denallocs == "") {
+			print "benchgate: ratio gate is missing its benchmarks:"
+			print "  /" num "/ -> " (numline == "" ? "NOT FOUND" : numline)
+			print "  /" den "/ -> " (denline == "" ? "NOT FOUND" : denline)
+			exit 1
+		}
+		if (numallocs * factor > denallocs) {
+			print "benchgate: allocation ratio gate FAILED (want a >= " factor "x win):"
+			print "  " numline
+			print "  " denline
+			exit 1
+		}
+		print "benchgate: OK — allocs/op " denallocs " vs " numallocs " (>= " factor "x win)"
+	} else {
+		print "benchgate: unknown mode '" mode "' (want zeroalloc or ratio)"
+		exit 2
+	}
+}
