@@ -44,6 +44,7 @@ import (
 	"repro/internal/prof"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/sim/batch"
 )
 
 func main() {
@@ -66,6 +67,8 @@ func gathersim() int {
 		seed      = flag.Uint64("seed", 1, "random seed (drives graph, ports, IDs, placement)")
 		seeds     = flag.Int("seeds", 1, "run this many consecutive seeds as a parallel batch on one shared graph")
 		parallel  = flag.Int("parallel", 0, "batch worker-pool size (0 = GOMAXPROCS, 1 = serial)")
+		batchW    = flag.Int("batch", 8, "lockstep batch width for -seeds mode: worlds stepped together per worker (0 = scalar path); output is bit-identical at every width")
+		phases    = flag.Bool("phases", false, "measure per-phase engine time (observe/communicate/decide/resolve/apply) and print the totals")
 		maxRounds = flag.Int("max-rounds", 0, "round cap (0 = algorithm-derived bound)")
 		trace     = flag.Int("trace", 0, "log positions every N rounds (0 = off)")
 		dotFile   = flag.String("dot", "", "write the scenario graph (with start positions) as Graphviz DOT to this file")
@@ -103,13 +106,18 @@ func gathersim() int {
 		return 1
 	}
 
+	prof.EnablePhases(*phases)
+
 	if *seeds > 1 {
 		if *trace > 0 || *dotFile != "" {
 			fmt.Fprintln(os.Stderr, "gathersim: -trace and -dot apply to single runs only; ignored in -seeds batch mode")
 		}
-		err = runBatch(wl, *algo, *placement, *sched, *k, *radius, *seed, *seeds, *parallel, *maxRounds, *times)
+		err = runBatch(wl, *algo, *placement, *sched, *k, *radius, *seed, *seeds, *parallel, *batchW, *maxRounds, *times)
 	} else {
 		err = run(wl, *algo, *placement, *sched, *dotFile, *k, *radius, *seed, *maxRounds, *trace)
+	}
+	if err == nil && *phases {
+		printPhases()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gathersim:", err)
@@ -207,34 +215,32 @@ func buildScenario(wl *graph.Workload, placement string, k int, seed uint64) (*g
 }
 
 // buildWorld loads the scenario into a world for the requested algorithm
-// and returns it with the algorithm-derived round cap. A non-nil arena
-// pools the world and agents across calls (batch mode hands each worker
-// one); nil builds fresh.
+// and returns it with the algorithm-derived round cap (gather.AlgoCap —
+// shared with the lockstep batch path, so both always run identical round
+// budgets). A non-nil arena pools the world and agents across calls
+// (batch mode hands each worker one); nil builds fresh.
 func buildWorld(sc *gather.Scenario, algo string, radius int, arena *gather.Arena) (*sim.World, int, error) {
-	n := sc.G.N()
+	cap, err := sc.AlgoCap(algo, radius)
+	if err != nil {
+		return nil, 0, err
+	}
+	var w *sim.World
 	switch algo {
 	case "faster":
-		w, err := sc.NewFasterWorldIn(arena)
-		return w, sc.Cfg.FasterBound(n) + 10, err
+		w, err = sc.NewFasterWorldIn(arena)
 	case "uxs":
-		w, err := sc.NewUXSWorldIn(arena)
-		return w, sc.Cfg.UXSGatherBound(n) + 2, err
+		w, err = sc.NewUXSWorldIn(arena)
 	case "undispersed":
-		w, err := sc.NewUndispersedWorldIn(arena)
-		return w, gather.R(n) + 2, err
+		w, err = sc.NewUndispersedWorldIn(arena)
 	case "hopmeet":
-		w, err := sc.NewHopMeetWorldIn(arena, radius)
-		return w, sc.Cfg.HopDuration(radius, n) + 2, err
+		w, err = sc.NewHopMeetWorldIn(arena, radius)
 	case "dessmark":
-		w, err := sc.NewDessmarkWorldIn(arena)
-		return w, sc.Cfg.FasterBound(n) + 10, err
+		w, err = sc.NewDessmarkWorldIn(arena)
 	case "beep":
 		// The beeping-model algorithm is defined for at most two robots.
-		w, err := sc.NewBeepWorldIn(arena)
-		return w, sc.Cfg.UXSGatherBound(n) + 2, err
-	default:
-		return nil, 0, fmt.Errorf("unknown algorithm %q", algo)
+		w, err = sc.NewBeepWorldIn(arena)
 	}
+	return w, cap, err
 }
 
 func run(wl *graph.Workload, algo, placement, sched, dotFile string, k, radius int, seed uint64, maxRounds, trace int) error {
@@ -304,7 +310,7 @@ func run(wl *graph.Workload, algo, placement, sched, dotFile string, k, radius i
 // worker's world and agents via Reset instead of allocating a fresh
 // engine, so the batch's steady-state per-job cost is IDs + placement +
 // scheduler, nothing else.
-func runBatch(wl *graph.Workload, algo, placement, sched string, k, radius int, base uint64, seeds, parallel, maxRounds int, times bool) error {
+func runBatch(wl *graph.Workload, algo, placement, sched string, k, radius int, base uint64, seeds, parallel, batchW, maxRounds int, times bool) error {
 	g, err := wl.Build(graph.NewRNG(base))
 	if err != nil {
 		return err
@@ -313,21 +319,32 @@ func runBatch(wl *graph.Workload, algo, placement, sched string, k, radius int, 
 	shared.Certify()
 	cfg := shared.Cfg
 
+	// buildJobScenario derives one row's scenario exactly the same way on
+	// the scalar and lockstep paths: IDs, placement and scheduler all from
+	// the row seed, the frozen graph and certification shared.
+	buildJobScenario := func(scSeed uint64) (*gather.Scenario, error) {
+		rng := graph.NewRNG(scSeed)
+		if k < 1 {
+			return nil, fmt.Errorf("need at least one robot")
+		}
+		pos, err := placeRobots(g, placement, k, rng)
+		if err != nil {
+			return nil, err
+		}
+		sc := &gather.Scenario{G: g, IDs: gather.AssignIDs(k, g.N(), rng), Positions: pos, Cfg: cfg}
+		if sc.Sched, err = buildSched(sched, scSeed); err != nil {
+			return nil, err
+		}
+		return sc, nil
+	}
+
 	jobs := make([]runner.Job, seeds)
 	for i := range jobs {
 		scSeed := base + uint64(i)
 		jobs[i] = runner.Job{Meta: scSeed,
 			BuildIn: func(_ uint64, state any) (*sim.World, int, error) {
-				rng := graph.NewRNG(scSeed)
-				if k < 1 {
-					return nil, 0, fmt.Errorf("need at least one robot")
-				}
-				pos, err := placeRobots(g, placement, k, rng)
+				sc, err := buildJobScenario(scSeed)
 				if err != nil {
-					return nil, 0, err
-				}
-				sc := &gather.Scenario{G: g, IDs: gather.AssignIDs(k, g.N(), rng), Positions: pos, Cfg: cfg}
-				if sc.Sched, err = buildSched(sched, scSeed); err != nil {
 					return nil, 0, err
 				}
 				w, cap, err := buildWorld(sc, algo, radius, gather.ArenaOf(state))
@@ -335,9 +352,28 @@ func runBatch(wl *graph.Workload, algo, placement, sched string, k, radius int, 
 					cap = maxRounds
 				}
 				return w, cap, err
+			},
+			Lane: func(_ uint64, state any, e *batch.Engine) error {
+				sc, err := buildJobScenario(scSeed)
+				if err != nil {
+					return err
+				}
+				cap, err := sc.AlgoCap(algo, radius)
+				if err != nil {
+					return err
+				}
+				if maxRounds > 0 {
+					cap = maxRounds
+				}
+				agents, err := sc.NewAgentsIn(gather.LaneArenaOf(state), e.Lanes(), algo, radius)
+				if err != nil {
+					return err
+				}
+				_, err = e.AddLane(sc.G, agents, sc.Positions, cap, sc.Sched)
+				return err
 			}}
 	}
-	r := runner.New(parallel).WithWorkerState(func(int) any { return gather.NewArena() })
+	r := runner.New(parallel).WithWorkerState(func(int) any { return gather.NewSweepState() })
 	fmt.Printf("batch: %d seeds (%d..%d), algo %s, workload %s, sched %s, k=%d\n",
 		seeds, base, base+uint64(seeds)-1, algo, wl, sched, k)
 	fmt.Printf("shared graph: %s (diameter %d), built once from seed %d",
@@ -348,7 +384,15 @@ func runBatch(wl *graph.Workload, algo, placement, sched string, k, radius int, 
 		fmt.Printf(", %d workers", r.Workers())
 	}
 	fmt.Print("\n\n")
-	results, st := r.Run(base, jobs)
+	var (
+		results []runner.JobResult
+		st      runner.Stats
+	)
+	if batchW > 0 {
+		results, st = r.RunBatched(base, jobs, batchW)
+	} else {
+		results, st = r.Run(base, jobs)
+	}
 
 	fmt.Printf("%8s %8s %6s %8s %10s", "seed", "rounds", "gather", "detect", "moves")
 	if times {
@@ -398,6 +442,25 @@ func runBatch(wl *graph.Workload, algo, placement, sched string, k, radius int, 
 			st.Wall.Round(time.Millisecond), st.Work.Round(time.Millisecond), r.Workers())
 	}
 	return nil
+}
+
+// printPhases renders the engine's accumulated per-phase wall time (the
+// -phases flag). Timings are measurement, not results: they vary run to
+// run, which is why the flag is off for the diffable determinism checks.
+func printPhases() {
+	totals := prof.PhaseTotals()
+	var sum time.Duration
+	for _, d := range totals {
+		sum += d
+	}
+	fmt.Printf("\nengine phases (%s total):\n", sum.Round(time.Microsecond))
+	for p, d := range totals {
+		pct := 0.0
+		if sum > 0 {
+			pct = 100 * float64(d) / float64(sum)
+		}
+		fmt.Printf("  %-12s %10s  %5.1f%%\n", prof.Phase(p), d.Round(time.Microsecond), pct)
+	}
 }
 
 func printResult(res sim.Result) {

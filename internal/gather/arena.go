@@ -47,13 +47,19 @@ type arenaKey struct {
 // NewArena returns an empty arena.
 func NewArena() *Arena { return &Arena{} }
 
-// ArenaOf coerces a runner worker-state value into an arena. A nil state
-// (runner without WithWorkerState) or a foreign type yields nil, which
-// every pooled builder treats as "construct fresh" — so job code can
+// ArenaOf coerces a runner worker-state value into an arena, unwrapping a
+// SweepState (the combined scalar+lane worker state of batched sweeps). A
+// nil state (runner without WithWorkerState) or a foreign type yields nil,
+// which every pooled builder treats as "construct fresh" — so job code can
 // thread the state through unconditionally.
 func ArenaOf(state any) *Arena {
-	a, _ := state.(*Arena)
-	return a
+	switch v := state.(type) {
+	case *Arena:
+		return v
+	case *SweepState:
+		return v.Arena
+	}
+	return nil
 }
 
 // newWorldIn is the pooled counterpart of newWorld: it builds the
@@ -108,37 +114,48 @@ func (s *Scenario) newWorldIn(a *Arena, algo string, radius int, mk func(id int)
 	return w, nil
 }
 
+// NewAlgoWorldIn is newWorldIn keyed by algorithm name, sharing the
+// per-robot constructor table (algoMk) with the batched agent-set path so
+// the two execution paths can never drift apart on construction inputs.
+// Callers that sweep over algorithm names (the CLIs, equivalence tests)
+// use this directly; the New*WorldIn wrappers below pin the names.
+func (s *Scenario) NewAlgoWorldIn(a *Arena, algo string, radius int) (*sim.World, error) {
+	mk, err := s.algoMk(algo, radius)
+	if err != nil {
+		return nil, err
+	}
+	return s.newWorldIn(a, algo, radius, mk)
+}
+
 // NewFasterWorldIn is NewFasterWorld built in the arena (nil = fresh).
 func (s *Scenario) NewFasterWorldIn(a *Arena) (*sim.World, error) {
-	return s.newWorldIn(a, "faster", 0, func(id int) sim.Agent { return NewFasterAgent(s.Cfg, s.G.N(), id) })
+	return s.NewAlgoWorldIn(a, "faster", 0)
 }
 
 // NewUXSWorldIn is NewUXSWorld built in the arena (nil = fresh).
 func (s *Scenario) NewUXSWorldIn(a *Arena) (*sim.World, error) {
-	return s.newWorldIn(a, "uxs", 0, func(id int) sim.Agent { return NewUXSGAgent(s.Cfg, s.G.N(), id) })
+	return s.NewAlgoWorldIn(a, "uxs", 0)
 }
 
 // NewUndispersedWorldIn is NewUndispersedWorld built in the arena (nil =
 // fresh).
 func (s *Scenario) NewUndispersedWorldIn(a *Arena) (*sim.World, error) {
-	return s.newWorldIn(a, "undispersed", 0, func(id int) sim.Agent { return NewUGAgent(s.G.N(), id) })
+	return s.NewAlgoWorldIn(a, "undispersed", 0)
 }
 
 // NewHopMeetWorldIn is NewHopMeetWorld built in the arena (nil = fresh).
 func (s *Scenario) NewHopMeetWorldIn(a *Arena, radius int) (*sim.World, error) {
-	return s.newWorldIn(a, "hopmeet", radius, func(id int) sim.Agent { return NewHopMeetAgent(s.Cfg, radius, s.G.N(), id) })
+	return s.NewAlgoWorldIn(a, "hopmeet", radius)
 }
 
 // NewDessmarkWorldIn is NewDessmarkWorld built in the arena (nil = fresh).
 func (s *Scenario) NewDessmarkWorldIn(a *Arena) (*sim.World, error) {
-	return s.newWorldIn(a, "dessmark", 0, func(id int) sim.Agent { return NewDessmarkAgent(s.Cfg, s.G.N(), id) })
+	return s.NewAlgoWorldIn(a, "dessmark", 0)
 }
 
 // NewBeepWorldIn is NewBeepWorld built in the arena (nil = fresh); the
-// scenario must have at most two robots (the [21] setting).
+// scenario must have at most two robots (the [21] setting, enforced by
+// algoMk).
 func (s *Scenario) NewBeepWorldIn(a *Arena) (*sim.World, error) {
-	if len(s.IDs) > 2 {
-		return nil, errTooManyForBeep
-	}
-	return s.newWorldIn(a, "beep", 0, func(id int) sim.Agent { return NewBeepAgent(s.Cfg, s.G.N(), id) })
+	return s.NewAlgoWorldIn(a, "beep", 0)
 }

@@ -1,0 +1,102 @@
+// Phase registry: a near-zero-cost label→duration accumulator for the
+// engine's five named phases (observe/communicate/decide/resolve/apply),
+// in the spirit of a global prof.Track table. The simulation engines are
+// deterministic packages and may not read the wall clock themselves
+// (repolint detsource); this file is the sanctioned measurement layer they
+// call into instead. Timing never feeds back into results — it only
+// accumulates into atomic counters surfaced by the CLIs.
+//
+// Cost model: when disabled (the default) every probe is one atomic load
+// and a predictable branch — no clock reads, no allocations — so the
+// 0-alloc CI gates on the hot loop hold with the probes compiled in. When
+// enabled, each phase boundary reads the monotonic clock once and adds
+// into an atomic counter shared by all workers.
+package prof
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Phase identifies one of the engine's named pipeline phases.
+type Phase int
+
+// The five named phases of the round pipeline, in execution order. The
+// card-snapshot sub-phase is accounted to PhaseObserve.
+const (
+	PhaseObserve Phase = iota
+	PhaseCommunicate
+	PhaseDecide
+	PhaseResolve
+	PhaseApply
+	NumPhases
+)
+
+// phaseNames is indexed by Phase.
+var phaseNames = [NumPhases]string{"observe", "communicate", "decide", "resolve", "apply"}
+
+// String returns the phase's lower-case name.
+func (p Phase) String() string {
+	if p < 0 || p >= NumPhases {
+		return "unknown"
+	}
+	return phaseNames[p]
+}
+
+var (
+	phasesOn   atomic.Bool
+	phaseTotal [NumPhases]atomic.Int64 // accumulated nanoseconds
+)
+
+// EnablePhases switches phase timing on or off globally. Off is the
+// default; runs that never enable it pay only the disabled-probe branch.
+func EnablePhases(on bool) { phasesOn.Store(on) }
+
+// PhasesEnabled reports whether phase timing is on.
+func PhasesEnabled() bool { return phasesOn.Load() }
+
+// PhaseStart opens a timing span: the current time when phase timing is
+// enabled, the zero time otherwise.
+func PhaseStart() time.Time {
+	if !phasesOn.Load() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// PhaseEnd closes a span opened by PhaseStart (or PhaseNext), crediting
+// the elapsed time to phase p. A zero start — timing disabled when the
+// span opened — is a no-op, so toggling mid-round never records garbage.
+func PhaseEnd(p Phase, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	phaseTotal[p].Add(int64(time.Since(start)))
+}
+
+// PhaseNext closes the span for phase p and opens the next one, reading
+// the clock once at the boundary instead of twice.
+func PhaseNext(p Phase, start time.Time) time.Time {
+	if start.IsZero() {
+		return start
+	}
+	now := time.Now()
+	phaseTotal[p].Add(int64(now.Sub(start)))
+	return now
+}
+
+// PhaseTotals returns the accumulated per-phase durations.
+func PhaseTotals() [NumPhases]time.Duration {
+	var out [NumPhases]time.Duration
+	for p := range phaseTotal {
+		out[p] = time.Duration(phaseTotal[p].Load())
+	}
+	return out
+}
+
+// ResetPhases zeroes the accumulated totals (e.g. between sweeps).
+func ResetPhases() {
+	for p := range phaseTotal {
+		phaseTotal[p].Store(0)
+	}
+}

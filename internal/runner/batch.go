@@ -1,0 +1,162 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim/batch"
+)
+
+// RunBatched executes the batch through the lockstep multi-world engine:
+// jobs are claimed in groups of (at most) width consecutive submission
+// indices, and each group's batchable jobs (Job.Lane non-nil) load their
+// worlds as lanes of one worker-owned batch.Engine that steps them all in
+// lockstep — so when consecutive jobs share a frozen graph, which is the
+// dominant sweep shape, every CSR row a round touches is loaded once for
+// the whole group instead of once per job.
+//
+// Results are bit-identical to Run on the same jobs: per-job seeds are
+// the same JobSeed derivation, every per-lane randomness source stays
+// owned by its lane, panicked lanes report exactly like panicked scalar
+// jobs (same error text; the stack travels on JobResult.Stack), and jobs
+// without Lane fall back to the scalar path inline. When a lane does not
+// fit the engine's current batch — a group straddles two instances of a
+// multi-graph sweep — the engine flushes (runs what has accumulated) and
+// the lane retries in a fresh batch, so mixed-graph job orderings work,
+// they just amortize less.
+//
+// Per-job Elapsed is the group's lockstep wall time split evenly over the
+// group's batched jobs (lockstep execution has no per-job wall time);
+// Stats.Work remains comparable with Run's.
+func (r *Runner) RunBatched(base uint64, jobs []Job, width int) ([]JobResult, Stats) {
+	if width < 1 {
+		width = 1
+	}
+	results := make([]JobResult, len(jobs))
+	start := time.Now()
+
+	groups := (len(jobs) + width - 1) / width
+	var next int64
+	var wg sync.WaitGroup
+	workers := r.workers
+	if workers > groups {
+		workers = groups
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			var state any
+			if r.state != nil {
+				state = r.state(worker)
+			}
+			eng := batch.NewEngine()
+			for {
+				gi := int(atomic.AddInt64(&next, 1)) - 1
+				if gi >= groups {
+					return
+				}
+				lo := gi * width
+				hi := lo + width
+				if hi > len(jobs) {
+					hi = len(jobs)
+				}
+				runGroup(base, lo, hi, jobs, results, state, eng)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return results, collectStats(results, time.Since(start))
+}
+
+// runGroup executes jobs[lo:hi) through the worker's pooled lockstep
+// engine, flushing on graph/shape mismatch, and leaves the engine Reset
+// for the next group.
+func runGroup(base uint64, lo, hi int, jobs []Job, results []JobResult, state any, eng *batch.Engine) {
+	t0 := time.Now()
+	laneJobs := make([]int, 0, hi-lo)
+	batched := 0
+	for i := lo; i < hi; i++ {
+		j := jobs[i]
+		if j.Lane == nil {
+			results[i] = runOne(base, i, j, state)
+			continue
+		}
+		batched++
+		seed := JobSeed(base, i)
+		err := addLane(eng, j, i, seed, state)
+		if errors.Is(err, batch.ErrGraphMismatch) || errors.Is(err, batch.ErrShapeMismatch) {
+			flushGroup(base, eng, jobs, results, laneJobs)
+			laneJobs = laneJobs[:0]
+			err = addLane(eng, j, i, seed, state)
+		}
+		switch {
+		case err != nil:
+			results[i] = JobResult{Index: i, Seed: seed, Meta: j.Meta, Err: err}
+		case eng.Lanes() == len(laneJobs):
+			// Lane added nothing: a skipped job, like a nil world from Build.
+			results[i] = JobResult{Index: i, Seed: seed, Meta: j.Meta, Skipped: true}
+		default:
+			laneJobs = append(laneJobs, i)
+		}
+	}
+	flushGroup(base, eng, jobs, results, laneJobs)
+	if batched > 0 {
+		// Lockstep execution has no per-job wall time; spread the group's.
+		share := time.Since(t0) / time.Duration(batched)
+		for i := lo; i < hi; i++ {
+			if jobs[i].Lane != nil {
+				results[i].Elapsed = share
+			}
+		}
+	}
+}
+
+// addLane runs one job's Lane builder with the scalar path's panic
+// containment: a panic while loading the lane is that job's error, not
+// the group's.
+func addLane(eng *batch.Engine, j Job, i int, seed uint64, state any) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: job %d panicked: %v", i, r)
+		}
+	}()
+	return j.Lane(seed, state, eng)
+}
+
+// flushGroup runs the engine's accumulated lanes to completion, harvests
+// each lane's outcome onto its job's result — panicked lanes formatted
+// exactly like scalar panicked jobs — and Resets the engine for the next
+// batch. laneJobs[l] is the job index behind lane l.
+func flushGroup(base uint64, eng *batch.Engine, jobs []Job, results []JobResult, laneJobs []int) {
+	if len(laneJobs) == 0 {
+		eng.Reset()
+		return
+	}
+	// Agent and scheduler panics are contained per lane inside the engine;
+	// this recover only fires on an engine-level failure, which is charged
+	// to every job of the flush rather than crashing the worker.
+	var engineErr any
+	func() {
+		defer func() { engineErr = recover() }()
+		eng.Run()
+	}()
+	for l, i := range laneJobs {
+		out := JobResult{Index: i, Seed: JobSeed(base, i), Meta: jobs[i].Meta}
+		if engineErr != nil {
+			out.Err = fmt.Errorf("runner: job %d panicked: %v", i, engineErr)
+			out.Stack = string(debug.Stack())
+		} else if lo := eng.Outcome(l); lo.PanicVal != nil {
+			out.Err = fmt.Errorf("runner: job %d panicked: %v", i, lo.PanicVal)
+			out.Stack = lo.Stack
+		} else {
+			out.Res = lo.Res
+		}
+		results[i] = out
+	}
+	eng.Reset()
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/sim/batch"
 )
 
 // Job is one unit of work: Build constructs a simulator world and its
@@ -60,6 +61,18 @@ type Job struct {
 	// their own completion signal this way. Build always runs first on
 	// the same goroutine, so Stop may read state Build created.
 	Stop func(w *sim.World) bool
+	// Lane, when non-nil, makes the job batchable: under Runner.RunBatched
+	// the job loads its world as one lane of the executing worker's
+	// lockstep batch engine (batch.Engine.AddLane) instead of building a
+	// scalar world. The same determinism rules as BuildIn apply — seed and
+	// captured read-only data decide the result, worker state is an
+	// allocation pool — and the round cap and scheduler are passed to
+	// AddLane, so the lane runs exactly the rounds the scalar path would.
+	// Adding no lane and returning nil marks the job skipped, mirroring a
+	// nil world from Build. Jobs that need a Stop predicate must leave
+	// Lane nil (lanes stop on their cap or termination alone). Run ignores
+	// Lane; RunBatched falls back to the scalar path for jobs without it.
+	Lane func(seed uint64, state any, e *batch.Engine) error
 	Meta any // caller-owned context, echoed back on the JobResult
 }
 
@@ -169,8 +182,13 @@ func (r *Runner) Run(base uint64, jobs []Job) ([]JobResult, Stats) {
 		}(w)
 	}
 	wg.Wait()
+	return results, collectStats(results, time.Since(start))
+}
 
-	st := Stats{Jobs: len(jobs), Wall: time.Since(start)}
+// collectStats aggregates a finished batch's results (shared by Run and
+// RunBatched).
+func collectStats(results []JobResult, wall time.Duration) Stats {
+	st := Stats{Jobs: len(results), Wall: wall}
 	for i := range results {
 		res := &results[i]
 		st.Work += res.Elapsed
@@ -184,7 +202,7 @@ func (r *Runner) Run(base uint64, jobs []Job) ([]JobResult, Stats) {
 			st.Moves += res.Res.TotalMoves
 		}
 	}
-	return results, st
+	return st
 }
 
 // FirstErr returns the error of the earliest-submitted failed job, or nil.

@@ -1,0 +1,855 @@
+// Package batch is the lockstep multi-world execution engine: W
+// independent worlds — lanes — over the same frozen CSR graph, stepped one
+// round at a time in lockstep, with per-robot state laid out
+// structure-of-arrays across lanes (robot i of lane l lives at flat index
+// l*k+i). A sweep runs thousands of seeds over one graph; executing W of
+// them together means each occupied node's CSR row, and each phase's
+// dispatch, is loaded once per round for all W lanes instead of once per
+// world.
+//
+// The engine mirrors the scalar sim.World phase pipeline exactly —
+// crashes → schedule → snapshot → observe → communicate → decide →
+// resolve → apply — and is proven bit-identical against it by the golden
+// replay and equivalence tests in internal/gather. Only memory layout and
+// traversal order change: every per-lane randomness source (SemiSync
+// scheduler streams) stays owned by its lane, agents are the unmodified
+// per-robot implementations, and per-lane phase order matches the scalar
+// engine, so a lane's trajectory never depends on its siblings.
+//
+// Lanes retire independently: a lane leaves the batch when every robot
+// has terminated or its round cap elapses (its summary is taken first,
+// while its robots are still indexed), and a lane whose agent code
+// panics mid-round — legitimate outside the fully-synchronous model — is
+// contained by a per-lane recover and retires with the raw panic value
+// and stack, leaving sibling lanes untouched.
+package batch
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/graph"
+	"repro/internal/prof"
+	"repro/internal/sim"
+)
+
+// Sentinel errors AddLane returns when a lane does not fit the engine's
+// current batch. Batched runners treat them as flush signals: run what
+// has accumulated, Reset, and retry the lane in a fresh batch.
+var (
+	// ErrGraphMismatch rejects a lane whose graph differs from the one the
+	// engine's current batch is bound to.
+	ErrGraphMismatch = fmt.Errorf("batch: lane graph differs from the engine's bound graph")
+	// ErrShapeMismatch rejects a lane whose robot count differs from the
+	// engine's current batch shape.
+	ErrShapeMismatch = fmt.Errorf("batch: lane robot count differs from the engine's batch shape")
+)
+
+// laneState tracks a lane through its batch lifetime.
+type laneState uint8
+
+const (
+	laneLive     laneState = iota
+	lanePanicked           // agent/scheduler code panicked this round; retires at the round boundary
+	laneRetired            // finished (summary taken) or failed (panic recorded); out of the batch
+)
+
+// mv is one robot's resolved destination for the round (scalar engine's
+// resolved-move record).
+type mv struct {
+	node    int
+	arrival int
+	moved   bool
+}
+
+// LaneOutcome is a finished lane's record: the run summary for a lane that
+// retired normally, or the recovered panic (raw value + stack) for a lane
+// that died mid-round — exactly what the scalar path's per-job recover
+// captures, so batched runners report both paths identically. Res is the
+// zero Result when PanicVal is non-nil.
+type LaneOutcome struct {
+	Res      sim.Result
+	PanicVal any
+	Stack    string
+}
+
+// Engine steps W lanes in lockstep. Build one with NewEngine, add lanes
+// with AddLane (the first lane binds the shared graph and robot count),
+// run with Run, read per-lane results with Outcome, and Reset to reuse all
+// storage for the next batch — the pooled, grow-only lifecycle of the
+// scalar World.Reset, engine-wide.
+type Engine struct {
+	g *graph.Graph
+	k int // robots per lane (uniform across the batch)
+
+	// Per-lane state, indexed by lane.
+	caps        []int
+	round       []int
+	scheds      []sim.Scheduler
+	firstGather []int
+	firstMeet   []int
+	state       []laneState
+	outs        []LaneOutcome
+	views       []laneView
+
+	//repolint:keep per-lane ID->index maps pooled beyond the slice length; AddLane reclaims and clears them
+	idIndex []map[int]int
+
+	// Flat structure-of-arrays per-robot state, length Lanes()*k: robot i
+	// of lane l lives at index l*k+i.
+	agents  []sim.Agent
+	ids     []int
+	pos     []int
+	arrival []int
+	done    []bool
+	verdict []bool
+	moves   []int64
+	crashAt []int
+	crashed []bool
+	byID    []int32 // per lane: robot indices ascending by ID (drives the occupancy rebuild)
+
+	occ  occupancy // all lanes' live robots, bucketed by node
+	live int       // lanes not yet retired
+
+	// Per-round scratch, flat across lanes, reused across Step calls: the
+	// batch hot loop must not allocate, like the scalar engine's.
+	//repolint:keep pooled grow-only scratch; ensureScratch resizes and every phase overwrites before reading
+	scr scratch
+}
+
+// scratch is the flat per-round working state of the batched pipeline.
+type scratch struct {
+	active   []bool
+	cards    []sim.Card
+	envs     []sim.Env
+	others   [][]sim.Card
+	inbox    [][]sim.Message
+	acts     []sim.Action
+	resolved []mv
+	rstate   []int
+}
+
+// NewEngine returns an empty engine; AddLane binds its graph and shape.
+func NewEngine() *Engine { return &Engine{} }
+
+// Reset empties the engine for a new batch, keeping every piece of
+// storage it has grown: flat SoA arrays, per-lane slices, the pooled
+// ID-index maps, the combined occupancy index and the phase scratch. After
+// Reset the engine is in the state NewEngine produced, graph unbound.
+func (e *Engine) Reset() {
+	e.g = nil
+	e.k = 0
+	e.caps = e.caps[:0]
+	e.round = e.round[:0]
+	for i := range e.scheds {
+		e.scheds[i] = nil // release per-run scheduler state
+	}
+	e.scheds = e.scheds[:0]
+	e.firstGather = e.firstGather[:0]
+	e.firstMeet = e.firstMeet[:0]
+	e.state = e.state[:0]
+	for i := range e.outs {
+		e.outs[i] = LaneOutcome{} // release FinalPositions, panic values, stacks
+	}
+	e.outs = e.outs[:0]
+	e.views = e.views[:0]
+	for i := range e.agents {
+		e.agents[i] = nil // release agent references
+	}
+	e.agents = e.agents[:0]
+	e.ids = e.ids[:0]
+	e.pos = e.pos[:0]
+	e.arrival = e.arrival[:0]
+	e.done = e.done[:0]
+	e.verdict = e.verdict[:0]
+	e.moves = e.moves[:0]
+	e.crashAt = e.crashAt[:0]
+	e.crashed = e.crashed[:0]
+	e.byID = e.byID[:0]
+	e.occ.reset()
+	e.live = 0
+}
+
+// Lanes returns the number of lanes added to the current batch (retired
+// lanes included).
+func (e *Engine) Lanes() int { return len(e.caps) }
+
+// Live returns the number of lanes still running.
+func (e *Engine) Live() int { return e.live }
+
+// Robots returns the per-lane robot count, 0 before the first AddLane.
+func (e *Engine) Robots() int { return e.k }
+
+// Graph returns the graph the current batch is bound to, nil before the
+// first AddLane.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Round returns the number of completed rounds of the given lane.
+func (e *Engine) Round(lane int) int { return e.round[lane] }
+
+// Outcome returns the given lane's outcome. It is meaningful once the
+// lane has retired — after Run returns, every lane has.
+func (e *Engine) Outcome(lane int) LaneOutcome { return e.outs[lane] }
+
+// AddLane adds one world to the batch: agents with their starting
+// positions (positions[i] is the node of agents[i]) on graph g, a round
+// cap, and the lane's scheduler (nil selects FullSync). The first lane
+// binds the engine to g and len(agents); later lanes must match or the
+// call fails with ErrGraphMismatch / ErrShapeMismatch and the engine is
+// unchanged. Validation and its error texts mirror sim.NewWorld, so a
+// batched sweep reports build failures identically to the scalar path.
+// AddLane returns the new lane's index.
+func (e *Engine) AddLane(g *graph.Graph, agents []sim.Agent, positions []int, maxRounds int, sched sim.Scheduler) (int, error) {
+	if len(agents) != len(positions) {
+		return 0, fmt.Errorf("sim: %d agents but %d positions", len(agents), len(positions))
+	}
+	if len(agents) == 0 {
+		return 0, fmt.Errorf("sim: no agents")
+	}
+	if e.g != nil {
+		if g != e.g {
+			return 0, ErrGraphMismatch
+		}
+		if len(agents) != e.k {
+			return 0, ErrShapeMismatch
+		}
+	}
+	lane := len(e.caps)
+	idx := e.claimIDIndex(lane)
+	// Validate before touching any flat state, so a failed AddLane leaves
+	// the batch exactly as it was (idx is cleared on the next claim).
+	for i, a := range agents {
+		if a.ID() <= 0 {
+			return 0, fmt.Errorf("sim: agent %d has non-positive ID %d", i, a.ID())
+		}
+		if _, dup := idx[a.ID()]; dup {
+			return 0, fmt.Errorf("sim: duplicate robot ID %d", a.ID())
+		}
+		if positions[i] < 0 || positions[i] >= g.N() {
+			return 0, fmt.Errorf("sim: agent %d starts at invalid node %d", i, positions[i])
+		}
+		idx[a.ID()] = i
+	}
+	if e.g == nil {
+		// First lane of the batch: its validated shape becomes the batch's.
+		e.g = g
+		e.k = len(agents)
+		e.occ.grow(g.N())
+	}
+	// Commit: per-lane state …
+	e.caps = append(e.caps, maxRounds)
+	e.round = append(e.round, 0)
+	if sched == nil {
+		sched = sim.NewFullSync()
+	}
+	e.scheds = append(e.scheds, sched)
+	e.firstGather = append(e.firstGather, -1)
+	e.firstMeet = append(e.firstMeet, -1)
+	e.state = append(e.state, laneLive)
+	e.outs = append(e.outs, LaneOutcome{})
+	e.views = append(e.views, laneView{})
+	e.views[lane].init(e, int32(lane))
+	e.occ.addLane()
+	e.live++
+	// … and the lane's segment of the flat SoA arrays.
+	base := lane * e.k
+	e.agents = append(e.agents, agents...)
+	e.ids = growTo(e.ids, base+e.k)
+	e.pos = growTo(e.pos, base+e.k)
+	e.arrival = growTo(e.arrival, base+e.k)
+	e.done = growTo(e.done, base+e.k)
+	e.verdict = growTo(e.verdict, base+e.k)
+	e.moves = growTo(e.moves, base+e.k)
+	e.crashAt = growTo(e.crashAt, base+e.k)
+	e.crashed = growTo(e.crashed, base+e.k)
+	for i, a := range agents {
+		x := base + i
+		e.ids[x] = a.ID()
+		e.pos[x] = positions[i]
+		e.arrival[x] = -1
+		e.done[x] = false
+		e.verdict[x] = false
+		e.moves[x] = 0
+		e.crashAt[x] = -1
+		e.crashed[x] = false
+		e.occ.add(int32(lane), int32(i), positions[i], a.ID(), e.ids, e.k)
+	}
+	// The lane's ID-sorted robot order, fixed for the batch: the per-round
+	// occupancy rebuild appends robots in this order so buckets come out
+	// (lane, ID)-sorted without any searching.
+	e.byID = growTo(e.byID, base+e.k)
+	seg := e.byID[base : base+e.k]
+	for i := range seg {
+		seg[i] = int32(i)
+	}
+	for a := 1; a < len(seg); a++ {
+		for b := a; b > 0 && e.ids[base+int(seg[b])] < e.ids[base+int(seg[b-1])]; b-- {
+			seg[b], seg[b-1] = seg[b-1], seg[b]
+		}
+	}
+	e.noteGather(lane)
+	return lane, nil
+}
+
+// claimIDIndex returns lane's ID→index map, reusing a map pooled past the
+// slice's length from an earlier batch when one exists.
+func (e *Engine) claimIDIndex(lane int) map[int]int {
+	if lane < cap(e.idIndex) {
+		e.idIndex = e.idIndex[:lane+1]
+		if e.idIndex[lane] == nil {
+			e.idIndex[lane] = make(map[int]int, e.k)
+		} else {
+			clear(e.idIndex[lane])
+		}
+	} else {
+		e.idIndex = append(e.idIndex, make(map[int]int, e.k))
+	}
+	return e.idIndex[lane]
+}
+
+// growTo reslices s to length n, preserving the prefix and reallocating
+// (with headroom, so lane-by-lane growth stays amortized O(1)) only when
+// capacity is short. Content beyond the previous length is unspecified:
+// AddLane assigns every flat entry it claims, and every scratch entry is
+// overwritten by a phase before any phase reads it.
+func growTo[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([]T, n, 2*n)
+	copy(out, s)
+	return out
+}
+
+// CrashAt schedules a fail-stop fault in one lane: at the start of the
+// given round, the robot with the given ID stops operating and disappears
+// from that lane (mirrors World.CrashAt).
+func (e *Engine) CrashAt(lane, robotID, round int) error {
+	if lane < 0 || lane >= len(e.caps) {
+		return fmt.Errorf("batch: no lane %d", lane)
+	}
+	i, ok := e.idIndex[lane][robotID]
+	if !ok {
+		return fmt.Errorf("sim: no robot with ID %d", robotID)
+	}
+	if round < 0 {
+		return fmt.Errorf("sim: crash round %d invalid", round)
+	}
+	e.crashAt[lane*e.k+i] = round
+	return nil
+}
+
+// Run steps the batch in lockstep until every lane has retired. Lanes
+// whose robots have all terminated, or whose round cap has elapsed, are
+// finalized before each round exactly where the scalar Run loop's
+// condition would have stopped them; panicked lanes retire at the end of
+// their fatal round. Run is idempotent: once all lanes are retired it
+// returns immediately.
+func (e *Engine) Run() {
+	for e.sweepFinished() {
+		e.stepRound()
+	}
+}
+
+// Step retires lanes that are due and, if any lane remains live, advances
+// the whole batch by one lockstep round. It reports whether it stepped —
+// false means the batch is fully retired. (Run is the sweep loop; Step
+// exists for tests and benchmarks that drive rounds one at a time.)
+func (e *Engine) Step() bool {
+	if !e.sweepFinished() {
+		return false
+	}
+	e.stepRound()
+	return true
+}
+
+// sweepFinished retires every live lane that has reached its stopping
+// condition — the scalar loop's `round < maxRounds && !AllDone()` test —
+// and reports whether any lane is still live.
+func (e *Engine) sweepFinished() bool {
+	for l := range e.state {
+		if e.state[l] != laneLive {
+			continue
+		}
+		if e.round[l] >= e.caps[l] || e.laneAllDone(l) {
+			e.outs[l].Res = e.summary(l)
+			e.retire(l)
+		}
+	}
+	return e.live > 0
+}
+
+// laneAllDone reports whether every live robot of lane l has terminated.
+func (e *Engine) laneAllDone(l int) bool {
+	base := l * e.k
+	for i := 0; i < e.k; i++ {
+		if !e.done[base+i] && !e.crashed[base+i] {
+			return false
+		}
+	}
+	return true
+}
+
+// retire removes lane l's robots from the combined occupancy index and
+// marks the lane retired. Callers take the lane's summary first, while
+// its robots are still indexed.
+func (e *Engine) retire(l int) {
+	base := l * e.k
+	for i := 0; i < e.k; i++ {
+		if !e.crashed[base+i] {
+			e.occ.del(int32(l), int32(i), e.pos[base+i])
+		}
+	}
+	e.state[l] = laneRetired
+	e.live--
+}
+
+// stepRound executes one lockstep round of the phase pipeline across all
+// live lanes — the batched mirror of World.Step, with the same prof phase
+// probes. Lanes that panic inside a phase are skipped by the remaining
+// phases and retire at the round boundary.
+func (e *Engine) stepRound() {
+	e.ensureScratch()
+	e.applyCrashes()
+	e.schedule()
+	t := prof.PhaseStart()
+	e.snapshotCards()
+	e.observe()
+	t = prof.PhaseNext(prof.PhaseObserve, t)
+	e.communicateAll()
+	t = prof.PhaseNext(prof.PhaseCommunicate, t)
+	e.decideAll()
+	t = prof.PhaseNext(prof.PhaseDecide, t)
+	e.resolveAll()
+	t = prof.PhaseNext(prof.PhaseResolve, t)
+	e.applyMoves()
+	prof.PhaseEnd(prof.PhaseApply, t)
+	for l := range e.state {
+		if e.state[l] == laneLive {
+			e.round[l]++
+			e.noteGather(l)
+		}
+	}
+	e.reapPanicked()
+}
+
+// ensureScratch sizes the flat per-round scratch to the current batch
+// (grow-only; sub-slices keep their grown capacity across Resets).
+func (e *Engine) ensureScratch() {
+	s := &e.scr
+	if n := len(e.agents); len(s.cards) != n {
+		s.active = growTo(s.active, n)
+		s.cards = growTo(s.cards, n)
+		s.envs = growTo(s.envs, n)
+		s.others = growTo(s.others, n)
+		s.inbox = growTo(s.inbox, n)
+		s.acts = growTo(s.acts, n)
+		s.resolved = growTo(s.resolved, n)
+		s.rstate = growTo(s.rstate, n)
+	}
+}
+
+// recoverLane is the per-lane panic barrier, deferred by every phase
+// method that runs agent or scheduler code: the lane records the raw
+// panic value and stack and leaves the lockstep, its siblings untouched.
+func (e *Engine) recoverLane(l int) {
+	if r := recover(); r != nil {
+		e.state[l] = lanePanicked
+		e.outs[l].PanicVal = r
+		e.outs[l].Stack = string(debug.Stack())
+	}
+}
+
+// reapPanicked retires lanes that panicked during this round, after the
+// round boundary so occupancy bookkeeping stays consistent. Their Result
+// stays zero — the scalar runner path reports a panicked job the same
+// way.
+func (e *Engine) reapPanicked() {
+	for l := range e.state {
+		if e.state[l] == lanePanicked {
+			e.retire(l)
+		}
+	}
+}
+
+// acting reports whether the robot at flat index x takes part this round.
+func (e *Engine) acting(x int) bool {
+	return e.scr.active[x] && !e.done[x] && !e.crashed[x]
+}
+
+// applyCrashes executes scheduled fail-stop faults at each live lane's
+// round boundary.
+func (e *Engine) applyCrashes() {
+	for l := range e.state {
+		if e.state[l] != laneLive {
+			continue
+		}
+		base := l * e.k
+		for i := 0; i < e.k; i++ {
+			x := base + i
+			if e.crashAt[x] == e.round[l] && !e.crashed[x] {
+				e.crashed[x] = true
+				e.occ.del(int32(l), int32(i), e.pos[x])
+			}
+		}
+	}
+}
+
+// schedule asks each live lane's scheduler which robots act this round,
+// through the lane's SchedView.
+func (e *Engine) schedule() {
+	for l := range e.state {
+		if e.state[l] == laneLive {
+			e.scheduleLane(l)
+		}
+	}
+}
+
+func (e *Engine) scheduleLane(l int) {
+	defer e.recoverLane(l)
+	base := l * e.k
+	seg := e.scr.active[base : base+e.k]
+	for i := range seg {
+		seg[i] = false
+	}
+	v := &e.views[l]
+	v.invalidate()
+	e.scheds[l].Activate(v, seg)
+}
+
+// snapshotCards snapshots every live lane's robot cards so observations
+// are simultaneous (accounted to the observe phase, like the scalar
+// engine).
+func (e *Engine) snapshotCards() {
+	for l := range e.state {
+		if e.state[l] == laneLive {
+			e.snapshotLane(l)
+		}
+	}
+}
+
+func (e *Engine) snapshotLane(l int) {
+	defer e.recoverLane(l)
+	base := l * e.k
+	for i := 0; i < e.k; i++ {
+		x := base + i
+		c := e.agents[x].Card()
+		c.Done = e.done[x]
+		c.Gathered = e.verdict[x]
+		e.scr.cards[x] = c
+	}
+}
+
+// observe assembles each acting robot's view. This is the phase batching
+// amortizes: the combined occupied list is walked once, so each node's
+// degree — its CSR row — is loaded once for every lane present on it. The
+// walk takes the occupied list in its current (lazily maintained) order:
+// each robot's env depends only on its own node's bucket, so the visit
+// order across nodes cannot influence any lane's trajectory. Within a
+// node, members are visited in the scalar engine's ID order.
+func (e *Engine) observe() {
+	for _, node := range e.occ.occupied {
+		b := e.occ.buckets[node]
+		deg := e.g.Degree(node)
+		for lo := 0; lo < len(b); {
+			lane := int(b[lo].lane)
+			hi := lo + 1
+			for hi < len(b) && int(b[hi].lane) == lane {
+				hi++
+			}
+			members := b[lo:hi]
+			lo = hi
+			if e.state[lane] != laneLive {
+				continue
+			}
+			base := lane * e.k
+			for _, en := range members {
+				x := base + int(en.idx)
+				if !e.acting(x) {
+					continue
+				}
+				list := e.scr.others[x][:0]
+				for _, om := range members {
+					if om.idx != en.idx {
+						list = append(list, e.scr.cards[base+int(om.idx)])
+					}
+				}
+				e.scr.others[x] = list
+				e.scr.envs[x] = sim.Env{
+					Round:       e.round[lane],
+					Degree:      deg,
+					ArrivalPort: e.arrival[x],
+					Others:      list,
+				}
+			}
+		}
+	}
+}
+
+// communicateAll runs the communication phase lane by lane (message
+// traffic never crosses lanes).
+func (e *Engine) communicateAll() {
+	for l := range e.state {
+		if e.state[l] == laneLive {
+			e.communicateLane(l)
+		}
+	}
+}
+
+func (e *Engine) communicateLane(l int) {
+	defer e.recoverLane(l)
+	base := l * e.k
+	for i := 0; i < e.k; i++ {
+		e.scr.inbox[base+i] = e.scr.inbox[base+i][:0]
+	}
+	idx := e.idIndex[l]
+	for i := 0; i < e.k; i++ {
+		x := base + i
+		if !e.acting(x) {
+			continue
+		}
+		for _, m := range e.agents[x].Compose(&e.scr.envs[x]) {
+			m.From = e.ids[x]
+			if m.To == sim.Broadcast {
+				for _, en := range e.occ.laneMembers(e.pos[x], int32(l)) {
+					j := base + int(en.idx)
+					if j != x && e.acting(j) {
+						e.scr.inbox[j] = append(e.scr.inbox[j], m)
+					}
+				}
+				continue
+			}
+			j, ok := idx[m.To]
+			if !ok {
+				continue
+			}
+			jx := base + j
+			if jx == x || !e.acting(jx) || e.pos[jx] != e.pos[x] {
+				continue
+			}
+			e.scr.inbox[jx] = append(e.scr.inbox[jx], m)
+		}
+	}
+}
+
+// decideAll runs the decision phase lane by lane.
+func (e *Engine) decideAll() {
+	for l := range e.state {
+		if e.state[l] == laneLive {
+			e.decideLane(l)
+		}
+	}
+}
+
+func (e *Engine) decideLane(l int) {
+	defer e.recoverLane(l)
+	base := l * e.k
+	for i := 0; i < e.k; i++ {
+		x := base + i
+		if !e.acting(x) {
+			e.scr.acts[x] = sim.StayAction()
+			continue
+		}
+		e.scr.envs[x].Inbox = e.scr.inbox[x]
+		e.scr.acts[x] = e.agents[x].Decide(&e.scr.envs[x])
+	}
+}
+
+// resolveAll resolves the round's actions lane by lane (Follow chains
+// never cross lanes).
+func (e *Engine) resolveAll() {
+	for l := range e.state {
+		if e.state[l] == laneLive {
+			e.resolveLane(l)
+		}
+	}
+}
+
+// resolveLane is the scalar resolveActions over one lane's segment,
+// including the invalid-port panic with the scalar engine's exact message
+// (contained by the lane's recover like any agent panic).
+func (e *Engine) resolveLane(l int) {
+	defer e.recoverLane(l)
+	base := l * e.k
+	k := e.k
+	resolved := e.scr.resolved[base : base+k]
+	state := e.scr.rstate[base : base+k] // 0 unresolved (follow), 1 resolved
+	for i := range state {
+		state[i] = 0
+	}
+	for i := 0; i < k; i++ {
+		x := base + i
+		switch e.scr.acts[x].Kind {
+		case sim.Stay:
+			resolved[i] = mv{node: e.pos[x], arrival: e.arrival[x]}
+			state[i] = 1
+		case sim.Terminate:
+			e.done[x] = true
+			e.verdict[x] = e.scr.acts[x].Gathered
+			resolved[i] = mv{node: e.pos[x], arrival: e.arrival[x]}
+			state[i] = 1
+		case sim.Move:
+			p := e.scr.acts[x].Port
+			if p < 0 || p >= e.g.Degree(e.pos[x]) {
+				panic(fmt.Sprintf("sim: robot %d used invalid port %d at degree-%d node (round %d)",
+					e.ids[x], p, e.g.Degree(e.pos[x]), e.round[l]))
+			}
+			to, rev := e.g.Neighbor(e.pos[x], p)
+			resolved[i] = mv{node: to, arrival: rev, moved: true}
+			state[i] = 1
+		case sim.Follow:
+			state[i] = 0
+		}
+	}
+	idx := e.idIndex[l]
+	for pass := 0; pass < k; pass++ {
+		progress := false
+		for i := 0; i < k; i++ {
+			if state[i] != 0 {
+				continue
+			}
+			x := base + i
+			j, ok := idx[e.scr.acts[x].Target]
+			if !ok || e.pos[base+j] != e.pos[x] || j == i {
+				resolved[i] = mv{node: e.pos[x], arrival: e.arrival[x]}
+				state[i] = 1
+				progress = true
+				continue
+			}
+			if state[j] == 1 {
+				r := resolved[j]
+				if r.moved {
+					resolved[i] = r // same edge, same destination and arrival port
+				} else {
+					resolved[i] = mv{node: e.pos[x], arrival: e.arrival[x]}
+				}
+				state[i] = 1
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	for i := 0; i < k; i++ {
+		if state[i] == 0 { // follow cycle: everyone in it stays
+			x := base + i
+			resolved[i] = mv{node: e.pos[x], arrival: e.arrival[x]}
+		}
+	}
+}
+
+// applyMoves applies all live lanes' movements simultaneously, then puts
+// the combined occupancy index back in sync with one lane-major rebuild.
+// Incremental del+add per moved robot would pay a lane search plus a
+// bucket memmove per move — quadratic in the number of co-resident lanes
+// when a sweep's seeds share an instance — while the rebuild appends every
+// live robot exactly once, already in (lane, ID) order.
+func (e *Engine) applyMoves() {
+	moved := false
+	for l := range e.state {
+		if e.state[l] != laneLive {
+			continue
+		}
+		base := l * e.k
+		for i := 0; i < e.k; i++ {
+			x := base + i
+			r := e.scr.resolved[x]
+			if r.moved {
+				e.moves[x]++
+				moved = true
+			}
+			e.pos[x] = r.node
+			e.arrival[x] = r.arrival
+		}
+	}
+	if moved {
+		e.rebuildOcc()
+	}
+}
+
+// rebuildOcc reconstructs the combined occupancy index from the flat
+// position state: buckets are refilled lane-major, each lane's robots in
+// their fixed ID-sorted order, so every bucket comes out sorted by
+// (lane, robot ID) with nothing but appends. Lanes that are not live —
+// retired, or panicked earlier this round — drop out here; their entries
+// were invisible to every cross-lane reader already (observe and the lane
+// views filter by lane liveness), and retire's incremental deletes are
+// no-ops on entries the rebuild has dropped.
+func (e *Engine) rebuildOcc() {
+	o := &e.occ
+	for _, node := range o.occupied {
+		o.buckets[node] = o.buckets[node][:0]
+		o.slot[node] = -1
+	}
+	o.occupied = o.occupied[:0]
+	o.sorted = true
+	for l := range e.state {
+		o.laneNodes[l] = 0
+		o.laneMulti[l] = 0
+		if e.state[l] != laneLive {
+			continue
+		}
+		base := l * e.k
+		lane := int32(l)
+		for _, i := range e.byID[base : base+e.k] {
+			x := base + int(i)
+			if e.crashed[x] {
+				continue
+			}
+			node := e.pos[x]
+			b := o.buckets[node]
+			if len(b) == 0 {
+				o.insertOccupied(node)
+			}
+			if n := len(b); n > 0 && b[n-1].lane == lane {
+				if n == 1 || b[n-2].lane != lane {
+					o.laneMulti[l]++
+				}
+			} else {
+				o.laneNodes[l]++
+			}
+			o.buckets[node] = append(b, ent{lane: lane, idx: i})
+		}
+	}
+}
+
+// noteGather records lane l's first-gather and first-meet round
+// boundaries (mirrors the scalar noteGather).
+func (e *Engine) noteGather(l int) {
+	if e.firstGather[l] < 0 && e.occ.allColocated(l) {
+		e.firstGather[l] = e.round[l]
+	}
+	if e.firstMeet[l] < 0 && e.occ.anyMeeting(l) {
+		e.firstMeet[l] = e.round[l]
+	}
+}
+
+// summary builds lane l's run summary — field for field the scalar
+// World.Summary.
+func (e *Engine) summary(l int) sim.Result {
+	base := l * e.k
+	res := sim.Result{
+		Rounds:           e.round[l],
+		AllTerminated:    e.laneAllDone(l),
+		Gathered:         e.occ.allColocated(l),
+		FirstGatherRound: e.firstGather[l],
+		FirstMeetRound:   e.firstMeet[l],
+		FinalPositions:   append([]int(nil), e.pos[base:base+e.k]...),
+	}
+	res.DetectionCorrect = res.AllTerminated && res.Gathered
+	for i := 0; i < e.k; i++ {
+		x := base + i
+		if e.crashed[x] {
+			res.Crashed++
+		}
+		if !e.verdict[x] && !e.crashed[x] {
+			res.DetectionCorrect = false
+		}
+		res.TotalMoves += e.moves[x]
+		if e.moves[x] > res.MaxMoves {
+			res.MaxMoves = e.moves[x]
+		}
+	}
+	return res
+}

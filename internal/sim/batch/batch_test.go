@@ -1,0 +1,410 @@
+package batch_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/sim/batch"
+)
+
+// mixer is a deterministic stress agent that exercises every action kind
+// and both message forms: it broadcasts and unicasts when co-located,
+// follows its lowest-ID neighbour on some rounds, walks a seed-dependent
+// port on others, and terminates once its private counter crosses a
+// threshold. Its trajectory depends on its inbox, so any divergence in
+// message delivery between the engines shows up as a positional diff.
+type mixer struct {
+	sim.Base
+	salt  int
+	limit int
+	step  int
+	heard int
+}
+
+func newMixer(id, salt, limit int) *mixer {
+	return &mixer{Base: sim.NewBase(id), salt: salt, limit: limit}
+}
+
+func (m *mixer) Compose(env *sim.Env) []sim.Message {
+	if env.Alone() {
+		return nil
+	}
+	msgs := []sim.Message{{To: sim.Broadcast, Kind: sim.MsgShareN, A: m.step}}
+	if (m.step+m.salt)%3 == 0 {
+		msgs = append(msgs, sim.Message{To: env.Others[0].ID, Kind: sim.MsgCustom, A: m.salt})
+	}
+	return msgs
+}
+
+func (m *mixer) Decide(env *sim.Env) sim.Action {
+	m.step++
+	for _, msg := range env.Inbox {
+		m.heard += msg.A + 1
+	}
+	if m.step >= m.limit {
+		return sim.TerminateAction(len(env.Others) > 0)
+	}
+	mix := m.step*7 + m.salt + m.heard + env.Round + env.ArrivalPort + 1
+	switch {
+	case !env.Alone() && mix%5 == 0:
+		return sim.FollowAction(env.Others[0].ID)
+	case mix%7 == 0:
+		return sim.StayAction()
+	default:
+		return sim.MoveAction(mix % env.Degree)
+	}
+}
+
+// panicker walks like a trivial wanderer until its trigger round, then
+// panics inside Decide.
+type panicker struct {
+	sim.Base
+	at   int
+	step int
+}
+
+func (p *panicker) Decide(env *sim.Env) sim.Action {
+	if env.Round >= p.at {
+		panic(fmt.Sprintf("panicker %d fired at round %d", p.ID(), env.Round))
+	}
+	p.step++
+	return sim.MoveAction(p.step % env.Degree)
+}
+
+// laneSpec is one world: its agents (fresh instances per call), starting
+// positions, round cap and scheduler constructor (fresh per call —
+// schedulers are per-run stateful).
+type laneSpec struct {
+	agents func() []sim.Agent
+	pos    []int
+	cap    int
+	sched  func() sim.Scheduler
+}
+
+// mixerLane builds a k-mixer lane spec with seed-dependent salts, limits
+// and positions.
+func mixerLane(g *graph.Graph, k int, seed int, sched func() sim.Scheduler) laneSpec {
+	agents := func() []sim.Agent {
+		out := make([]sim.Agent, k)
+		for i := 0; i < k; i++ {
+			out[i] = newMixer(i+1, seed*31+i, 30+(seed+i)%17)
+		}
+		return out
+	}
+	pos := make([]int, k)
+	for i := range pos {
+		pos[i] = (seed*13 + i*i + 3) % g.N()
+	}
+	return laneSpec{agents: agents, pos: pos, cap: 200, sched: sched}
+}
+
+// runScalar executes one spec on the scalar engine.
+func runScalar(t *testing.T, g *graph.Graph, sp laneSpec) sim.Result {
+	t.Helper()
+	w, err := sim.NewWorld(g, sp.agents(), sp.pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.sched != nil {
+		w.SetScheduler(sp.sched())
+	}
+	return w.Run(sp.cap)
+}
+
+// addSpec loads one spec as a lane.
+func addSpec(t *testing.T, e *batch.Engine, g *graph.Graph, sp laneSpec) int {
+	t.Helper()
+	var sched sim.Scheduler
+	if sp.sched != nil {
+		sched = sp.sched()
+	}
+	lane, err := e.AddLane(g, sp.agents(), sp.pos, sp.cap, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lane
+}
+
+func resultEq(a, b sim.Result) bool { return fmt.Sprintf("%+v", a) == fmt.Sprintf("%+v", b) }
+
+// TestLanesMatchScalarWorlds is the core lockstep-equivalence check: a
+// heterogeneous batch — different seeds, schedulers, finish times — must
+// produce, lane for lane, exactly the scalar engine's results.
+func TestLanesMatchScalarWorlds(t *testing.T) {
+	g := graph.Grid(5, 5)
+	scheds := []func() sim.Scheduler{
+		nil,
+		func() sim.Scheduler { return sim.NewFullSync() },
+		func() sim.Scheduler { return sim.NewSemiSync(0.6, 0xABCD) },
+		func() sim.Scheduler { return sim.NewAdversarial(2) },
+	}
+	var specs []laneSpec
+	for seed := 0; seed < 8; seed++ {
+		specs = append(specs, mixerLane(g, 3+seed%3, seed, scheds[seed%len(scheds)]))
+	}
+	e := batch.NewEngine()
+	// Uniform shape requirement: batch only specs with equal k.
+	byK := map[int][]laneSpec{}
+	for _, sp := range specs {
+		byK[len(sp.pos)] = append(byK[len(sp.pos)], sp)
+	}
+	for k, group := range byK {
+		e.Reset()
+		lanes := make([]int, len(group))
+		for i, sp := range group {
+			lanes[i] = addSpec(t, e, g, sp)
+		}
+		e.Run()
+		for i, sp := range group {
+			want := runScalar(t, g, sp)
+			out := e.Outcome(lanes[i])
+			if out.PanicVal != nil {
+				t.Fatalf("k=%d lane %d panicked: %v", k, i, out.PanicVal)
+			}
+			if !resultEq(out.Res, want) {
+				t.Errorf("k=%d lane %d:\n batch %+v\nscalar %+v", k, i, out.Res, want)
+			}
+		}
+	}
+}
+
+// TestHeterogeneousFinishTimes pins retirement semantics: lanes with very
+// different caps and termination rounds retire independently, and late
+// lanes are bit-unaffected by early retirements (their scalar runs never
+// saw the siblings at all).
+func TestHeterogeneousFinishTimes(t *testing.T) {
+	g := graph.Cycle(16)
+	specs := []laneSpec{
+		{agents: func() []sim.Agent { return []sim.Agent{newMixer(1, 1, 5), newMixer(2, 2, 5)} },
+			pos: []int{0, 8}, cap: 400, sched: nil}, // terminates almost immediately
+		{agents: func() []sim.Agent { return []sim.Agent{newMixer(1, 3, 1000), newMixer(2, 4, 1000)} },
+			pos: []int{1, 9}, cap: 25, sched: nil}, // cap fires first
+		{agents: func() []sim.Agent { return []sim.Agent{newMixer(1, 5, 120), newMixer(2, 6, 140)} },
+			pos: []int{2, 10}, cap: 400,
+			sched: func() sim.Scheduler { return sim.NewSemiSync(0.5, 42) }},
+	}
+	e := batch.NewEngine()
+	for _, sp := range specs {
+		addSpec(t, e, g, sp)
+	}
+	e.Run()
+	rounds := map[int]bool{}
+	for i, sp := range specs {
+		want := runScalar(t, g, sp)
+		got := e.Outcome(i).Res
+		if !resultEq(got, want) {
+			t.Errorf("lane %d:\n batch %+v\nscalar %+v", i, got, want)
+		}
+		rounds[got.Rounds] = true
+	}
+	if len(rounds) < 2 {
+		t.Fatalf("want heterogeneous finish rounds, got %v", rounds)
+	}
+}
+
+// TestPanicContainment pins the failure-isolation contract: a lane whose
+// agent panics mid-batch records the raw panic value and a stack, its
+// Result stays zero, and every sibling lane still matches its scalar run
+// exactly — including SemiSync siblings, whose RNG streams must not shift
+// when the failed lane leaves the lockstep.
+func TestPanicContainment(t *testing.T) {
+	g := graph.Grid(4, 4)
+	sibling := func(seed int) laneSpec {
+		return mixerLane(g, 2, seed, func() sim.Scheduler { return sim.NewSemiSync(0.7, uint64(seed)*99) })
+	}
+	e := batch.NewEngine()
+	addSpec(t, e, g, sibling(1))
+	badAgents := []sim.Agent{
+		&panicker{Base: sim.NewBase(1), at: 7},
+		newMixer(2, 0, 50),
+	}
+	if _, err := e.AddLane(g, badAgents, []int{0, 5}, 300, nil); err != nil {
+		t.Fatal(err)
+	}
+	addSpec(t, e, g, sibling(2))
+	e.Run()
+
+	bad := e.Outcome(1)
+	if bad.PanicVal == nil {
+		t.Fatal("panicking lane reported no panic")
+	}
+	if !strings.Contains(fmt.Sprint(bad.PanicVal), "panicker 1 fired at round 7") {
+		t.Fatalf("unexpected panic value: %v", bad.PanicVal)
+	}
+	if bad.Stack == "" {
+		t.Fatal("panicking lane captured no stack")
+	}
+	if !resultEq(bad.Res, sim.Result{}) {
+		t.Fatalf("panicked lane's Result not zero: %+v", bad.Res)
+	}
+	for lane, seed := range map[int]int{0: 1, 2: 2} {
+		want := runScalar(t, g, sibling(seed))
+		got := e.Outcome(lane)
+		if got.PanicVal != nil {
+			t.Fatalf("sibling lane %d panicked: %v", lane, got.PanicVal)
+		}
+		if !resultEq(got.Res, want) {
+			t.Errorf("sibling lane %d perturbed by panic:\n batch %+v\nscalar %+v", lane, got.Res, want)
+		}
+	}
+}
+
+// TestInvalidPortPanicMessage pins the engine-misuse panic to the scalar
+// engine's exact message, so batched sweeps report it identically.
+func TestInvalidPortPanicMessage(t *testing.T) {
+	g := graph.Cycle(6)
+	e := batch.NewEngine()
+	agents := []sim.Agent{&badPort{sim.NewBase(9)}}
+	if _, err := e.AddLane(g, agents, []int{3}, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	out := e.Outcome(0)
+	want := "sim: robot 9 used invalid port 5 at degree-2 node (round 0)"
+	if got := fmt.Sprint(out.PanicVal); got != want {
+		t.Fatalf("panic message:\n got %q\nwant %q", got, want)
+	}
+}
+
+type badPort struct{ sim.Base }
+
+func (*badPort) Decide(*sim.Env) sim.Action { return sim.MoveAction(5) }
+
+// TestAddLaneValidation pins the validation error texts (mirroring
+// sim.NewWorld) and the mismatch sentinels.
+func TestAddLaneValidation(t *testing.T) {
+	g := graph.Cycle(8)
+	g2 := graph.Cycle(8)
+	mk := func(ids ...int) []sim.Agent {
+		out := make([]sim.Agent, len(ids))
+		for i, id := range ids {
+			out[i] = newMixer(id, 0, 10)
+		}
+		return out
+	}
+	e := batch.NewEngine()
+	cases := []struct {
+		agents []sim.Agent
+		pos    []int
+		want   string
+	}{
+		{mk(1, 2), []int{0}, "sim: 2 agents but 1 positions"},
+		{nil, nil, "sim: no agents"},
+		{mk(0), []int{0}, "sim: agent 0 has non-positive ID 0"},
+		{mk(1, 1), []int{0, 1}, "sim: duplicate robot ID 1"},
+		{mk(1, 2), []int{0, 99}, "sim: agent 1 starts at invalid node 99"},
+	}
+	for _, c := range cases {
+		if _, err := e.AddLane(g, c.agents, c.pos, 10, nil); err == nil || err.Error() != c.want {
+			t.Errorf("AddLane(%v) error = %v, want %q", c.pos, err, c.want)
+		}
+	}
+	if e.Lanes() != 0 {
+		t.Fatalf("failed AddLanes left %d lanes", e.Lanes())
+	}
+	if _, err := e.AddLane(g, mk(1, 2), []int{0, 4}, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddLane(g2, mk(1, 2), []int{0, 4}, 10, nil); err != batch.ErrGraphMismatch {
+		t.Fatalf("graph mismatch error = %v", err)
+	}
+	if _, err := e.AddLane(g, mk(1, 2, 3), []int{0, 1, 2}, 10, nil); err != batch.ErrShapeMismatch {
+		t.Fatalf("shape mismatch error = %v", err)
+	}
+	if e.Lanes() != 1 || e.Robots() != 2 || e.Graph() != g {
+		t.Fatalf("engine state after mismatches: lanes=%d k=%d", e.Lanes(), e.Robots())
+	}
+}
+
+// TestCrashAtMatchesScalar pins fail-stop faults through the batch path.
+func TestCrashAtMatchesScalar(t *testing.T) {
+	g := graph.Grid(4, 4)
+	sp := mixerLane(g, 4, 5, nil)
+	sp.cap = 60
+
+	w, err := sim.NewWorld(g, sp.agents(), sp.pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CrashAt(2, 9); err != nil {
+		t.Fatal(err)
+	}
+	want := w.Run(sp.cap)
+
+	e := batch.NewEngine()
+	lane := addSpec(t, e, g, sp)
+	if err := e.CrashAt(lane, 2, 9); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if got := e.Outcome(lane).Res; !resultEq(got, want) {
+		t.Fatalf("crash run:\n batch %+v\nscalar %+v", got, want)
+	}
+}
+
+// TestResetReuse pins the pooled lifecycle: a Reset engine re-running the
+// same batch produces identical outcomes, and running an unrelated batch
+// in between does not leak state into the replay.
+func TestResetReuse(t *testing.T) {
+	g := graph.Grid(5, 5)
+	g2 := graph.Cycle(30)
+	specs := []laneSpec{
+		mixerLane(g, 3, 1, nil),
+		mixerLane(g, 3, 2, func() sim.Scheduler { return sim.NewSemiSync(0.6, 7) }),
+		mixerLane(g, 3, 3, func() sim.Scheduler { return sim.NewAdversarial(2) }),
+	}
+	e := batch.NewEngine()
+	run := func() []sim.Result {
+		e.Reset()
+		for _, sp := range specs {
+			addSpec(t, e, g, sp)
+		}
+		e.Run()
+		out := make([]sim.Result, len(specs))
+		for i := range specs {
+			if e.Outcome(i).PanicVal != nil {
+				t.Fatalf("lane %d panicked: %v", i, e.Outcome(i).PanicVal)
+			}
+			out[i] = e.Outcome(i).Res
+		}
+		return out
+	}
+	first := run()
+	// Interleave a different-shape batch on a different graph.
+	e.Reset()
+	addSpec(t, e, g2, mixerLane(g2, 5, 9, nil))
+	e.Run()
+	second := run()
+	for i := range first {
+		if !resultEq(first[i], second[i]) {
+			t.Errorf("lane %d drifted across Reset:\n first %+v\nsecond %+v", i, first[i], second[i])
+		}
+	}
+}
+
+// TestStepGranularity pins Step's contract: it reports false exactly when
+// every lane has retired, and stepping to completion matches Run.
+func TestStepGranularity(t *testing.T) {
+	g := graph.Cycle(12)
+	sp := mixerLane(g, 2, 4, nil)
+	want := runScalar(t, g, sp)
+
+	e := batch.NewEngine()
+	addSpec(t, e, g, sp)
+	steps := 0
+	for e.Step() {
+		steps++
+		if steps > sp.cap+1 {
+			t.Fatal("Step never reported completion")
+		}
+	}
+	if e.Step() {
+		t.Fatal("Step after completion reported progress")
+	}
+	if got := e.Outcome(0).Res; !resultEq(got, want) {
+		t.Fatalf("stepped run:\n batch %+v\nscalar %+v", got, want)
+	}
+}

@@ -1,0 +1,197 @@
+package batch
+
+import (
+	"slices"
+	"sort"
+)
+
+// ent locates one robot in the combined occupancy index: lane l, agent
+// index idx within that lane. Two int32s keep bucket entries at 8 bytes so
+// a node's whole bucket usually sits in one cache line even with many
+// lanes co-resident.
+type ent struct {
+	lane int32
+	idx  int32
+}
+
+// occupancy is the batch engine's combined occupancy index: one bucket
+// table over the shared graph's nodes holding the live robots of every
+// lane. Each bucket is sorted by (lane, robot ID), so a lane's robots on a
+// node form one contiguous run — the scalar engine's ID-sorted bucket,
+// recoverable with a single binary search — while the ascending occupied
+// list lets a round's observe phase walk each CSR row exactly once for all
+// lanes present on it.
+//
+// Per-lane counters (occupied-node count, multi-occupied-node count) keep
+// the scalar index's O(1) allColocated / anyMeeting answers per lane.
+type occupancy struct {
+	buckets [][]ent // node -> entries sorted by (lane, robot ID)
+
+	// occupied lists the nodes with at least one live robot. Order is
+	// maintained lazily: add/del mutate it with O(1) append/swap-remove
+	// (slot is the node -> position index) and mark it unsorted. The only
+	// reader that needs deterministic ascending order — the lane views'
+	// group tables, backing the Adversarial scheduler — calls ensureSorted
+	// first; everything else (the observe walk, the per-lane counters) is
+	// order-independent, so full/semi-sync rounds never pay a sort and a
+	// robot move never pays an O(occupied) memmove.
+	occupied []int
+	slot     []int // node -> index in occupied, -1 when unoccupied
+	sorted   bool  // occupied is currently ascending
+
+	laneNodes []int // per lane: nodes holding >= 1 of its live robots
+	laneMulti []int // per lane: nodes holding >= 2 of its live robots
+}
+
+// grow ensures the bucket table covers n nodes; called when the engine
+// binds its graph. Storage only ever grows.
+func (o *occupancy) grow(n int) {
+	if len(o.buckets) < n {
+		next := make([][]ent, n)
+		copy(next, o.buckets)
+		o.buckets = next
+	}
+	for len(o.slot) < n {
+		o.slot = append(o.slot, -1)
+	}
+}
+
+// reset empties the index, truncating every occupied bucket in place and
+// keeping all storage for the next batch.
+func (o *occupancy) reset() {
+	for _, node := range o.occupied {
+		o.buckets[node] = o.buckets[node][:0]
+		o.slot[node] = -1
+	}
+	o.occupied = o.occupied[:0]
+	o.sorted = true
+	o.laneNodes = o.laneNodes[:0]
+	o.laneMulti = o.laneMulti[:0]
+}
+
+// ensureSorted restores the ascending order of the occupied list (and the
+// slot index into it) after a burst of lazy add/del mutations.
+func (o *occupancy) ensureSorted() {
+	if o.sorted {
+		return
+	}
+	slices.Sort(o.occupied)
+	for i, node := range o.occupied {
+		o.slot[node] = i
+	}
+	o.sorted = true
+}
+
+// addLane extends the per-lane counters for one more lane.
+func (o *occupancy) addLane() {
+	o.laneNodes = append(o.laneNodes, 0)
+	o.laneMulti = append(o.laneMulti, 0)
+}
+
+// laneRun returns the half-open [lo, hi) range of lane's entries in
+// bucket b. Buckets are sorted by (lane, robot ID); small buckets — the
+// overwhelmingly common case on sparse instances — are scanned linearly,
+// large ones binary-searched, plus a short forward scan (runs are at most
+// k long).
+func laneRun(b []ent, lane int32) (int, int) {
+	var lo int
+	if len(b) <= 16 {
+		for lo < len(b) && b[lo].lane < lane {
+			lo++
+		}
+	} else {
+		lo = sort.Search(len(b), func(i int) bool { return b[i].lane >= lane })
+	}
+	hi := lo
+	for hi < len(b) && b[hi].lane == lane {
+		hi++
+	}
+	return lo, hi
+}
+
+// laneMembers returns lane's contiguous run of entries on node — the
+// batch-side equivalent of the scalar engine's per-node bucket — without
+// copying.
+func (o *occupancy) laneMembers(node int, lane int32) []ent {
+	b := o.buckets[node]
+	lo, hi := laneRun(b, lane)
+	return b[lo:hi]
+}
+
+// add inserts the robot (lane, idx) on node, keeping the bucket sorted by
+// (lane, robot ID). id is the robot's ID.
+func (o *occupancy) add(lane, idx int32, node, id int, ids []int, k int) {
+	b := o.buckets[node]
+	if len(b) == 0 {
+		o.insertOccupied(node)
+	}
+	lo, hi := laneRun(b, lane)
+	switch hi - lo {
+	case 0:
+		o.laneNodes[lane]++
+	case 1:
+		o.laneMulti[lane]++
+	}
+	p := hi
+	base := int(lane) * k
+	for p > lo && ids[base+int(b[p-1].idx)] > id {
+		p--
+	}
+	b = append(b, ent{})
+	copy(b[p+1:], b[p:])
+	b[p] = ent{lane: lane, idx: idx}
+	o.buckets[node] = b
+}
+
+// del removes the robot (lane, idx) from node.
+func (o *occupancy) del(lane, idx int32, node int) {
+	b := o.buckets[node]
+	lo, hi := laneRun(b, lane)
+	for j := lo; j < hi; j++ {
+		if b[j].idx == idx {
+			copy(b[j:], b[j+1:])
+			b = b[:len(b)-1]
+			o.buckets[node] = b
+			switch hi - lo {
+			case 1:
+				o.laneNodes[lane]--
+			case 2:
+				o.laneMulti[lane]--
+			}
+			if len(b) == 0 {
+				o.removeOccupied(node)
+			}
+			return
+		}
+	}
+}
+
+// insertOccupied adds node to the occupied list (O(1); order restored
+// lazily by ensureSorted).
+func (o *occupancy) insertOccupied(node int) {
+	o.slot[node] = len(o.occupied)
+	o.occupied = append(o.occupied, node)
+	o.sorted = false
+}
+
+// removeOccupied drops node from the occupied list by swap-remove (O(1);
+// order restored lazily by ensureSorted).
+func (o *occupancy) removeOccupied(node int) {
+	i := o.slot[node]
+	last := len(o.occupied) - 1
+	moved := o.occupied[last]
+	o.occupied[i] = moved
+	o.slot[moved] = i
+	o.occupied = o.occupied[:last]
+	o.slot[node] = -1
+	o.sorted = false
+}
+
+// allColocated reports whether all of lane's live robots share one node
+// (vacuously true when none remain) — the scalar index's O(1) answer, per
+// lane.
+func (o *occupancy) allColocated(lane int) bool { return o.laneNodes[lane] <= 1 }
+
+// anyMeeting reports whether any node holds two or more of lane's live
+// robots.
+func (o *occupancy) anyMeeting(lane int) bool { return o.laneMulti[lane] > 0 }

@@ -1,0 +1,83 @@
+package batch
+
+// laneView adapts one lane of the engine to sim.SchedView, so the
+// unmodified scheduler implementations drive batch lanes exactly as they
+// drive scalar worlds. The group table is materialized lazily — FullSync
+// and SemiSync never enumerate groups, so they pay nothing; Adversarial
+// triggers one walk of the combined occupied list per lane per round.
+type laneView struct {
+	e    *Engine
+	lane int32
+
+	stale   bool       // group table needs a rebuild before use
+	groups  []groupRef // this lane's occupied nodes, ascending, as bucket ranges
+	members []int      // scratch backing the last Group call's members
+}
+
+// groupRef pins one of the lane's occupied nodes to its contiguous run in
+// the node's combined bucket. Bucket contents are stable for the whole
+// schedule phase (no robot moves before apply), so the indices stay valid
+// for every Group call of the round.
+type groupRef struct {
+	node, lo, hi int32
+}
+
+// init binds the view to its lane, keeping any scratch the view already
+// grew.
+func (v *laneView) init(e *Engine, lane int32) {
+	v.e = e
+	v.lane = lane
+	v.stale = true
+}
+
+// invalidate marks the group table stale; the engine calls it before each
+// schedule phase.
+func (v *laneView) invalidate() { v.stale = true }
+
+// refresh rebuilds the lane's group table from the combined occupancy
+// index: one pass over the ascending occupied list, binary-searching each
+// bucket for this lane's run.
+func (v *laneView) refresh() {
+	if !v.stale {
+		return
+	}
+	v.stale = false
+	v.groups = v.groups[:0]
+	occ := &v.e.occ
+	occ.ensureSorted()
+	for _, node := range occ.occupied {
+		lo, hi := laneRun(occ.buckets[node], v.lane)
+		if lo < hi {
+			v.groups = append(v.groups, groupRef{node: int32(node), lo: int32(lo), hi: int32(hi)})
+		}
+	}
+}
+
+// Robots implements sim.SchedView.
+func (v *laneView) Robots() int { return v.e.k }
+
+// RobotDone implements sim.SchedView.
+func (v *laneView) RobotDone(i int) bool { return v.e.done[int(v.lane)*v.e.k+i] }
+
+// MoveCount implements sim.SchedView.
+func (v *laneView) MoveCount(i int) int64 { return v.e.moves[int(v.lane)*v.e.k+i] }
+
+// Groups implements sim.SchedView.
+func (v *laneView) Groups() int {
+	v.refresh()
+	return len(v.groups)
+}
+
+// Group implements sim.SchedView: the members slice is rebuilt into the
+// view's scratch, valid until the next Group call — exactly the contract
+// SchedView documents.
+func (v *laneView) Group(gi int) (int, []int) {
+	v.refresh()
+	gr := v.groups[gi]
+	b := v.e.occ.buckets[gr.node]
+	v.members = v.members[:0]
+	for _, en := range b[gr.lo:gr.hi] {
+		v.members = append(v.members, int(en.idx))
+	}
+	return int(gr.node), v.members
+}

@@ -23,14 +23,38 @@ import (
 // A Scheduler instance is owned by one run: implementations may carry
 // per-run state (RNG streams, per-robot lag counters), so parallel sweeps
 // must construct a fresh scheduler inside each job's Build, never share
-// one across worlds.
+// one across worlds (or across the lanes of a batch engine).
 type Scheduler interface {
 	// Activate sets active[i] = true for every agent index the scheduler
 	// activates this round. The engine hands active in with every entry
 	// already false and ignores entries of crashed or terminated robots.
-	Activate(w *World, active []bool)
+	Activate(v SchedView, active []bool)
 	// String returns the scheduler's spec in ParseScheduler syntax.
 	String() string
+}
+
+// SchedView is the read-only slice of one world a Scheduler consults when
+// deciding activations. Both the scalar *World and each lane of the
+// lockstep batch engine implement it, so one scheduler definition drives
+// both execution paths and their activation decisions stay bit-identical.
+//
+// Groups enumerates the world's occupied nodes in ascending node order;
+// Group returns one node and the agent indices of the robots on it in
+// ascending robot-ID order (crashed robots excluded, terminated robots
+// included — they stay visible). The members slice is read-only and only
+// valid until the next Group call.
+type SchedView interface {
+	// Robots returns the number of robots (matching len(active)).
+	Robots() int
+	// RobotDone reports whether agent index i has terminated.
+	RobotDone(i int) bool
+	// MoveCount returns the edge-traversal count of agent index i.
+	MoveCount(i int) int64
+	// Groups returns the number of occupied nodes.
+	Groups() int
+	// Group returns the gi-th occupied node (ascending by node) and the
+	// ID-sorted agent indices of the robots on it.
+	Group(gi int) (node int, members []int)
 }
 
 // FullSync activates every robot every round: the paper's model, and
@@ -41,7 +65,7 @@ type FullSync struct{}
 func NewFullSync() *FullSync { return &FullSync{} }
 
 // Activate implements Scheduler.
-func (*FullSync) Activate(w *World, active []bool) {
+func (*FullSync) Activate(_ SchedView, active []bool) {
 	for i := range active {
 		active[i] = true
 	}
@@ -76,7 +100,7 @@ func NewSemiSync(p float64, seed uint64) *SemiSync {
 // Activate implements Scheduler. One coin is drawn per robot regardless of
 // its crash/done state, so the stream consumed by round r never depends on
 // run history and runs stay replayable.
-func (s *SemiSync) Activate(w *World, active []bool) {
+func (s *SemiSync) Activate(_ SchedView, active []bool) {
 	for i := range active {
 		active[i] = s.rng.Float64() < s.P
 	}
@@ -104,40 +128,37 @@ func NewAdversarial(maxLag int) *Adversarial {
 	return &Adversarial{MaxLag: maxLag}
 }
 
-// Activate implements Scheduler.
-func (a *Adversarial) Activate(w *World, active []bool) {
+// Activate implements Scheduler. It reads the world purely through the
+// SchedView group enumeration, so the same adversary drives scalar worlds
+// and batch lanes identically.
+func (a *Adversarial) Activate(v SchedView, active []bool) {
 	if a.frozenFor == nil {
 		a.frozenFor = make([]int, len(active))
 	}
 	for i := range active {
 		active[i] = true
 	}
-	freeze := func(i int) {
-		if a.frozenFor[i] < a.MaxLag {
-			active[i] = false
-		}
-	}
 	// Split every co-located group: freeze the 2nd, 4th, ... member.
 	// Terminated robots sit in the occupancy buckets (they stay visible)
 	// but never act, so only the still-running members count — freezing
 	// a done robot would waste the adversary's move.
 	lagging, lagMoves := -1, int64(-1)
-	for _, node := range w.occ.occupied {
-		b := w.occ.buckets[node]
+	for gi, ng := 0, v.Groups(); gi < ng; gi++ {
+		_, b := v.Group(gi)
 		running := 0
 		for _, i := range b {
-			if !w.done[i] {
+			if !v.RobotDone(i) {
 				running++
 			}
 		}
 		if running >= 2 {
 			rank := 0
 			for _, i := range b {
-				if w.done[i] {
+				if v.RobotDone(i) {
 					continue
 				}
-				if rank%2 == 1 {
-					freeze(i)
+				if rank%2 == 1 && a.frozenFor[i] < a.MaxLag {
+					active[i] = false
 				}
 				rank++
 			}
@@ -149,17 +170,17 @@ func (a *Adversarial) Activate(w *World, active []bool) {
 		// Track the lone running robot with the fewest moves: the laggard
 		// whose delay stretches the run the most.
 		for _, i := range b {
-			if w.done[i] {
+			if v.RobotDone(i) {
 				continue
 			}
-			if lagging < 0 || w.moves[i] < lagMoves {
-				lagging, lagMoves = i, w.moves[i]
+			if lagging < 0 || v.MoveCount(i) < lagMoves {
+				lagging, lagMoves = i, v.MoveCount(i)
 			}
 			break
 		}
 	}
-	if lagging >= 0 {
-		freeze(lagging)
+	if lagging >= 0 && a.frozenFor[lagging] < a.MaxLag {
+		active[lagging] = false
 	}
 	for i, on := range active {
 		if on {

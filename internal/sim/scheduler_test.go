@@ -8,10 +8,10 @@ import (
 )
 
 // schedFunc adapts a function to Scheduler for tests.
-type schedFunc func(w *World, active []bool)
+type schedFunc func(v SchedView, active []bool)
 
-func (f schedFunc) Activate(w *World, active []bool) { f(w, active) }
-func (f schedFunc) String() string                   { return "test" }
+func (f schedFunc) Activate(v SchedView, active []bool) { f(v, active) }
+func (f schedFunc) String() string                      { return "test" }
 
 // counting records how many times Compose and Decide ran.
 type counting struct {
@@ -43,7 +43,7 @@ func TestFrozenRobotSkipsAllPhases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.SetScheduler(schedFunc(func(_ *World, active []bool) {
+	w.SetScheduler(schedFunc(func(_ SchedView, active []bool) {
 		active[0] = true // b (index 1) stays frozen
 	}))
 	w.Step()
@@ -67,7 +67,7 @@ func TestFrozenRobotStillVisible(t *testing.T) {
 	a := newScripted(1, StayAction())
 	b := newScripted(2, StayAction())
 	w, _ := NewWorld(g, []Agent{a, b}, []int{0, 0})
-	w.SetScheduler(schedFunc(func(_ *World, active []bool) {
+	w.SetScheduler(schedFunc(func(_ SchedView, active []bool) {
 		active[0] = true // only a acts; b is frozen but present
 	}))
 	w.Step()
@@ -84,7 +84,7 @@ func TestMessagesToFrozenRobotDropped(t *testing.T) {
 	tk := &talker{Base: NewBase(1)}
 	frozen := &talker{Base: NewBase(2)}
 	w, _ := NewWorld(g, []Agent{tk, frozen}, []int{0, 0})
-	w.SetScheduler(schedFunc(func(_ *World, active []bool) {
+	w.SetScheduler(schedFunc(func(_ SchedView, active []bool) {
 		active[0] = true
 	}))
 	w.Step()
@@ -102,7 +102,7 @@ func TestFollowingFrozenTargetStays(t *testing.T) {
 	leader := newScripted(1, MoveAction(0), MoveAction(0))
 	follower := newScripted(2, FollowAction(1), FollowAction(1))
 	w, _ := NewWorld(g, []Agent{leader, follower}, []int{1, 1})
-	w.SetScheduler(schedFunc(func(_ *World, active []bool) {
+	w.SetScheduler(schedFunc(func(_ SchedView, active []bool) {
 		active[1] = true // freeze the leader, activate the follower
 	}))
 	w.Step()

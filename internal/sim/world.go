@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/prof"
 )
 
 // World is the round-based execution engine: a graph, a set of robots with
@@ -292,6 +293,20 @@ func (w *World) AllDone() bool {
 // The occupancy index makes this O(1).
 func (w *World) AllColocated() bool { return w.occ.allColocated() }
 
+// RobotDone implements SchedView: whether agent index i has terminated.
+func (w *World) RobotDone(i int) bool { return w.done[i] }
+
+// Groups implements SchedView: the number of occupied nodes.
+func (w *World) Groups() int { return len(w.occ.occupied) }
+
+// Group implements SchedView: the gi-th occupied node in ascending node
+// order and its ID-sorted bucket of live robots, straight from the
+// occupancy index.
+func (w *World) Group(gi int) (int, []int) {
+	node := w.occ.occupied[gi]
+	return node, w.occ.buckets[node]
+}
+
 func (w *World) noteGather() {
 	if w.firstGather < 0 && w.occ.allColocated() {
 		w.firstGather = w.round
@@ -305,16 +320,27 @@ func (w *World) noteGather() {
 // ask the scheduler which robots act, snapshot cards, run the
 // communication phase (Compose + delivery), run the decision phase, then
 // resolve Follow chains and apply all movements simultaneously.
+//
+// The five named phases are instrumented through the prof phase registry
+// (prof.EnablePhases); when disabled — the default — each probe is a single
+// predictable branch, so the hot loop stays allocation-free and the 0-alloc
+// CI gates hold. The snapshot sub-phase is accounted to Observe.
 func (w *World) Step() {
 	s := w.ensureScratch()
 	w.applyCrashes()
 	w.schedule(s)
+	t := prof.PhaseStart()
 	w.snapshotCards(s)
 	w.observe(s)
+	t = prof.PhaseNext(prof.PhaseObserve, t)
 	w.communicate(s)
+	t = prof.PhaseNext(prof.PhaseCommunicate, t)
 	w.decide(s)
+	t = prof.PhaseNext(prof.PhaseDecide, t)
 	w.resolveActions(s)
+	t = prof.PhaseNext(prof.PhaseResolve, t)
 	w.applyMoves(s)
+	prof.PhaseEnd(prof.PhaseApply, t)
 	w.round++
 	w.noteGather()
 	if w.tracer != nil {

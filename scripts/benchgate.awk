@@ -12,18 +12,29 @@
 #                 awk -f scripts/benchgate.awk -v mode=zeroalloc \
 #                     -v re='^BenchmarkStepHotLoop' -v want=2 bench.txt
 #
-#   ratio       The allocs/op of the line matching -v den=REGEX must be
-#               at least -v factor=F times the allocs/op of the line
-#               matching -v num=REGEX (i.e. num wins by >= F x).
+#   ratio       The gated metric of the line matching -v den=REGEX must
+#               be at least -v factor=F times the metric of the line
+#               matching -v num=REGEX (i.e. num wins by >= F x). The
+#               metric defaults to allocs/op; pass -v metric=NAME to gate
+#               another column, e.g. the batch engine's ns/rw
+#               (nanoseconds per simulated round x world). Both lines
+#               must be present — a vanished benchmark fails the gate,
+#               never passes it vacuously.
 #
 #                 awk -f scripts/benchgate.awk -v mode=ratio \
 #                     -v num='^BenchmarkSweepPooledWorld/pooled' \
 #                     -v den='^BenchmarkSweepPooledWorld/rebuild' \
 #                     -v factor=5 bench.txt
 #
+#                 awk -f scripts/benchgate.awk -v mode=ratio \
+#                     -v metric='ns/rw' \
+#                     -v num='^BenchmarkBatchVsScalarSweep/batch' \
+#                     -v den='^BenchmarkBatchVsScalarSweep/scalar' \
+#                     -v factor=1.15 bench.txt
+#
 # Exit status: 0 pass, 1 gate failed, 2 usage error.
 
-function metric(name,    i) {
+function colval(name,    i) {
 	for (i = 2; i <= NF; i++)
 		if ($i == name)
 			return $(i - 1)
@@ -31,7 +42,7 @@ function metric(name,    i) {
 }
 
 mode == "zeroalloc" && $0 ~ re {
-	a = metric("allocs/op")
+	a = colval("allocs/op")
 	if (a == "")
 		next
 	seen++
@@ -41,8 +52,10 @@ mode == "zeroalloc" && $0 ~ re {
 	}
 }
 
-mode == "ratio" && $0 ~ num { numallocs = metric("allocs/op"); numline = $0 }
-mode == "ratio" && $0 ~ den { denallocs = metric("allocs/op"); denline = $0 }
+mode == "ratio" && $0 ~ num { numval = colval(metname()); numline = $0 }
+mode == "ratio" && $0 ~ den { denval = colval(metname()); denline = $0 }
+
+function metname() { return metric == "" ? "allocs/op" : metric }
 
 END {
 	if (mode == "zeroalloc") {
@@ -55,19 +68,19 @@ END {
 			exit 1
 		print "benchgate: OK — " seen " line(s) matching /" re "/ all report 0 allocs/op"
 	} else if (mode == "ratio") {
-		if (numallocs == "" || denallocs == "") {
+		if (numval == "" || denval == "") {
 			print "benchgate: ratio gate is missing its benchmarks:"
 			print "  /" num "/ -> " (numline == "" ? "NOT FOUND" : numline)
 			print "  /" den "/ -> " (denline == "" ? "NOT FOUND" : denline)
 			exit 1
 		}
-		if (numallocs * factor > denallocs) {
-			print "benchgate: allocation ratio gate FAILED (want a >= " factor "x win):"
+		if (numval * factor > denval) {
+			print "benchgate: " metname() " ratio gate FAILED (want a >= " factor "x win):"
 			print "  " numline
 			print "  " denline
 			exit 1
 		}
-		print "benchgate: OK — allocs/op " denallocs " vs " numallocs " (>= " factor "x win)"
+		print "benchgate: OK — " metname() " " denval " vs " numval " (>= " factor "x win)"
 	} else {
 		print "benchgate: unknown mode '" mode "' (want zeroalloc or ratio)"
 		exit 2

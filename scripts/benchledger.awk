@@ -1,0 +1,143 @@
+# benchledger.awk — the append-only benchmark ledger (bench/LEDGER.ndjson).
+#
+# The ledger records one line of NDJSON per benchmark per entry, written by
+# this script so the format stays parseable by this script (POSIX awk —
+# CI's default awk is mawk):
+#
+#   {"entry":"PR7","name":"BenchmarkStepHotLoop/k=64","ns_op":1234.5,"allocs_op":0,"ns_rw":null}
+#
+# Entries are appended, never rewritten: the ledger is the repo's perf
+# trajectory, and CI diffs each run against the ledger's LAST entry. Two
+# modes, selected with -v mode=...:
+#
+#   append      Convert `go test -bench` output into ledger lines tagged
+#               -v label=NAME, printed to stdout for appending:
+#
+#                 awk -f scripts/benchledger.awk -v mode=append \
+#                     -v label=PR7 bench.txt >> bench/LEDGER.ndjson
+#
+#   gate        Compare a fresh `go test -bench` run against the last
+#               entry of the checked-in ledger. Every benchmark in that
+#               entry must still exist (a vanished or renamed benchmark
+#               fails loudly, never vacuously), must stay allocation-free
+#               if the ledger records 0 allocs/op (the pooling contracts
+#               are exact), must stay within 2x + 16 of a nonzero
+#               recorded allocs/op (nonzero counts amortize per-run setup
+#               over the iteration count, which varies), and must run
+#               within -v factor=F times the recorded ns/op and ns/rw
+#               (wall time crosses machines, so the default factor is 3).
+#               New benchmarks absent from the ledger pass — they join it
+#               at the next append.
+#
+#                 awk -f scripts/benchledger.awk -v mode=gate -v factor=3 \
+#                     bench/LEDGER.ndjson bench.txt
+#
+# Exit status: 0 pass, 1 gate failed, 2 usage error.
+
+function metric(name,    i) {
+	for (i = 2; i <= NF; i++)
+		if ($i == name)
+			return $(i - 1)
+	return ""
+}
+
+# field extracts "key":value from a ledger line; values are numbers,
+# null, or "quoted strings" containing no commas or quotes.
+function field(line, key,    rest, v) {
+	rest = line
+	if (!sub(".*\"" key "\":", "", rest))
+		return ""
+	v = rest
+	sub(/[,}].*/, "", v)
+	gsub(/"/, "", v)
+	return v
+}
+
+BEGIN {
+	if (mode != "append" && mode != "gate") {
+		print "benchledger: unknown mode '" mode "' (want append or gate)"
+		exit 2
+	}
+	if (mode == "append" && label == "") {
+		print "benchledger: append mode needs -v label=NAME"
+		exit 2
+	}
+	if (factor == "")
+		factor = 3
+}
+
+# --- bench-output lines (append mode input; gate mode's second file) ----
+
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = metric("ns/op")
+	allocs = metric("allocs/op")
+	rw = metric("ns/rw")
+	if (ns == "")
+		next
+	if (mode == "append") {
+		printf "{\"entry\":\"%s\",\"name\":\"%s\",\"ns_op\":%s,\"allocs_op\":%s,\"ns_rw\":%s}\n", \
+			label, name, ns, (allocs == "" ? "null" : allocs), (rw == "" ? "null" : rw)
+	} else {
+		curns[name] = ns
+		curallocs[name] = allocs
+		currw[name] = rw
+	}
+	next
+}
+
+# --- ledger lines (gate mode's first file) ------------------------------
+
+mode == "gate" && /^\{"entry":/ {
+	entry = field($0, "entry")
+	if (entry != lastentry) {
+		# A new entry begins: it supersedes everything before it.
+		lastentry = entry
+		delete ledns
+		delete ledallocs
+		delete ledrw
+	}
+	nm = field($0, "name")
+	ledns[nm] = field($0, "ns_op")
+	ledallocs[nm] = field($0, "allocs_op")
+	ledrw[nm] = field($0, "ns_rw")
+	next
+}
+
+END {
+	if (mode != "gate")
+		exit 0
+	if (lastentry == "") {
+		print "benchledger: ledger has no entries"
+		exit 2
+	}
+	checked = 0
+	for (nm in ledns) {
+		if (!(nm in curns)) {
+			print "benchledger: " nm " (ledger entry " lastentry ") is missing from this run"
+			print "benchledger: a vanished or renamed benchmark must not pass the gate vacuously"
+			bad++
+			continue
+		}
+		checked++
+		if (ledallocs[nm] != "null" && curallocs[nm] != "") {
+			lim = (ledallocs[nm] + 0 == 0) ? 0 : ledallocs[nm] * 2 + 16
+			if (curallocs[nm] + 0 > lim) {
+				print "benchledger: " nm " allocs/op regressed: " curallocs[nm] " > " lim " (ledger " ledallocs[nm] ", entry " lastentry ")"
+				bad++
+			}
+		}
+		if (curns[nm] + 0 > ledns[nm] * factor) {
+			print "benchledger: " nm " ns/op regressed: " curns[nm] " > " factor "x ledger " ledns[nm] " (entry " lastentry ")"
+			bad++
+		}
+		if (ledrw[nm] != "null" && currw[nm] != "" && currw[nm] + 0 > ledrw[nm] * factor) {
+			print "benchledger: " nm " ns/rw regressed: " currw[nm] " > " factor "x ledger " ledrw[nm] " (entry " lastentry ")"
+			bad++
+		}
+	}
+	if (bad)
+		exit 1
+	print "benchledger: OK — " checked " benchmark(s) within factor " factor " of ledger entry " lastentry
+}
