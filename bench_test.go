@@ -9,6 +9,7 @@ package gathering
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/expt"
@@ -683,4 +684,103 @@ func BenchmarkBatchVsScalarSweep(b *testing.B) {
 		}
 		reportRW(b)
 	})
+}
+
+// BenchmarkBuildDirect pins the tentpole payoff of the direct-to-CSR
+// assembly path on the million-node smoke workload (hypercube dimension
+// 20: n=2^20 nodes, m=10*2^20 edges). "direct" is the production
+// Hypercube generator, which writes half-edges straight into the final
+// flat arrays from the known uniform degree; "buffered" drives the
+// identical edge sequence through the legacy per-node adjacency Builder.
+// Both freeze bit-identical graphs (TestDirectMatchesBuffered); CI gates
+// the >= 10x allocation win with benchgate.awk mode=ratio.
+func BenchmarkBuildDirect(b *testing.B) {
+	const dim = 20
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if g := graph.Hypercube(dim); g.N() != 1<<dim {
+				b.Fatalf("bad shape: %v", g)
+			}
+		}
+	})
+	b.Run("buffered", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bld := graph.NewBuilder(1 << dim)
+			for u := 0; u < 1<<dim; u++ {
+				for bit := 0; bit < dim; bit++ {
+					if v := u ^ (1 << bit); u < v {
+						bld.MustEdge(u, v)
+					}
+				}
+			}
+			if g := bld.Freeze(); g.N() != 1<<dim {
+				b.Fatalf("bad shape: %v", g)
+			}
+		}
+	})
+}
+
+// heapLive returns the bytes of live heap objects after a full
+// collection; deltas between calls measure the retained footprint of
+// whatever was built in between.
+func heapLive() int64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// footprintWorld builds a k-robot world of wanderers on g and steps it
+// once, so the round scratch is materialized and counts toward the
+// retained footprint.
+func footprintWorld(b *testing.B, g *graph.Graph, k int, seed uint64) *sim.World {
+	b.Helper()
+	rng := graph.NewRNG(seed)
+	agents := make([]sim.Agent, k)
+	pos := make([]int, k)
+	for i := range agents {
+		agents[i] = &wanderer{Base: sim.NewBase(i + 1)}
+		pos[i] = rng.Intn(g.N())
+	}
+	w, err := sim.NewWorld(g, agents, pos)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Step()
+	return w
+}
+
+// BenchmarkMemoryFootprint reports the retained memory of the
+// million-node substrate on the hypercube:20 smoke workload as two ledger
+// metrics: B/node — the per-node cost of the frozen CSR graph plus the
+// world's node-indexed state (the occupancy slot table) — and B/robot —
+// the marginal cost of one extra robot, computed from worlds of 64 and
+// 512 robots so every O(n) term cancels. The ledger gates both with a
+// tight factor: a regression means a pointer-per-node or
+// header-per-robot structure crept back into the engine.
+func BenchmarkMemoryFootprint(b *testing.B) {
+	const (
+		dim    = 20
+		k1, k2 = 64, 512
+	)
+	var bNode, bRobot float64
+	for i := 0; i < b.N; i++ {
+		before := heapLive()
+		g := graph.Hypercube(dim)
+		afterGraph := heapLive()
+		w1 := footprintWorld(b, g, k1, 7)
+		afterW1 := heapLive()
+		w2 := footprintWorld(b, g, k2, 8)
+		afterW2 := heapLive()
+		world1 := float64(afterW1 - afterGraph)
+		world2 := float64(afterW2 - afterW1)
+		bRobot = (world2 - world1) / float64(k2-k1)
+		bNode = (float64(afterGraph-before) + world1 - bRobot*float64(k1)) / float64(g.N())
+		runtime.KeepAlive(w1)
+		runtime.KeepAlive(w2)
+	}
+	b.ReportMetric(bNode, "B/node")
+	b.ReportMetric(bRobot, "B/robot")
 }

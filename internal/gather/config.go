@@ -39,7 +39,32 @@ func R1(n int) int { return mapping.Budget(n) }
 
 // R returns the full Undispersed-Gathering budget, the paper's
 // R = R₁ + 2n ∈ O(n³).
-func R(n int) int { return R1(n) + 2*n }
+func R(n int) int { return satAdd(R1(n), 2*n) }
+
+// satCap bounds every derived schedule quantity. All budget arithmetic in
+// this file saturates here instead of wrapping, so million-node configs
+// (where the paper's polynomial bounds exceed int range) keep positive
+// round caps; the clamp is far past any simulable horizon.
+const satCap = 1 << 60
+
+// satAdd adds non-negative budgets, saturating at satCap.
+func satAdd(a, b int) int {
+	if s := a + b; s <= satCap {
+		return s
+	}
+	return satCap
+}
+
+// satMul multiplies non-negative budgets, saturating at satCap.
+func satMul(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > satCap/b {
+		return satCap
+	}
+	return a * b
+}
 
 // CycleT returns T(i) = Σ_{j=1..i} 2·(deg)^j, the length of one
 // i-Hop-Meeting cycle, where deg = n-1 by default or Δ under the Remark 14
@@ -56,8 +81,8 @@ func (c Config) CycleT(i, n int) int {
 	total := 0
 	pow := 1
 	for j := 1; j <= i; j++ {
-		pow *= deg
-		total += 2 * pow
+		pow = satMul(pow, deg)
+		total = satAdd(total, satMul(2, pow))
 	}
 	if total < 2 {
 		total = 2
@@ -68,17 +93,17 @@ func (c Config) CycleT(i, n int) int {
 // HopDuration returns the full duration of the i-Hop-Meeting procedure:
 // one cycle per ID bit, over the shared bit budget B(n). This is the
 // paper's O(nⁱ log n) of Lemma 10.
-func (c Config) HopDuration(i, n int) int { return c.CycleT(i, n) * BitBudget(n) }
+func (c Config) HopDuration(i, n int) int { return satMul(c.CycleT(i, n), BitBudget(n)) }
 
 // UXSPhaseLen returns 2T, the length of one bit-phase of the §2.1
 // algorithm.
-func (c Config) UXSPhaseLen(n int) int { return 2 * c.UXSLength(n) }
+func (c Config) UXSPhaseLen(n int) int { return satMul(2, c.UXSLength(n)) }
 
 // UXSGatherBound returns an upper bound on the total duration of the §2.1
 // algorithm: one 2T phase per bit of the largest possible ID, the final 2T
 // wait, plus one round for the termination step. Theorem 6's O(T log L).
 func (c Config) UXSGatherBound(n int) int {
-	return c.UXSPhaseLen(n)*(BitBudget(n)+1) + 1
+	return satAdd(satMul(c.UXSPhaseLen(n), BitBudget(n)+1), 1)
 }
 
 // FasterBound returns an upper bound on the total duration of
@@ -88,7 +113,7 @@ func (c Config) UXSGatherBound(n int) int {
 func (c Config) FasterBound(n int) int {
 	total := R(n) + 1
 	for i := 2; i <= 6; i++ {
-		total += c.HopDuration(i-1, n) + R(n) + 1
+		total = satAdd(total, satAdd(c.HopDuration(i-1, n), R(n)+1))
 	}
-	return total + c.UXSGatherBound(n)
+	return satAdd(total, c.UXSGatherBound(n))
 }

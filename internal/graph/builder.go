@@ -69,5 +69,22 @@ func (b *Builder) MustEdge(u, v int) {
 
 // Freeze compacts the built adjacency into an immutable CSR Graph. The
 // arrays are copied, so the builder stays usable (further AddEdge calls
-// never reach an already-frozen graph) and may be frozen again.
+// never reach an already-frozen graph) and may be frozen again. Shapes
+// beyond the int32 CSR limits panic with a *LimitError; FreezeChecked
+// returns it instead.
 func (b *Builder) Freeze() *Graph { return freeze(b.adj, b.m) }
+
+// FreezeChecked is Freeze with the int32 CSR limit surfaced as a typed
+// error (*LimitError) instead of a panic: callers assembling graphs from
+// untrusted sizes can reject an overflowing shape — 2·M or N beyond int32
+// range — before any cast wraps around.
+func (b *Builder) FreezeChecked() (*Graph, error) {
+	total := int64(0)
+	for _, ports := range b.adj {
+		total += int64(len(ports))
+	}
+	if err := checkCSRLimit(int64(len(b.adj)), total); err != nil {
+		return nil, err
+	}
+	return freeze(b.adj, b.m), nil
+}

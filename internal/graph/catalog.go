@@ -221,7 +221,24 @@ func init() {
 	registerWorkload(familyEntry(FamComplete, "complete graph K_N"))
 	registerWorkload(familyEntry(FamLollipop, "clique of about N/2 with a path tail"))
 	registerWorkload(familyEntry(FamStar, "star with N-1 leaves"))
-	registerWorkload(familyEntry(FamHypercube, "hypercube with >= N nodes (rounded up to 2^d)"))
+	// Unlike the other legacy families, hypercube takes the DIMENSION, not
+	// a node count: hypercube:20 is the 2^20-node scale workload. The
+	// legacy approximate-n rounding survives on the -family flag path via
+	// FromFamily.
+	registerWorkload(CatalogEntry{
+		Name: "hypercube", Syntax: "hypercube:D (dimension; 2^D nodes, 1 <= D <= 24)",
+		Summary: "D-dimensional hypercube on 2^D nodes, D-regular — scale workload at D >= 20",
+		compile: func(args string) (func(rng *RNG) (*Graph, error), error) {
+			v, err := parseInts(args, 1, 1)
+			if err != nil {
+				return nil, err
+			}
+			if v[0] < 1 || v[0] > 24 {
+				return nil, fmt.Errorf("need dimension 1 <= D <= 24")
+			}
+			return deterministic(func() (*Graph, error) { return checked(func() *Graph { return Hypercube(v[0]) }) }), nil
+		},
+	})
 
 	registerWorkload(CatalogEntry{
 		Name: "torus", Syntax: "torus:RxC | torus:N (N -> near-square, dims >= 3)",

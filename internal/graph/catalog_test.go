@@ -18,7 +18,10 @@ var sampleSpecs = map[string][]string{
 	"complete":    {"complete:5"},
 	"lollipop":    {"lollipop:9"},
 	"star":        {"star:6"},
-	"hypercube":   {"hypercube:9"},
+	"hypercube":   {"hypercube:4", "hypercube:9"}, // dimension: 16 and 512 nodes
+	"rmat":        {"rmat:6,4", "rmat:8,2"},
+	"margulis":    {"margulis:5", "margulis:11"},
+	"road":        {"road:6x5,60", "road:8x8"},
 	"torus":       {"torus:3x4", "torus:10"},
 	"maze":        {"maze:4x5,3", "maze:4"},
 	"rreg":        {"rreg:10,3"},
@@ -147,6 +150,14 @@ func TestCatalogRejectsBadSpecs(t *testing.T) {
 		"torus:2x4",     // dim < 3
 		"petersen:10",   // args on an arg-less entry
 		"circulant:8,5", // jump > n/2
+		"hypercube:25",  // dimension beyond the catalog cap
+		"hypercube:0",   // dimension < 1
+		"rmat:25,4",     // scale beyond the catalog cap
+		"rmat:6,0",      // edge factor < 1
+		"margulis:1",    // side < 2
+		"road:1x5",      // dim < 2
+		"road:4x4,0",    // keep percentage < 1
+		"road:4x4,101",  // keep percentage > 100
 	}
 	for _, spec := range bad {
 		if _, err := ParseWorkload(spec); err == nil {

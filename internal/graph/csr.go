@@ -1,0 +1,263 @@
+package graph
+
+import "fmt"
+
+// maxCSRHalves is the largest half-edge count the int32 CSR offsets can
+// address: offsets[n] must fit in an int32 and -1 stays reserved as a
+// sentinel in index structures built on top.
+const maxCSRHalves = 1<<31 - 2
+
+// maxCSRNodes is the largest node count a frozen Graph supports: node
+// indices are stored as int32 in the halves array.
+const maxCSRNodes = 1<<31 - 2
+
+// LimitError reports an attempt to build a graph whose node count or
+// half-edge count exceeds what the int32 CSR layout can address. It is
+// returned (or carried by a panic from the legacy Freeze path) instead of
+// letting the int32 casts wrap around silently.
+type LimitError struct {
+	Nodes  int64 // requested node count
+	Halves int64 // requested half-edge count (2·M)
+}
+
+func (e *LimitError) Error() string {
+	if e.Nodes > maxCSRNodes {
+		return fmt.Sprintf("graph: %d nodes exceed int32 CSR limit (%d)", e.Nodes, int64(maxCSRNodes))
+	}
+	return fmt.Sprintf("graph: %d half-edges exceed int32 CSR offset limit (%d)", e.Halves, int64(maxCSRHalves))
+}
+
+// checkCSRLimit validates a prospective CSR shape — n nodes, halves
+// half-edges (2·M) — against the int32 layout limits. Sizes are taken as
+// int64 so callers can check shapes they could never allocate.
+func checkCSRLimit(n, halves int64) error {
+	if n > maxCSRNodes || halves > maxCSRHalves {
+		return &LimitError{Nodes: n, Halves: halves}
+	}
+	return nil
+}
+
+// CSRBuilder is the degree-presized, direct-to-CSR construction path: the
+// caller declares per-node degree capacities up front (exact or upper
+// bound) and AddEdge writes each half-edge straight into the flat halves
+// array at its final offset. No intermediate [][] adjacency is ever
+// buffered — the wall that makes the slice-of-slices Builder infeasible at
+// n=10⁷ — and Freeze hands the arrays to the Graph without copying.
+//
+// Port numbers are assigned in insertion order at each endpoint, exactly
+// as Builder does, so for the same edge sequence the two paths freeze
+// bit-identical Graphs (halves, offsets, ports) — the equivalence the
+// property tests in csr_test.go pin across the catalog.
+//
+// A CSRBuilder is not safe for concurrent use. Freeze transfers ownership
+// of the arrays: the builder is spent afterwards and must not be reused
+// (Reset rewinds a builder that has not been frozen, for rejection-loop
+// generators such as the random-regular pairing model).
+type CSRBuilder struct {
+	offsets []int32  //repolint:keep declared capacities are the builder's fixed shape; Reset rewinds contents, not capacities
+	fill    []int32  //repolint:keep Reset zeroes every element in place
+	halves  []half32 //repolint:keep written prefixes are dead once fill is zeroed; AddEdge overwrites before any read
+	m       int
+	spent   bool //repolint:keep Reset panics on a spent builder, so spent is always false after Reset
+}
+
+// NewCSRBuilder returns a direct-to-CSR builder for len(degrees) nodes
+// where node u can hold at most degrees[u] incident edges. Capacities may
+// be upper bounds: Freeze compacts any slack away. It returns a
+// *LimitError when the node count or total half-edge capacity exceeds the
+// int32 CSR layout.
+func NewCSRBuilder(degrees []int) (*CSRBuilder, error) {
+	n := len(degrees)
+	total := int64(0)
+	for _, d := range degrees {
+		if d < 0 {
+			return nil, fmt.Errorf("graph: negative degree capacity %d", d)
+		}
+		total += int64(d)
+	}
+	if err := checkCSRLimit(int64(n), total); err != nil {
+		return nil, err
+	}
+	b := &CSRBuilder{
+		offsets: make([]int32, n+1),
+		fill:    make([]int32, n),
+		halves:  make([]half32, total),
+	}
+	for u, d := range degrees {
+		b.offsets[u+1] = b.offsets[u] + int32(d)
+	}
+	return b, nil
+}
+
+// NewDegreeCSRBuilder is NewCSRBuilder with the capacity of node u given
+// by deg(u) — for families whose degrees are a formula, it skips the
+// materialised degrees slice entirely. deg is evaluated twice per node.
+func NewDegreeCSRBuilder(n int, deg func(u int) int) (*CSRBuilder, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", n)
+	}
+	total := int64(0)
+	for u := 0; u < n; u++ {
+		d := deg(u)
+		if d < 0 {
+			return nil, fmt.Errorf("graph: negative degree capacity %d", d)
+		}
+		total += int64(d)
+	}
+	if err := checkCSRLimit(int64(n), total); err != nil {
+		return nil, err
+	}
+	b := &CSRBuilder{
+		offsets: make([]int32, n+1),
+		fill:    make([]int32, n),
+		halves:  make([]half32, total),
+	}
+	for u := 0; u < n; u++ {
+		b.offsets[u+1] = b.offsets[u] + int32(deg(u))
+	}
+	return b, nil
+}
+
+// NewUniformCSRBuilder is NewCSRBuilder for n nodes of equal capacity deg,
+// without materialising a degrees slice.
+func NewUniformCSRBuilder(n, deg int) (*CSRBuilder, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", n)
+	}
+	if deg < 0 {
+		return nil, fmt.Errorf("graph: negative degree capacity %d", deg)
+	}
+	total := int64(n) * int64(deg)
+	if err := checkCSRLimit(int64(n), total); err != nil {
+		return nil, err
+	}
+	b := &CSRBuilder{
+		offsets: make([]int32, n+1),
+		fill:    make([]int32, n),
+		halves:  make([]half32, total),
+	}
+	for u := 0; u < n; u++ {
+		b.offsets[u+1] = b.offsets[u] + int32(deg)
+	}
+	return b, nil
+}
+
+// N returns the number of nodes.
+func (b *CSRBuilder) N() int { return len(b.fill) }
+
+// M returns the number of edges added so far.
+func (b *CSRBuilder) M() int { return b.m }
+
+// Degree returns the current (filled) degree of node u.
+func (b *CSRBuilder) Degree(u int) int { return int(b.fill[u]) }
+
+// HasEdge reports whether u and v are already adjacent, scanning the
+// half-edges written at u so far.
+func (b *CSRBuilder) HasEdge(u, v int) bool {
+	base := b.offsets[u]
+	for _, h := range b.halves[base : base+b.fill[u]] {
+		if int(h.to) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEdge inserts an undirected edge between u and v, assigning it the
+// next free port number at each endpoint — the same insertion-order port
+// rule as Builder.AddEdge. It returns an error for self-loops, duplicate
+// edges, out-of-range nodes, or a node whose declared capacity is full.
+func (b *CSRBuilder) AddEdge(u, v int) error {
+	if b.spent {
+		panic("graph: CSRBuilder used after Freeze")
+	}
+	n := len(b.fill)
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if b.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	pu, pv := b.fill[u], b.fill[v]
+	if b.offsets[u]+pu == b.offsets[u+1] {
+		return fmt.Errorf("graph: node %d over declared degree capacity %d", u, b.offsets[u+1]-b.offsets[u])
+	}
+	if b.offsets[v]+pv == b.offsets[v+1] {
+		return fmt.Errorf("graph: node %d over declared degree capacity %d", v, b.offsets[v+1]-b.offsets[v])
+	}
+	b.halves[b.offsets[u]+pu] = half32{to: int32(v), rev: pv}
+	b.halves[b.offsets[v]+pv] = half32{to: int32(u), rev: pu}
+	b.fill[u] = pu + 1
+	b.fill[v] = pv + 1
+	b.m++
+	return nil
+}
+
+// MustEdge is AddEdge that panics on error, for use in generators whose
+// inputs are valid by construction.
+func (b *CSRBuilder) MustEdge(u, v int) {
+	if err := b.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// Reset rewinds the builder to its empty post-construction state, keeping
+// the declared capacities and the allocated arrays. Rejection-sampling
+// generators (random-regular pairing) retry attempts on one builder
+// without reallocating.
+func (b *CSRBuilder) Reset() {
+	if b.spent {
+		panic("graph: CSRBuilder used after Freeze")
+	}
+	for u := range b.fill {
+		b.fill[u] = 0
+	}
+	b.m = 0
+}
+
+// Freeze hands the builder's arrays to an immutable CSR Graph without
+// copying. When the declared capacities were exact the arrays are adopted
+// as-is; otherwise the filled prefixes are compacted down in place (port
+// numbers are per-node and unaffected by the shift). The builder is spent
+// afterwards: further AddEdge/Reset/Freeze calls panic, so no mutation can
+// ever reach the frozen graph.
+func (b *CSRBuilder) Freeze() (*Graph, error) {
+	if b.spent {
+		panic("graph: CSRBuilder used after Freeze")
+	}
+	n := len(b.fill)
+	if err := checkCSRLimit(int64(n), int64(2)*int64(b.m)); err != nil {
+		return nil, err
+	}
+	b.spent = true
+	g := &Graph{offsets: b.offsets, m: b.m}
+	w := int32(0)
+	for u := 0; u < n; u++ {
+		d := b.fill[u]
+		if d > int32(g.maxDeg) {
+			g.maxDeg = int(d)
+		}
+		base := b.offsets[u]
+		if base != w {
+			copy(b.halves[w:w+d], b.halves[base:base+d])
+		}
+		b.offsets[u] = w
+		w += d
+	}
+	b.offsets[n] = w
+	g.halves = b.halves[:w]
+	return g, nil
+}
+
+// MustFreeze is Freeze that panics on error, for generators whose shapes
+// were already validated at construction.
+func (b *CSRBuilder) MustFreeze() *Graph {
+	g, err := b.Freeze()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

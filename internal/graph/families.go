@@ -40,24 +40,31 @@ func Petersen() *Graph {
 
 // Circulant returns the circulant graph C_n(jumps): node v is adjacent to
 // v±j (mod n) for every jump j. Jumps must be in [1, n/2] and distinct.
+// 2·len(jumps) is an upper bound on every degree (a jump with 2j = n
+// contributes one edge, not two), so the direct builder declares it as
+// capacity and Freeze compacts the slack.
 func Circulant(n int, jumps []int) *Graph {
-	b := NewBuilder(n)
+	b := mustCSR(NewUniformCSRBuilder(n, 2*len(jumps)))
+	circulantEdges(n, jumps, b)
+	g := b.MustFreeze()
+	if !g.IsConnected() {
+		panic("graph: circulant jumps do not generate a connected graph")
+	}
+	return g
+}
+
+func circulantEdges(n int, jumps []int, s edgeSink) {
 	for _, j := range jumps {
 		if j < 1 || 2*j > n {
 			panic(fmt.Sprintf("graph: circulant jump %d out of range for n=%d", j, n))
 		}
 		for v := 0; v < n; v++ {
 			u := (v + j) % n
-			if !b.HasEdge(v, u) {
-				b.MustEdge(v, u)
+			if !s.HasEdge(v, u) {
+				s.MustEdge(v, u)
 			}
 		}
 	}
-	g := b.Freeze()
-	if !g.IsConnected() {
-		panic("graph: circulant jumps do not generate a connected graph")
-	}
-	return g
 }
 
 // Caterpillar returns a caterpillar tree: a spine path of `spine` nodes,
@@ -80,29 +87,58 @@ func Caterpillar(spine, legs int) *Graph {
 	return b.Freeze()
 }
 
-// maxPairingAttempts caps RandomRegular's rejection loop: for the small d
-// and n the experiments use, a valid connected pairing is found within a
-// handful of attempts, so exhausting the cap signals infeasible-in-practice
-// parameters rather than bad luck.
-const maxPairingAttempts = 1000
+// pairingBudget caps RandomRegular's rejection loop, scaling with the
+// instance: the simple-pairing acceptance rate depends on d (roughly
+// exp(-(d²-1)/4)), and at d=2 the connectivity check rejects all but
+// Θ(1/√n) of the accepted pairings — a flat cap makes large sparse builds
+// fail spuriously. 64·d²·⌈√n⌉ attempts leaves orders of magnitude of
+// headroom over both expectations while still bounding the loop on
+// infeasible-in-practice parameters (the PR 3 explicit-error contract).
+func pairingBudget(n, d int) int64 {
+	s := int64(1)
+	for s*s < int64(n) {
+		s++
+	}
+	return 1000 + 64*int64(d)*int64(d)*s
+}
 
 // RandomRegular returns a random d-regular graph on n nodes via the
-// pairing model with rejection. Infeasible parameters (odd n*d, d >= n,
+// pairing model with rejection, assembled directly into CSR storage (the
+// degree is exact by definition). Infeasible parameters (odd n*d, d >= n,
 // d < 1) return an explicit error, as does failing to find a connected
-// simple pairing within the capped number of attempts — the loop cannot
-// spin forever on any input.
+// simple pairing within the n-scaled attempt budget — the loop cannot
+// spin forever on any input. Shapes beyond the int32 CSR limits surface
+// as a *LimitError.
 func RandomRegular(n, d int, rng *RNG) (*Graph, error) {
 	if d < 1 || d >= n || n*d%2 != 0 {
 		return nil, fmt.Errorf("graph: no %d-regular graph on %d nodes (need 1 <= d < n, n*d even)", d, n)
 	}
-	for attempt := 0; attempt < maxPairingAttempts; attempt++ {
-		g, ok := tryPairing(n, d, rng)
-		if ok && g.IsConnected() {
+	b, err := NewUniformCSRBuilder(n, d)
+	if err != nil {
+		return nil, err
+	}
+	stubs := make([]int, n*d)
+	budget := pairingBudget(n, d)
+	for attempt := int64(0); attempt < budget; attempt++ {
+		if b == nil {
+			// The previous attempt paired simply but disconnected; its
+			// Freeze spent the builder, so connectivity rejects rebuild.
+			if b, err = NewUniformCSRBuilder(n, d); err != nil {
+				return nil, err
+			}
+		}
+		if !tryPairing(b, stubs, rng) {
+			b.Reset()
+			continue
+		}
+		g := b.MustFreeze()
+		b = nil
+		if g.IsConnected() {
 			return g, nil
 		}
 	}
 	return nil, fmt.Errorf("graph: RandomRegular(n=%d, d=%d): no connected pairing in %d attempts",
-		n, d, maxPairingAttempts)
+		n, d, budget)
 }
 
 // MustRandomRegular is RandomRegular that panics on error, for callers
@@ -115,21 +151,27 @@ func MustRandomRegular(n, d int, rng *RNG) *Graph {
 	return g
 }
 
-func tryPairing(n, d int, rng *RNG) (*Graph, bool) {
-	stubs := make([]int, 0, n*d)
+// tryPairing draws one pairing-model attempt into the (empty) builder,
+// reusing the caller's stubs scratch. It reports whether the pairing was
+// simple; the rng consumption — one Shuffle of the n·d stubs — matches
+// the pre-direct-path implementation draw for draw, so seeded instances
+// are unchanged.
+func tryPairing(b *CSRBuilder, stubs []int, rng *RNG) bool {
+	n, d := b.N(), len(stubs)/b.N()
+	idx := 0
 	for v := 0; v < n; v++ {
 		for i := 0; i < d; i++ {
-			stubs = append(stubs, v)
+			stubs[idx] = v
+			idx++
 		}
 	}
 	rng.Shuffle(stubs)
-	b := NewBuilder(n)
 	for i := 0; i < len(stubs); i += 2 {
 		u, v := stubs[i], stubs[i+1]
 		if u == v || b.HasEdge(u, v) {
-			return nil, false // reject multi-edges/self-loops, retry
+			return false // reject multi-edges/self-loops, retry
 		}
 		b.MustEdge(u, v)
 	}
-	return b.Freeze(), true
+	return true
 }

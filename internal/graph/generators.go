@@ -3,20 +3,52 @@ package graph
 import "fmt"
 
 // This file provides the graph families used by the paper's experiments and
-// examples. All generators build through the Builder phase and return
-// frozen, connected, simple graphs with canonical port numbering (insertion
-// order); callers that want adversarial port labels follow up with
-// WithPermutedPorts.
+// examples. All generators return frozen, connected, simple graphs with
+// canonical port numbering (insertion order); callers that want adversarial
+// port labels follow up with WithPermutedPorts. Regular families whose
+// degrees are known up front (path, cycle, grid, torus, hypercube,
+// circulant, random-regular) assemble directly into CSR storage through
+// CSRBuilder; irregular ones buffer through Builder. Port assignment is
+// insertion-order on both paths, so which builder a family uses is
+// unobservable (pinned by the equivalence tests in csr_test.go).
 
-// Path returns the path graph on n nodes: 0-1-2-...-(n-1).
-func Path(n int) *Graph { return pathBuilder(n).Freeze() }
+// edgeSink is the builder surface the family edge emitters target. Both
+// *Builder and *CSRBuilder implement it, which lets the equivalence tests
+// drive the identical edge sequence through the buffered and the direct
+// path and compare the frozen results bit for bit.
+type edgeSink interface {
+	MustEdge(u, v int)
+	HasEdge(u, v int) bool
+}
 
-func pathBuilder(n int) *Builder {
-	b := NewBuilder(n)
-	for i := 0; i+1 < n; i++ {
-		b.MustEdge(i, i+1)
+// mustCSR unwraps a CSRBuilder constructor for generators whose shapes
+// are valid by construction (or already validated by the catalog layer).
+func mustCSR(b *CSRBuilder, err error) *CSRBuilder {
+	if err != nil {
+		panic(err)
 	}
 	return b
+}
+
+// Path returns the path graph on n nodes: 0-1-2-...-(n-1).
+func Path(n int) *Graph {
+	b := mustCSR(NewDegreeCSRBuilder(n, func(u int) int {
+		if n < 2 {
+			return 0
+		}
+		if u == 0 || u == n-1 {
+			return 1
+		}
+		return 2
+	}))
+	pathEdges(n, b)
+	return b.MustFreeze()
+}
+
+func pathEdges(n int, s edgeSink) {
+	for i := 0; i+1 < n; i++ {
+		s.MustEdge(i, i+1)
+	}
 }
 
 // Cycle returns the cycle graph on n >= 3 nodes.
@@ -24,9 +56,14 @@ func Cycle(n int) *Graph {
 	if n < 3 {
 		panic("graph: Cycle needs n >= 3")
 	}
-	b := pathBuilder(n)
-	b.MustEdge(n-1, 0)
-	return b.Freeze()
+	b := mustCSR(NewUniformCSRBuilder(n, 2))
+	cycleEdges(n, b)
+	return b.MustFreeze()
+}
+
+func cycleEdges(n int, s edgeSink) {
+	pathEdges(n, s)
+	s.MustEdge(n-1, 0)
 }
 
 // Complete returns the complete graph K_n.
@@ -51,19 +88,39 @@ func Star(n int) *Graph {
 
 // Grid returns the rows x cols grid graph. Node (r, c) has index r*cols+c.
 func Grid(rows, cols int) *Graph {
-	b := NewBuilder(rows * cols)
+	b := mustCSR(NewDegreeCSRBuilder(rows*cols, func(u int) int {
+		r, c := u/cols, u%cols
+		d := 0
+		if c > 0 {
+			d++
+		}
+		if c+1 < cols {
+			d++
+		}
+		if r > 0 {
+			d++
+		}
+		if r+1 < rows {
+			d++
+		}
+		return d
+	}))
+	gridEdges(rows, cols, b)
+	return b.MustFreeze()
+}
+
+func gridEdges(rows, cols int, s edgeSink) {
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			u := r*cols + c
 			if c+1 < cols {
-				b.MustEdge(u, u+1)
+				s.MustEdge(u, u+1)
 			}
 			if r+1 < rows {
-				b.MustEdge(u, u+cols)
+				s.MustEdge(u, u+cols)
 			}
 		}
 	}
-	return b.Freeze()
 }
 
 // Torus returns the rows x cols torus (grid with wraparound), rows, cols >= 3.
@@ -71,33 +128,44 @@ func Torus(rows, cols int) *Graph {
 	if rows < 3 || cols < 3 {
 		panic("graph: Torus needs rows, cols >= 3")
 	}
-	b := NewBuilder(rows * cols)
+	b := mustCSR(NewUniformCSRBuilder(rows*cols, 4))
+	torusEdges(rows, cols, b)
+	return b.MustFreeze()
+}
+
+func torusEdges(rows, cols int, s edgeSink) {
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			u := r*cols + c
-			b.MustEdge(u, r*cols+(c+1)%cols)
-			b.MustEdge(u, ((r+1)%rows)*cols+c)
+			s.MustEdge(u, r*cols+(c+1)%cols)
+			s.MustEdge(u, ((r+1)%rows)*cols+c)
 		}
 	}
-	return b.Freeze()
 }
 
-// Hypercube returns the d-dimensional hypercube on 2^d nodes.
+// Hypercube returns the d-dimensional hypercube on 2^d nodes. The upper
+// bound is where 2^d·d half-edges still fit the int32 CSR offsets; the
+// catalog caps the workload syntax lower to keep accidental builds sane.
 func Hypercube(d int) *Graph {
-	if d < 1 || d > 20 {
+	if d < 1 || d > 26 {
 		panic("graph: Hypercube dimension out of range")
 	}
 	n := 1 << d
-	b := NewBuilder(n)
+	b := mustCSR(NewUniformCSRBuilder(n, d))
+	hypercubeEdges(d, b)
+	return b.MustFreeze()
+}
+
+func hypercubeEdges(d int, s edgeSink) {
+	n := 1 << d
 	for u := 0; u < n; u++ {
 		for bit := 0; bit < d; bit++ {
 			v := u ^ (1 << bit)
 			if u < v {
-				b.MustEdge(u, v)
+				s.MustEdge(u, v)
 			}
 		}
 	}
-	return b.Freeze()
 }
 
 // CompleteBipartite returns K_{a,b} with parts {0..a-1} and {a..a+b-1}.

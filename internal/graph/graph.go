@@ -48,17 +48,19 @@ type Graph struct {
 }
 
 // freeze compacts an adjacency-list form into the CSR arrays. It copies,
-// so later mutation of adj cannot reach the frozen graph.
+// so later mutation of adj cannot reach the frozen graph. Shapes beyond
+// the int32 CSR limits panic with a *LimitError; Builder.FreezeChecked
+// performs the same check ahead of time and returns it as an error.
 func freeze(adj [][]Half, m int) *Graph {
-	total := 0
+	total := int64(0)
 	for _, ports := range adj {
-		total += len(ports)
+		total += int64(len(ports))
 	}
-	if total > 1<<31-2 {
-		panic("graph: too many half-edges for int32 CSR offsets")
+	if err := checkCSRLimit(int64(len(adj)), total); err != nil {
+		panic(err)
 	}
 	g := &Graph{
-		halves:  make([]half32, 0, total),
+		halves:  make([]half32, 0, int(total)),
 		offsets: make([]int32, len(adj)+1),
 		m:       m,
 	}
@@ -198,19 +200,29 @@ func (g *Graph) Validate() error {
 // PermutePorts, which keeps every seeded scenario and golden hash stable.
 func (g *Graph) WithPermutedPorts(rng *RNG) *Graph {
 	n := g.N()
-	// Pass 1: one permutation per node (perm[p] = new label of old port p);
-	// nil means identity (degree < 2 draws nothing, as before).
-	perms := make([][]int, n)
+	// Pass 1: one permutation per node (perm[p] = new label of old port p),
+	// stored flat — permDat[permOff[u]:permOff[u+1]] — so relabeling a
+	// million-node graph costs two arrays, not n slice headers. An empty
+	// segment means identity (degree < 2 draws nothing, as before).
+	permOff := make([]int32, n+1)
 	for u := 0; u < n; u++ {
-		if g.Degree(u) >= 2 {
-			perms[u] = rng.Perm(g.Degree(u))
+		permOff[u+1] = permOff[u]
+		if d := g.Degree(u); d >= 2 {
+			permOff[u+1] += int32(d)
 		}
 	}
-	newLabel := func(u, p int) int32 {
-		if perms[u] == nil {
-			return int32(p)
+	permDat := make([]int32, permOff[n])
+	for u := 0; u < n; u++ {
+		if seg := permDat[permOff[u]:permOff[u+1]]; len(seg) > 0 {
+			rng.permInto32(seg)
 		}
-		return int32(perms[u][p])
+	}
+	newLabel := func(u int, p int32) int32 {
+		base := permOff[u]
+		if base == permOff[u+1] {
+			return p
+		}
+		return permDat[base+p]
 	}
 	// Pass 2: rebuild the CSR arrays under the new labels. For an edge with
 	// old endpoints (u,p)-(v,q) the new half at u's slot newLabel(u,p) is
@@ -225,7 +237,7 @@ func (g *Graph) WithPermutedPorts(rng *RNG) *Graph {
 	for u := 0; u < n; u++ {
 		base := g.offsets[u]
 		for p, h := range g.ports(u) {
-			out.halves[base+newLabel(u, p)] = half32{to: h.to, rev: newLabel(int(h.to), int(h.rev))}
+			out.halves[base+newLabel(u, int32(p))] = half32{to: h.to, rev: newLabel(int(h.to), h.rev)}
 		}
 	}
 	return out

@@ -50,6 +50,21 @@ func (r *RNG) Perm(n int) []int {
 	return p
 }
 
+// permInto32 fills p with a pseudo-random permutation of [0, len(p)) via
+// Fisher–Yates, drawing exactly the same Intn sequence as Perm(len(p)).
+// WithPermutedPorts uses it to fill flat int32 permutation storage without
+// a per-node allocation while keeping the seeded stream — and therefore
+// every golden hash — bit-identical.
+func (r *RNG) permInto32(p []int32) {
+	for i := range p {
+		p[i] = int32(i)
+	}
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
 // Shuffle permutes the given slice in place.
 func (r *RNG) Shuffle(s []int) {
 	for i := len(s) - 1; i > 0; i-- {

@@ -1,0 +1,320 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Scale-oriented graph families: the million-node workloads (ROADMAP item
+// 1) that exercise the direct-to-CSR construction path. All three build
+// through CSRBuilder with degree capacities known up front — an R-MAT
+// Kronecker graph (power-law web/social shape), the Margulis–Gabber–Galil
+// 8-regular expander, and a road-style sparse grid — so none ever buffers
+// per-node adjacency slices.
+
+// unionFind is a plain path-halving union–find over int32 parents, used by
+// the random scale families to patch connectivity deterministically.
+type unionFind []int32
+
+func newUnionFind(n int) unionFind {
+	p := make(unionFind, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return p
+}
+
+func (p unionFind) find(x int32) int32 {
+	for p[x] != x {
+		p[x] = p[p[x]]
+		x = p[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b, reporting whether they were distinct.
+func (p unionFind) union(a, b int32) bool {
+	ra, rb := p.find(a), p.find(b)
+	if ra == rb {
+		return false
+	}
+	p[ra] = rb
+	return true
+}
+
+// buildEdgeList assembles a frozen graph from a packed (u<<32|v, u<v) edge
+// list: exact degrees are counted first, so the CSRBuilder allocates the
+// final arrays directly and edges insert in list order (which is the
+// deterministic port order).
+func buildEdgeList(n int, edges []uint64) (*Graph, error) {
+	counts := make([]int32, n)
+	for _, e := range edges {
+		counts[e>>32]++
+		counts[e&0xffffffff]++
+	}
+	b, err := NewDegreeCSRBuilder(n, func(u int) int { return int(counts[u]) })
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(int(e>>32), int(e&0xffffffff)); err != nil {
+			return nil, err
+		}
+	}
+	return b.Freeze()
+}
+
+// connectComponents appends one edge per extra union-find component,
+// chaining component representatives in ascending node order. The added
+// edges always cross distinct components, so they can never duplicate an
+// existing edge.
+func connectComponents(n int, uf unionFind, edges []uint64) []uint64 {
+	prev := int32(-1)
+	for v := 0; v < n; v++ {
+		if uf.find(int32(v)) != int32(v) {
+			continue
+		}
+		if prev >= 0 {
+			edges = append(edges, uint64(prev)<<32|uint64(v))
+			uf.union(prev, int32(v))
+		}
+		prev = int32(v)
+	}
+	return edges
+}
+
+// RMAT returns a connected R-MAT (Kronecker) graph on 2^scale nodes with
+// about edgeFactor·2^scale edges — the Graph500-style power-law workload.
+// Candidate edges are drawn with the classic (0.57, 0.19, 0.19, 0.05)
+// quadrant split, deduplicated (self-loops and duplicates are dropped, so
+// the final edge count is slightly below the target), and patched to a
+// single component by chaining component representatives; the result is
+// assembled directly into CSR storage from exact degree counts.
+func RMAT(scale, edgeFactor int, rng *RNG) (*Graph, error) {
+	edges, err := rmatEdges(scale, edgeFactor, rng)
+	if err != nil {
+		return nil, err
+	}
+	return buildEdgeList(1<<scale, edges)
+}
+
+// rmatEdges draws RMAT's deduplicated, connectivity-patched edge list —
+// split out so the equivalence tests can fold the identical list through
+// the buffered Builder.
+func rmatEdges(scale, edgeFactor int, rng *RNG) ([]uint64, error) {
+	if scale < 1 || scale > 24 {
+		return nil, fmt.Errorf("graph: RMAT scale %d out of range [1,24]", scale)
+	}
+	if edgeFactor < 1 {
+		return nil, fmt.Errorf("graph: RMAT edge factor %d < 1", edgeFactor)
+	}
+	n := 1 << scale
+	target := int64(edgeFactor) << scale
+	// +n margin: connectivity patching adds at most one edge per component.
+	if err := checkCSRLimit(int64(n), 2*(target+int64(n))); err != nil {
+		return nil, err
+	}
+	edges := make([]uint64, 0, target)
+	for i := int64(0); i < target; i++ {
+		u, v := rmatPair(scale, rng)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		edges = append(edges, uint64(u)<<32|uint64(v))
+	}
+	slices.Sort(edges)
+	edges = slices.Compact(edges)
+	uf := newUnionFind(n)
+	for _, e := range edges {
+		uf.union(int32(e>>32), int32(e&0xffffffff))
+	}
+	return connectComponents(n, uf, edges), nil
+}
+
+// rmatPair draws one directed R-MAT endpoint pair by descending the
+// 2^scale × 2^scale adjacency matrix one quadrant per bit.
+func rmatPair(scale int, rng *RNG) (u, v uint32) {
+	for bit := 0; bit < scale; bit++ {
+		r := rng.Float64()
+		switch {
+		case r < 0.57: // top-left: both bits 0
+		case r < 0.76: // top-right: column bit set
+			v |= 1 << bit
+		case r < 0.95: // bottom-left: row bit set
+			u |= 1 << bit
+		default: // bottom-right: both bits set
+			u |= 1 << bit
+			v |= 1 << bit
+		}
+	}
+	return u, v
+}
+
+// Margulis returns the Margulis–Gabber–Galil expander on s² nodes: node
+// (x, y) on the Z_s × Z_s torus connects to (x+2y, y), (x+2y+1, y),
+// (x, y+2x) and (x, y+2x+1) plus the four inverse maps — an 8-regular
+// (less at collisions, which are deduplicated) constant-degree expander.
+// The construction is deterministic: no rng is consumed.
+func Margulis(s int) *Graph {
+	if s < 2 {
+		panic("graph: Margulis needs s >= 2")
+	}
+	if int64(s)*int64(s) > maxCSRNodes {
+		panic(&LimitError{Nodes: int64(s) * int64(s), Halves: 0})
+	}
+	n := s * s
+	b := mustCSR(NewUniformCSRBuilder(n, 8))
+	margulisEdges(s, b)
+	g := b.MustFreeze()
+	if !g.IsConnected() {
+		panic("graph: Margulis graph unexpectedly disconnected")
+	}
+	return g
+}
+
+func margulisEdges(s int, sink edgeSink) {
+	for x := 0; x < s; x++ {
+		for y := 0; y < s; y++ {
+			u := x*s + y
+			targets := [4][2]int{
+				{(x + 2*y) % s, y},
+				{(x + 2*y + 1) % s, y},
+				{x, (y + 2*x) % s},
+				{x, (y + 2*x + 1) % s},
+			}
+			for _, t := range targets {
+				v := t[0]*s + t[1]
+				if v != u && !sink.HasEdge(u, v) {
+					sink.MustEdge(u, v)
+				}
+			}
+		}
+	}
+}
+
+// RoadGrid returns a road-network-style sparse grid: the rows×cols grid
+// with each edge kept with probability keepPct% (one rng draw per grid
+// edge in row-major order), then deterministically reconnected by
+// re-adding the earliest dropped edges that still bridge two components.
+// The result is connected with average degree well below the full grid's.
+func RoadGrid(rows, cols, keepPct int, rng *RNG) (*Graph, error) {
+	edges, err := roadEdges(rows, cols, keepPct, rng)
+	if err != nil {
+		return nil, err
+	}
+	return buildEdgeList(rows*cols, edges)
+}
+
+// roadEdges draws RoadGrid's kept-plus-reconnected edge list — split out
+// so the equivalence tests can fold the identical list through the
+// buffered Builder.
+func roadEdges(rows, cols, keepPct int, rng *RNG) ([]uint64, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("graph: RoadGrid needs rows, cols >= 2")
+	}
+	if keepPct < 1 || keepPct > 100 {
+		return nil, fmt.Errorf("graph: RoadGrid keep percentage %d out of range [1,100]", keepPct)
+	}
+	n := rows * cols
+	if err := checkCSRLimit(int64(n), 2*(2*int64(n))); err != nil {
+		return nil, err
+	}
+	kept := make([]uint64, 0, n)
+	var dropped []uint64
+	keep := func(u, v int) {
+		if rng.Intn(100) < keepPct {
+			kept = append(kept, uint64(u)<<32|uint64(v))
+		} else {
+			dropped = append(dropped, uint64(u)<<32|uint64(v))
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := r*cols + c
+			if c+1 < cols {
+				keep(u, u+1)
+			}
+			if r+1 < rows {
+				keep(u, u+cols)
+			}
+		}
+	}
+	uf := newUnionFind(n)
+	for _, e := range kept {
+		uf.union(int32(e>>32), int32(e&0xffffffff))
+	}
+	// The full grid is connected, so unioning across every dropped edge
+	// leaves one component; re-adding only the bridging ones keeps the
+	// graph sparse.
+	for _, e := range dropped {
+		if uf.union(int32(e>>32), int32(e&0xffffffff)) {
+			kept = append(kept, e)
+		}
+	}
+	return kept, nil
+}
+
+func init() {
+	registerWorkload(CatalogEntry{
+		Name: "rmat", Syntax: "rmat:S,E (2^S nodes, about E*2^S edges, 1 <= S <= 24)",
+		Summary: "connected R-MAT (Kronecker) power-law graph — scale workload",
+		compile: func(args string) (func(rng *RNG) (*Graph, error), error) {
+			v, err := parseInts(args, 2, 2)
+			if err != nil {
+				return nil, err
+			}
+			if v[0] < 1 || v[0] > 24 {
+				return nil, fmt.Errorf("need scale 1 <= S <= 24")
+			}
+			if v[1] < 1 {
+				return nil, fmt.Errorf("need edge factor E >= 1")
+			}
+			if err := checkCSRLimit(1<<v[0], 2*((int64(v[1])+1)<<v[0])); err != nil {
+				return nil, err
+			}
+			return func(rng *RNG) (*Graph, error) { return RMAT(v[0], v[1], rng) }, nil
+		},
+	})
+	registerWorkload(CatalogEntry{
+		Name: "margulis", Syntax: "margulis:S (S*S nodes, S >= 2)",
+		Summary: "Margulis–Gabber–Galil 8-regular expander on the S x S torus — scale workload",
+		compile: func(args string) (func(rng *RNG) (*Graph, error), error) {
+			v, err := parseInts(args, 1, 1)
+			if err != nil {
+				return nil, err
+			}
+			if v[0] < 2 {
+				return nil, fmt.Errorf("need S >= 2")
+			}
+			if int64(v[0])*int64(v[0]) > maxCSRNodes {
+				return nil, fmt.Errorf("S*S exceeds the int32 CSR node limit")
+			}
+			return deterministic(func() (*Graph, error) { return checked(func() *Graph { return Margulis(v[0]) }) }), nil
+		},
+	})
+	registerWorkload(CatalogEntry{
+		Name: "road", Syntax: "road:RxC[,KEEP] (sparse grid keeping KEEP% of edges, default 60)",
+		Summary: "road-style sparse grid: random partial grid, reconnected — scale workload",
+		compile: func(args string) (func(rng *RNG) (*Graph, error), error) {
+			v, err := parseInts(args, 2, 3)
+			if err != nil {
+				return nil, err
+			}
+			keepPct := 60
+			if len(v) == 3 {
+				keepPct = v[2]
+			}
+			if v[0] < 2 || v[1] < 2 {
+				return nil, fmt.Errorf("need dims >= 2")
+			}
+			if keepPct < 1 || keepPct > 100 {
+				return nil, fmt.Errorf("need 1 <= KEEP <= 100")
+			}
+			r, c := v[0], v[1]
+			return func(rng *RNG) (*Graph, error) { return RoadGrid(r, c, keepPct, rng) }, nil
+		},
+	})
+}

@@ -29,9 +29,17 @@ import (
 // know n, hence the same budget). The bound is derived in the package doc:
 // per probe ≤ (walk ≤ n) + (cross+park 2) + (tour ≤ 2n) + (retrieve ≤ n+2)
 // rounds, over ≤ n(n−1) probes, plus the walk home and constant slack.
+// Budgets beyond 2⁶⁰ saturate rather than overflow: the clamp is far past
+// any simulable horizon, and keeps the derived schedules of million-node
+// configs positive instead of wrapping.
 func Budget(n int) int {
 	if n < 1 {
 		panic("mapping: Budget of non-positive n")
+	}
+	const budgetCap = 1 << 60
+	nn := int64(n)
+	if per := 4*nn + 8; per > budgetCap/(nn*nn) { // (4n+8)·n·(n−1) ≤ (4n+8)·n²
+		return budgetCap
 	}
 	return (4*n+8)*n*(n-1) + n + 8
 }

@@ -56,12 +56,10 @@ func MaxMinDispersed(g *graph.Graph, k int, rng *graph.RNG) []int {
 	if k == 0 {
 		return nil
 	}
-	dist := g.AllPairsDistances()
+	// One BFS per chosen point (k total) — never the O(n²) all-pairs
+	// matrix, which is infeasible on the million-node scale workloads.
 	pos := []int{rng.Intn(n)}
-	minDist := make([]int, n) // distance to the closest chosen node
-	for v := range minDist {
-		minDist[v] = dist[pos[0]][v]
-	}
+	minDist := g.BFSDistances(pos[0]) // distance to the closest chosen node
 	for len(pos) < k {
 		best, bestD := -1, -1
 		for v := 0; v < n; v++ {
@@ -70,8 +68,8 @@ func MaxMinDispersed(g *graph.Graph, k int, rng *graph.RNG) []int {
 			}
 		}
 		pos = append(pos, best)
-		for v := 0; v < n; v++ {
-			if d := dist[best][v]; d < minDist[v] {
+		for v, d := range g.BFSDistances(best) {
+			if d < minDist[v] {
 				minDist[v] = d
 			}
 		}

@@ -118,15 +118,22 @@ type Engine struct {
 }
 
 // scratch is the flat per-round working state of the batched pipeline.
+// Observation card lists and message inboxes live in shared flat arenas
+// (othersBuf, inboxBuf) sliced into per-robot runs, mirroring the scalar
+// engine: scratch memory is O(flat arrays), never O(robots) slice headers.
 type scratch struct {
-	active   []bool
-	cards    []sim.Card
-	envs     []sim.Env
-	others   [][]sim.Card
-	inbox    [][]sim.Message
-	acts     []sim.Action
-	resolved []mv
-	rstate   []int
+	active    []bool
+	cards     []sim.Card
+	envs      []sim.Env
+	othersBuf []sim.Card    // arena backing every Env.Others run this round
+	staged    []sim.Message // one lane's outgoing messages, in send order
+	stagedDst []int32       // staged[i]'s destination (local robot index)
+	inboxBuf  []sim.Message // arena backing every Env.Inbox run this round
+	inboxOff  []int32       // robot x's inbox is inboxBuf[inboxOff[x]:inboxOff[x+1]]
+	counts    []int32       // per-robot message counts / scatter cursors (one lane)
+	acts      []sim.Action
+	resolved  []mv
+	rstate    []int
 }
 
 // NewEngine returns an empty engine; AddLane binds its graph and shape.
@@ -275,7 +282,7 @@ func (e *Engine) AddLane(g *graph.Graph, agents []sim.Agent, positions []int, ma
 		e.occ.add(int32(lane), int32(i), positions[i], a.ID(), e.ids, e.k)
 	}
 	// The lane's ID-sorted robot order, fixed for the batch: the per-round
-	// occupancy rebuild appends robots in this order so buckets come out
+	// occupancy rebuild appends robots in this order so packs come out
 	// (lane, ID)-sorted without any searching.
 	e.byID = growTo(e.byID, base+e.k)
 	seg := e.byID[base : base+e.k]
@@ -441,8 +448,8 @@ func (e *Engine) ensureScratch() {
 		s.active = growTo(s.active, n)
 		s.cards = growTo(s.cards, n)
 		s.envs = growTo(s.envs, n)
-		s.others = growTo(s.others, n)
-		s.inbox = growTo(s.inbox, n)
+		s.inboxOff = growTo(s.inboxOff, n+1)
+		s.counts = growTo(s.counts, e.k)
 		s.acts = growTo(s.acts, n)
 		s.resolved = growTo(s.resolved, n)
 		s.rstate = growTo(s.rstate, n)
@@ -548,8 +555,10 @@ func (e *Engine) snapshotLane(l int) {
 // order across nodes cannot influence any lane's trajectory. Within a
 // node, members are visited in the scalar engine's ID order.
 func (e *Engine) observe() {
-	for _, node := range e.occ.occupied {
-		b := e.occ.buckets[node]
+	s := &e.scr
+	s.othersBuf = s.othersBuf[:0]
+	for gi, node := range e.occ.occupied {
+		b := e.occ.packs[gi]
 		deg := e.g.Degree(node)
 		for lo := 0; lo < len(b); {
 			lane := int(b[lo].lane)
@@ -568,18 +577,22 @@ func (e *Engine) observe() {
 				if !e.acting(x) {
 					continue
 				}
-				list := e.scr.others[x][:0]
+				// Append this robot's card list to the shared arena and hand
+				// the env the capped run. A later arena growth moves the
+				// backing array, but runs already handed out keep the old
+				// backing alive — the data they see never changes.
+				start := len(s.othersBuf)
 				for _, om := range members {
 					if om.idx != en.idx {
-						list = append(list, e.scr.cards[base+int(om.idx)])
+						s.othersBuf = append(s.othersBuf, s.cards[base+int(om.idx)])
 					}
 				}
-				e.scr.others[x] = list
-				e.scr.envs[x] = sim.Env{
+				end := len(s.othersBuf)
+				s.envs[x] = sim.Env{
 					Round:       e.round[lane],
 					Degree:      deg,
 					ArrivalPort: e.arrival[x],
-					Others:      list,
+					Others:      s.othersBuf[start:end:end],
 				}
 			}
 		}
@@ -587,8 +600,10 @@ func (e *Engine) observe() {
 }
 
 // communicateAll runs the communication phase lane by lane (message
-// traffic never crosses lanes).
+// traffic never crosses lanes), each lane appending its inbox runs to the
+// shared flat arena.
 func (e *Engine) communicateAll() {
+	e.scr.inboxBuf = e.scr.inboxBuf[:0]
 	for l := range e.state {
 		if e.state[l] == laneLive {
 			e.communicateLane(l)
@@ -596,25 +611,39 @@ func (e *Engine) communicateAll() {
 	}
 }
 
+// communicateLane stages lane l's messages in send order (sender index
+// ascending, compose order within a sender), then scatters them into the
+// shared inbox arena with a stable counting sort — the same delivery order
+// the scalar engine's per-robot append produced. Offsets are written for
+// indices [base, base+k] inclusive; the base+k entry coincides with the
+// next live lane's base (same value), and a dead lane's stale offsets are
+// never read because decideAll skips non-live lanes.
 func (e *Engine) communicateLane(l int) {
 	defer e.recoverLane(l)
+	s := &e.scr
 	base := l * e.k
-	for i := 0; i < e.k; i++ {
-		e.scr.inbox[base+i] = e.scr.inbox[base+i][:0]
+	k := e.k
+	counts := s.counts[:k]
+	for i := range counts {
+		counts[i] = 0
 	}
+	s.staged = s.staged[:0]
+	s.stagedDst = s.stagedDst[:0]
 	idx := e.idIndex[l]
-	for i := 0; i < e.k; i++ {
+	for i := 0; i < k; i++ {
 		x := base + i
 		if !e.acting(x) {
 			continue
 		}
-		for _, m := range e.agents[x].Compose(&e.scr.envs[x]) {
+		for _, m := range e.agents[x].Compose(&s.envs[x]) {
 			m.From = e.ids[x]
 			if m.To == sim.Broadcast {
 				for _, en := range e.occ.laneMembers(e.pos[x], int32(l)) {
-					j := base + int(en.idx)
-					if j != x && e.acting(j) {
-						e.scr.inbox[j] = append(e.scr.inbox[j], m)
+					j := int(en.idx)
+					if j != i && e.acting(base+j) {
+						s.staged = append(s.staged, m)
+						s.stagedDst = append(s.stagedDst, int32(j))
+						counts[j]++
 					}
 				}
 				continue
@@ -627,8 +656,23 @@ func (e *Engine) communicateLane(l int) {
 			if jx == x || !e.acting(jx) || e.pos[jx] != e.pos[x] {
 				continue
 			}
-			e.scr.inbox[jx] = append(e.scr.inbox[jx], m)
+			s.staged = append(s.staged, m)
+			s.stagedDst = append(s.stagedDst, int32(j))
+			counts[j]++
 		}
+	}
+	cur := int32(len(s.inboxBuf))
+	for i := 0; i < k; i++ {
+		s.inboxOff[base+i] = cur
+		cur += counts[i]
+	}
+	s.inboxOff[base+k] = cur
+	s.inboxBuf = growTo(s.inboxBuf, int(cur))
+	copy(counts, s.inboxOff[base:base+k]) // counts become scatter cursors
+	for mi, m := range s.staged {
+		d := s.stagedDst[mi]
+		s.inboxBuf[counts[d]] = m
+		counts[d]++
 	}
 }
 
@@ -650,7 +694,8 @@ func (e *Engine) decideLane(l int) {
 			e.scr.acts[x] = sim.StayAction()
 			continue
 		}
-		e.scr.envs[x].Inbox = e.scr.inbox[x]
+		off := e.scr.inboxOff
+		e.scr.envs[x].Inbox = e.scr.inboxBuf[off[x]:off[x+1]:off[x+1]]
 		e.scr.acts[x] = e.agents[x].Decide(&e.scr.envs[x])
 	}
 }
@@ -769,8 +814,8 @@ func (e *Engine) applyMoves() {
 }
 
 // rebuildOcc reconstructs the combined occupancy index from the flat
-// position state: buckets are refilled lane-major, each lane's robots in
-// their fixed ID-sorted order, so every bucket comes out sorted by
+// position state: packs are refilled lane-major, each lane's robots in
+// their fixed ID-sorted order, so every pack comes out sorted by
 // (lane, robot ID) with nothing but appends. Lanes that are not live —
 // retired, or panicked earlier this round — drop out here; their entries
 // were invisible to every cross-lane reader already (observe and the lane
@@ -778,10 +823,11 @@ func (e *Engine) applyMoves() {
 // no-ops on entries the rebuild has dropped.
 func (e *Engine) rebuildOcc() {
 	o := &e.occ
-	for _, node := range o.occupied {
-		o.buckets[node] = o.buckets[node][:0]
+	for gi, node := range o.occupied {
+		o.packs[gi] = o.packs[gi][:0]
 		o.slot[node] = -1
 	}
+	o.packs = o.packs[:0]
 	o.occupied = o.occupied[:0]
 	o.sorted = true
 	for l := range e.state {
@@ -798,10 +844,11 @@ func (e *Engine) rebuildOcc() {
 				continue
 			}
 			node := e.pos[x]
-			b := o.buckets[node]
-			if len(b) == 0 {
-				o.insertOccupied(node)
+			gi := int(o.slot[node])
+			if gi < 0 {
+				gi = o.insertOccupied(node)
 			}
+			b := o.packs[gi]
 			if n := len(b); n > 0 && b[n-1].lane == lane {
 				if n == 1 || b[n-2].lane != lane {
 					o.laneMulti[l]++
@@ -809,7 +856,7 @@ func (e *Engine) rebuildOcc() {
 			} else {
 				o.laneNodes[l]++
 			}
-			o.buckets[node] = append(b, ent{lane: lane, idx: i})
+			o.packs[gi] = append(b, ent{lane: lane, idx: i})
 		}
 	}
 }

@@ -1,83 +1,100 @@
 package batch
 
-import (
-	"slices"
-	"sort"
-)
+import "sort"
 
 // ent locates one robot in the combined occupancy index: lane l, agent
-// index idx within that lane. Two int32s keep bucket entries at 8 bytes so
-// a node's whole bucket usually sits in one cache line even with many
+// index idx within that lane. Two int32s keep pack entries at 8 bytes so
+// a node's whole pack usually sits in one cache line even with many
 // lanes co-resident.
 type ent struct {
 	lane int32
 	idx  int32
 }
 
-// occupancy is the batch engine's combined occupancy index: one bucket
-// table over the shared graph's nodes holding the live robots of every
-// lane. Each bucket is sorted by (lane, robot ID), so a lane's robots on a
+// occupancy is the batch engine's combined occupancy index over the
+// shared graph, holding the live robots of every lane. Per-node state is
+// one int32 slot index (-1 = empty) into the dense occupied-node list;
+// the entry packs live in a parallel array with one entry per *occupied*
+// node. A million-node shared graph therefore costs 4 bytes per node
+// plus O(lanes·k) pack storage, instead of a 24-byte slice header per
+// node. Each pack is sorted by (lane, robot ID), so a lane's robots on a
 // node form one contiguous run — the scalar engine's ID-sorted bucket,
-// recoverable with a single binary search — while the ascending occupied
-// list lets a round's observe phase walk each CSR row exactly once for all
-// lanes present on it.
+// recoverable with a single binary search — while the occupied list lets
+// a round's observe phase walk each CSR row exactly once for all lanes
+// present on it.
+//
+// Order on occupied is maintained lazily: add/del mutate it with O(1)
+// append/swap-remove and mark it unsorted. The only reader that needs
+// deterministic ascending order — the lane views' group tables, backing
+// the Adversarial scheduler — calls ensureSorted first (which co-permutes
+// the packs); everything else is order-independent, so full/semi-sync
+// rounds never pay a sort.
+//
+// Pack storage is pooled exactly like the scalar index: an emptied pack
+// is parked past len of the packs array and reclaimed by the next
+// insertOccupied, keeping steady-state rounds allocation-free.
 //
 // Per-lane counters (occupied-node count, multi-occupied-node count) keep
 // the scalar index's O(1) allColocated / anyMeeting answers per lane.
 type occupancy struct {
-	buckets [][]ent // node -> entries sorted by (lane, robot ID)
+	slot     []int32 // node -> index into occupied/packs, -1 when empty
+	occupied []int   // nodes with at least one live robot
+	packs    [][]ent // packs[gi]: entries at occupied[gi], sorted by (lane, robot ID)
+	sorted   bool    // occupied is currently ascending
 
-	// occupied lists the nodes with at least one live robot. Order is
-	// maintained lazily: add/del mutate it with O(1) append/swap-remove
-	// (slot is the node -> position index) and mark it unsorted. The only
-	// reader that needs deterministic ascending order — the lane views'
-	// group tables, backing the Adversarial scheduler — calls ensureSorted
-	// first; everything else (the observe walk, the per-lane counters) is
-	// order-independent, so full/semi-sync rounds never pay a sort and a
-	// robot move never pays an O(occupied) memmove.
-	occupied []int
-	slot     []int // node -> index in occupied, -1 when unoccupied
-	sorted   bool  // occupied is currently ascending
+	sorter sort.Interface // reusable byNode wrapper; built once in grow
 
 	laneNodes []int // per lane: nodes holding >= 1 of its live robots
 	laneMulti []int // per lane: nodes holding >= 2 of its live robots
 }
 
-// grow ensures the bucket table covers n nodes; called when the engine
+// byNode co-sorts occupied and packs by node for ensureSorted.
+type byNode struct{ o *occupancy }
+
+func (s byNode) Len() int           { return len(s.o.occupied) }
+func (s byNode) Less(i, j int) bool { return s.o.occupied[i] < s.o.occupied[j] }
+func (s byNode) Swap(i, j int) {
+	o := s.o
+	o.occupied[i], o.occupied[j] = o.occupied[j], o.occupied[i]
+	o.packs[i], o.packs[j] = o.packs[j], o.packs[i]
+}
+
+// grow ensures the slot table covers n nodes; called when the engine
 // binds its graph. Storage only ever grows.
 func (o *occupancy) grow(n int) {
-	if len(o.buckets) < n {
-		next := make([][]ent, n)
-		copy(next, o.buckets)
-		o.buckets = next
+	if o.sorter == nil {
+		o.sorter = byNode{o}
 	}
 	for len(o.slot) < n {
 		o.slot = append(o.slot, -1)
 	}
 }
 
-// reset empties the index, truncating every occupied bucket in place and
+// reset empties the index, parking every occupied pack in place and
 // keeping all storage for the next batch.
 func (o *occupancy) reset() {
-	for _, node := range o.occupied {
-		o.buckets[node] = o.buckets[node][:0]
+	for gi, node := range o.occupied {
 		o.slot[node] = -1
+		o.packs[gi] = o.packs[gi][:0]
 	}
+	o.packs = o.packs[:0]
 	o.occupied = o.occupied[:0]
 	o.sorted = true
 	o.laneNodes = o.laneNodes[:0]
 	o.laneMulti = o.laneMulti[:0]
 }
 
-// ensureSorted restores the ascending order of the occupied list (and the
-// slot index into it) after a burst of lazy add/del mutations.
+// ensureSorted restores the ascending order of the occupied list (packs
+// are co-permuted, and the slot index rebuilt) after a burst of lazy
+// add/del mutations. The pre-built sorter keeps the sort.Sort call
+// allocation-free.
 func (o *occupancy) ensureSorted() {
 	if o.sorted {
 		return
 	}
-	slices.Sort(o.occupied)
+	sort.Sort(o.sorter)
 	for i, node := range o.occupied {
-		o.slot[node] = i
+		o.slot[node] = int32(i)
 	}
 	o.sorted = true
 }
@@ -88,8 +105,17 @@ func (o *occupancy) addLane() {
 	o.laneMulti = append(o.laneMulti, 0)
 }
 
+// bucket returns the entry pack of node (nil when unoccupied).
+func (o *occupancy) bucket(node int) []ent {
+	gi := o.slot[node]
+	if gi < 0 {
+		return nil
+	}
+	return o.packs[gi]
+}
+
 // laneRun returns the half-open [lo, hi) range of lane's entries in
-// bucket b. Buckets are sorted by (lane, robot ID); small buckets — the
+// pack b. Packs are sorted by (lane, robot ID); small packs — the
 // overwhelmingly common case on sparse instances — are scanned linearly,
 // large ones binary-searched, plus a short forward scan (runs are at most
 // k long).
@@ -113,18 +139,19 @@ func laneRun(b []ent, lane int32) (int, int) {
 // batch-side equivalent of the scalar engine's per-node bucket — without
 // copying.
 func (o *occupancy) laneMembers(node int, lane int32) []ent {
-	b := o.buckets[node]
+	b := o.bucket(node)
 	lo, hi := laneRun(b, lane)
 	return b[lo:hi]
 }
 
-// add inserts the robot (lane, idx) on node, keeping the bucket sorted by
-// (lane, robot ID). id is the robot's ID.
+// add inserts the robot (lane, idx) on node, keeping the node's pack
+// sorted by (lane, robot ID). id is the robot's ID.
 func (o *occupancy) add(lane, idx int32, node, id int, ids []int, k int) {
-	b := o.buckets[node]
-	if len(b) == 0 {
-		o.insertOccupied(node)
+	gi := int(o.slot[node])
+	if gi < 0 {
+		gi = o.insertOccupied(node)
 	}
+	b := o.packs[gi]
 	lo, hi := laneRun(b, lane)
 	switch hi - lo {
 	case 0:
@@ -140,18 +167,22 @@ func (o *occupancy) add(lane, idx int32, node, id int, ids []int, k int) {
 	b = append(b, ent{})
 	copy(b[p+1:], b[p:])
 	b[p] = ent{lane: lane, idx: idx}
-	o.buckets[node] = b
+	o.packs[gi] = b
 }
 
 // del removes the robot (lane, idx) from node.
 func (o *occupancy) del(lane, idx int32, node int) {
-	b := o.buckets[node]
+	gi := int(o.slot[node])
+	if gi < 0 {
+		return
+	}
+	b := o.packs[gi]
 	lo, hi := laneRun(b, lane)
 	for j := lo; j < hi; j++ {
 		if b[j].idx == idx {
 			copy(b[j:], b[j+1:])
 			b = b[:len(b)-1]
-			o.buckets[node] = b
+			o.packs[gi] = b
 			switch hi - lo {
 			case 1:
 				o.laneNodes[lane]--
@@ -166,23 +197,37 @@ func (o *occupancy) del(lane, idx int32, node int) {
 	}
 }
 
-// insertOccupied adds node to the occupied list (O(1); order restored
-// lazily by ensureSorted).
-func (o *occupancy) insertOccupied(node int) {
-	o.slot[node] = len(o.occupied)
+// insertOccupied adds node to the occupied list (O(1) swap-in of a
+// parked pack; order restored lazily by ensureSorted). It returns the
+// node's pack index.
+func (o *occupancy) insertOccupied(node int) int {
+	gi := len(o.occupied)
+	o.slot[node] = int32(gi)
 	o.occupied = append(o.occupied, node)
+	if cap(o.packs) > len(o.packs) {
+		o.packs = o.packs[:len(o.packs)+1]
+	} else {
+		o.packs = append(o.packs, nil)
+	}
+	o.packs[gi] = o.packs[gi][:0] // reclaim parked capacity, empty contents
 	o.sorted = false
+	return gi
 }
 
 // removeOccupied drops node from the occupied list by swap-remove (O(1);
-// order restored lazily by ensureSorted).
+// order restored lazily by ensureSorted), parking the emptied pack's
+// storage at the truncated end for reuse.
 func (o *occupancy) removeOccupied(node int) {
-	i := o.slot[node]
+	i := int(o.slot[node])
 	last := len(o.occupied) - 1
+	spare := o.packs[i]
 	moved := o.occupied[last]
 	o.occupied[i] = moved
-	o.slot[moved] = i
+	o.packs[i] = o.packs[last]
+	o.slot[moved] = int32(i)
 	o.occupied = o.occupied[:last]
+	o.packs[last] = spare[:0] // park for the next insertOccupied
+	o.packs = o.packs[:last]
 	o.slot[node] = -1
 	o.sorted = false
 }

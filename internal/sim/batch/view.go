@@ -45,8 +45,8 @@ func (v *laneView) refresh() {
 	v.groups = v.groups[:0]
 	occ := &v.e.occ
 	occ.ensureSorted()
-	for _, node := range occ.occupied {
-		lo, hi := laneRun(occ.buckets[node], v.lane)
+	for gi, node := range occ.occupied {
+		lo, hi := laneRun(occ.packs[gi], v.lane)
 		if lo < hi {
 			v.groups = append(v.groups, groupRef{node: int32(node), lo: int32(lo), hi: int32(hi)})
 		}
@@ -74,7 +74,7 @@ func (v *laneView) Groups() int {
 func (v *laneView) Group(gi int) (int, []int) {
 	v.refresh()
 	gr := v.groups[gi]
-	b := v.e.occ.buckets[gr.node]
+	b := v.e.occ.bucket(int(gr.node))
 	v.members = v.members[:0]
 	for _, en := range b[gr.lo:gr.hi] {
 		v.members = append(v.members, int(en.idx))

@@ -2,38 +2,49 @@ package sim
 
 import "sort"
 
-// occupancy is the engine's incrementally-maintained robot-location index:
-// one bucket of agent indices per node, each bucket kept sorted by robot
-// ID, plus the ascending list of occupied nodes and O(1) gathering
-// counters. It replaces the per-round global sort of the monolithic
-// engine: a round that moves m robots costs O(m · groupsize) index work
-// instead of O(k log k) re-sorting, and the first-meet / all-colocated
-// checks become counter reads instead of scans.
+// occupancy is the engine's incrementally-maintained robot-location index.
+// Per-node state is a single int32 slot index (-1 = empty) into the dense
+// occupied-node list; the agent-index packs live in a parallel array with
+// one entry per *occupied* node. A million-node world therefore costs 4
+// bytes per node plus O(k) pack storage, instead of the 24-byte slice
+// header per node the old node-indexed bucket table paid. Packs are kept
+// sorted by robot ID, occupied stays ascending, and the gathering checks
+// remain O(1) counter reads.
+//
+// Pack storage is pooled: a pack whose node empties is parked in the
+// spare region of the packs array past len (its capacity survives), and
+// the next node to become occupied reclaims it — so steady-state rounds
+// allocate nothing, the contract the 0-alloc CI gates pin.
 //
 // Crashed robots are removed from the index (they disappear from the
 // system); terminated robots remain (they stay visible and in place).
 type occupancy struct {
 	ids      []int   // agent index -> robot ID (set once at init)
-	buckets  [][]int // node -> agent indices present, ascending by robot ID
-	occupied []int   // nodes with non-empty buckets, ascending
+	slot     []int32 // node -> index into occupied/packs, -1 when empty
+	occupied []int   // nodes with robots present, ascending
+	packs    [][]int // packs[gi]: agent indices at occupied[gi], ascending by robot ID
 	multi    int     // occupied nodes holding >= 2 robots
 	count    int     // robots currently in the index
 }
 
 // reset (re)builds the index for a world with the given per-agent IDs and
 // starting positions; on a zero-value occupancy it is the initial build.
-// Re-indexing allocates nothing: every bucket that held robots is
-// truncated in place (keeping its capacity) and refilled — add keeps
-// buckets ID-sorted on every insertion, so fill order is irrelevant to
-// the final index state. The bucket table is reused whenever it is large
-// enough and only reallocated on growth, matching World.Reset's grow-only
-// contract.
+// Re-indexing is O(k): only the slots of previously-occupied nodes are
+// cleared, and pack storage is parked rather than dropped, so a reset
+// allocates nothing once the world has run — matching World.Reset's
+// grow-only contract. The full O(nodes) slot fill happens only on first
+// build or graph growth.
 func (o *occupancy) reset(nNodes int, ids, pos []int) {
-	for _, node := range o.occupied {
-		o.buckets[node] = o.buckets[node][:0]
+	for gi, node := range o.occupied {
+		o.slot[node] = -1
+		o.packs[gi] = o.packs[gi][:0]
 	}
-	if len(o.buckets) < nNodes {
-		o.buckets = make([][]int, nNodes)
+	o.packs = o.packs[:0]
+	if len(o.slot) < nNodes {
+		o.slot = make([]int32, nNodes)
+		for i := range o.slot {
+			o.slot[i] = -1
+		}
 	}
 	o.ids = ids
 	o.occupied = o.occupied[:0]
@@ -44,35 +55,72 @@ func (o *occupancy) reset(nNodes int, ids, pos []int) {
 	}
 }
 
-// add inserts robot i at node, keeping the bucket ID-sorted.
+// at returns the ID-sorted agent indices at node (nil when unoccupied).
+func (o *occupancy) at(node int) []int {
+	gi := o.slot[node]
+	if gi < 0 {
+		return nil
+	}
+	return o.packs[gi]
+}
+
+// minPackCap is the floor capacity of every allocated pack. Pack storage
+// is recycled by *position* (parked spares, index reuse across resets),
+// not by size, so without a floor a spare that last held one robot can be
+// reclaimed for a node holding several and force a mid-round realloc. With
+// the floor, every spare ever allocated fits any pack up to minPackCap
+// robots, which keeps warm resets and steps at the 0-alloc contract the
+// CI gates pin; only genuinely crowded nodes (> minPackCap co-located
+// robots) grow beyond it.
+const minPackCap = 8
+
+// growPack returns b with room for one more element, allocating at least
+// minPackCap (and at least doubling) when b is full.
+func growPack(b []int) []int {
+	if len(b) < cap(b) {
+		return b
+	}
+	c := 2 * cap(b)
+	if c < minPackCap {
+		c = minPackCap
+	}
+	nb := make([]int, len(b), c)
+	copy(nb, b)
+	return nb
+}
+
+// add inserts robot i at node, keeping the node's pack ID-sorted.
 func (o *occupancy) add(i, node int) {
-	b := o.buckets[node]
-	switch len(b) {
-	case 0:
-		o.insertOccupied(node)
-	case 1:
+	gi := int(o.slot[node])
+	if gi < 0 {
+		gi = o.insertOccupied(node)
+	} else if len(o.packs[gi]) == 1 {
 		o.multi++
 	}
-	// Insertion position by robot ID; buckets are tiny in practice, so a
+	// Insertion position by robot ID; packs are tiny in practice, so a
 	// backward scan beats binary search bookkeeping.
-	b = append(b, i)
+	b := append(growPack(o.packs[gi]), i)
 	j := len(b) - 1
 	for j > 0 && o.ids[b[j-1]] > o.ids[i] {
 		b[j] = b[j-1]
 		j--
 	}
 	b[j] = i
-	o.buckets[node] = b
+	o.packs[gi] = b
 	o.count++
 }
 
-// del removes robot i from node's bucket.
+// del removes robot i from node's pack.
 func (o *occupancy) del(i, node int) {
-	b := o.buckets[node]
+	gi := int(o.slot[node])
+	if gi < 0 {
+		return
+	}
+	b := o.packs[gi]
 	for j, x := range b {
 		if x == i {
 			copy(b[j:], b[j+1:])
-			o.buckets[node] = b[:len(b)-1]
+			o.packs[gi] = b[:len(b)-1]
 			switch len(b) - 1 {
 			case 0:
 				o.removeOccupied(node)
@@ -94,17 +142,45 @@ func (o *occupancy) move(i, from, to int) {
 	o.add(i, to)
 }
 
-func (o *occupancy) insertOccupied(node int) {
+// insertOccupied opens a slot for node in the ascending occupied list,
+// shifting the tail and recycling a parked pack for the new entry. It
+// returns the node's pack index.
+func (o *occupancy) insertOccupied(node int) int {
 	j := sort.SearchInts(o.occupied, node)
 	o.occupied = append(o.occupied, 0)
 	copy(o.occupied[j+1:], o.occupied[j:])
 	o.occupied[j] = node
+	// Grow packs by one, reclaiming the parked spare past the old length
+	// when one exists (removeOccupied parks there).
+	if cap(o.packs) > len(o.packs) {
+		o.packs = o.packs[:len(o.packs)+1]
+	} else {
+		o.packs = append(o.packs, nil)
+	}
+	spare := o.packs[len(o.packs)-1]
+	copy(o.packs[j+1:], o.packs[j:])
+	o.packs[j] = spare[:0]
+	for x := j; x < len(o.occupied); x++ {
+		o.slot[o.occupied[x]] = int32(x)
+	}
+	return j
 }
 
+// removeOccupied closes node's slot, shifting the tail down and parking
+// the emptied pack's storage at the truncated end for reuse.
 func (o *occupancy) removeOccupied(node int) {
-	j := sort.SearchInts(o.occupied, node)
+	j := int(o.slot[node])
+	o.slot[node] = -1
+	spare := o.packs[j]
+	last := len(o.occupied) - 1
 	copy(o.occupied[j:], o.occupied[j+1:])
-	o.occupied = o.occupied[:len(o.occupied)-1]
+	o.occupied = o.occupied[:last]
+	copy(o.packs[j:], o.packs[j+1:last+1])
+	o.packs[last] = spare[:0] // park for the next insertOccupied
+	o.packs = o.packs[:last]
+	for x := j; x < last; x++ {
+		o.slot[o.occupied[x]] = int32(x)
+	}
 }
 
 // anyMeeting reports whether some node holds two or more robots.

@@ -303,8 +303,7 @@ func (w *World) Groups() int { return len(w.occ.occupied) }
 // order and its ID-sorted bucket of live robots, straight from the
 // occupancy index.
 func (w *World) Group(gi int) (int, []int) {
-	node := w.occ.occupied[gi]
-	return node, w.occ.buckets[node]
+	return w.occ.occupied[gi], w.occ.packs[gi]
 }
 
 func (w *World) noteGather() {
@@ -349,29 +348,41 @@ func (w *World) Step() {
 }
 
 // scratch is the reusable per-round working state of the phase pipeline.
+// Per-robot views are carved out of flat arenas instead of per-robot
+// sub-slices: othersBuf holds every acting robot's co-located cards as
+// contiguous runs (Env.Others aliases a run for the duration of the
+// round), and messages are staged in compose order (staged/stagedDst)
+// then counting-sorted into inboxBuf with per-robot extents in inboxOff.
+// Memory is therefore O(k + traffic) flat words — no O(k) slice headers
+// holding pooled capacity per robot.
 type scratch struct {
-	active   []bool
-	cards    []Card
-	envs     []Env
-	others   [][]Card
-	inbox    [][]Message
-	acts     []Action
-	resolved []mv
-	state    []int
+	active    []bool
+	cards     []Card
+	envs      []Env
+	othersBuf []Card    // flat arena of co-located-card runs, truncated per round
+	staged    []Message // messages in sender/compose order, pre-delivery
+	stagedDst []int32   // staged[t] is addressed to agent index stagedDst[t]
+	inboxBuf  []Message // delivered messages, grouped by recipient
+	inboxOff  []int32   // len k+1; inboxBuf[inboxOff[i]:inboxOff[i+1]] = robot i's inbox
+	counts    []int32   // per-recipient counters for the counting sort
+	acts      []Action
+	resolved  []mv
+	state     []int
 }
 
 // ensureScratch sizes the per-round scratch to the current robot count:
 // allocated on first use, resliced within capacity after a same-or-smaller
-// Reset (the per-robot sub-slices keep their grown capacity), reallocated
-// only when the world grows past every previous high-water mark.
+// Reset, reallocated only when the world grows past every previous
+// high-water mark. The arenas (othersBuf, staged, inboxBuf) grow by
+// appending during the round and keep their high-water capacity.
 func (w *World) ensureScratch() *scratch {
 	s := &w.scratch
 	if n := len(w.agents); len(s.cards) != n {
 		s.active = growSlice(s.active, n)
 		s.cards = growSlice(s.cards, n)
 		s.envs = growSlice(s.envs, n)
-		s.others = growSlice(s.others, n)
-		s.inbox = growSlice(s.inbox, n)
+		s.inboxOff = growSlice(s.inboxOff, n+1)
+		s.counts = growSlice(s.counts, n)
 		s.acts = growSlice(s.acts, n)
 		s.resolved = growSlice(s.resolved, n)
 		s.state = growSlice(s.state, n)
@@ -415,27 +426,31 @@ func (w *World) snapshotCards(s *scratch) {
 }
 
 // observe assembles each acting robot's view: the ID-sorted cards of its
-// co-located robots, read straight from the occupancy index buckets, and
-// the per-robot Env scratch handed to Compose and Decide.
+// co-located robots, read straight from the occupancy index packs into
+// contiguous runs of the flat othersBuf arena, and the per-robot Env
+// scratch handed to Compose and Decide. Runs stay valid for the round
+// even if a later append grows the arena — the old backing array keeps
+// the already-carved views, and cards are immutable once snapshotted.
 func (w *World) observe(s *scratch) {
-	for _, node := range w.occ.occupied {
-		members := w.occ.buckets[node]
+	s.othersBuf = s.othersBuf[:0]
+	for gi, node := range w.occ.occupied {
+		members := w.occ.packs[gi]
 		for _, i := range members {
 			if !w.acting(s, i) {
 				continue
 			}
-			list := s.others[i][:0]
+			start := len(s.othersBuf)
 			for _, j := range members {
 				if j != i {
-					list = append(list, s.cards[j])
+					s.othersBuf = append(s.othersBuf, s.cards[j])
 				}
 			}
-			s.others[i] = list
+			end := len(s.othersBuf)
 			s.envs[i] = Env{
 				Round:       w.round,
 				Degree:      w.g.Degree(node),
 				ArrivalPort: w.arrival[i],
-				Others:      list,
+				Others:      s.othersBuf[start:end:end],
 			}
 		}
 	}
@@ -447,8 +462,12 @@ func (w *World) observe(s *scratch) {
 // crashed or frozen robots are dropped, like any non-co-located
 // destination in the F2F model.
 func (w *World) communicate(s *scratch) {
-	for i := range s.inbox {
-		s.inbox[i] = s.inbox[i][:0]
+	k := len(w.agents)
+	s.staged = s.staged[:0]
+	s.stagedDst = s.stagedDst[:0]
+	counts := s.counts[:k]
+	for i := range counts {
+		counts[i] = 0
 	}
 	for i, a := range w.agents {
 		if !w.acting(s, i) {
@@ -457,9 +476,11 @@ func (w *World) communicate(s *scratch) {
 		for _, m := range a.Compose(&s.envs[i]) {
 			m.From = w.ids[i]
 			if m.To == Broadcast {
-				for _, j := range w.occ.buckets[w.pos[i]] {
+				for _, j := range w.occ.at(w.pos[i]) {
 					if j != i && w.acting(s, j) {
-						s.inbox[j] = append(s.inbox[j], m)
+						s.staged = append(s.staged, m)
+						s.stagedDst = append(s.stagedDst, int32(j))
+						counts[j]++
 					}
 				}
 				continue
@@ -468,8 +489,25 @@ func (w *World) communicate(s *scratch) {
 			if !ok || j == i || !w.acting(s, j) || w.pos[j] != w.pos[i] {
 				continue
 			}
-			s.inbox[j] = append(s.inbox[j], m)
+			s.staged = append(s.staged, m)
+			s.stagedDst = append(s.stagedDst, int32(j))
+			counts[j]++
 		}
+	}
+	// Stable counting sort of the staged messages into per-recipient runs:
+	// stability preserves the delivery-order contract (sender agent index,
+	// then compose order) the per-robot append inboxes implemented.
+	s.inboxBuf = growSlice(s.inboxBuf, len(s.staged))
+	off := s.inboxOff[:k+1]
+	off[0] = 0
+	for i := 0; i < k; i++ {
+		off[i+1] = off[i] + counts[i]
+	}
+	copy(counts, off[:k]) // reuse counters as write cursors
+	for t, m := range s.staged {
+		d := s.stagedDst[t]
+		s.inboxBuf[counts[d]] = m
+		counts[d]++
 	}
 }
 
@@ -480,7 +518,7 @@ func (w *World) decide(s *scratch) {
 			s.acts[i] = StayAction()
 			continue
 		}
-		s.envs[i].Inbox = s.inbox[i]
+		s.envs[i].Inbox = s.inboxBuf[s.inboxOff[i]:s.inboxOff[i+1]:s.inboxOff[i+1]]
 		s.acts[i] = a.Decide(&s.envs[i])
 	}
 }

@@ -44,19 +44,39 @@ func (m Mode) String() string {
 	return "scaled"
 }
 
+// maxLength caps the computed sequence length: far beyond any simulable
+// horizon, far below int overflow. Without it the n³/n⁵ products wrap
+// negative around n = 2²⁰ and WithLength panics, so million-node configs
+// clamp instead — the clamped T still exceeds every round budget a run
+// could execute.
+const maxLength = 1 << 60
+
 // Length returns the sequence length T for graphs of n nodes under the
 // given mode. All robots in a run must use the same mode so their phase
 // schedules agree, exactly as all the paper's robots share one T.
+// Lengths beyond 2⁶⁰ saturate rather than overflow.
 func Length(m Mode, n int) int {
 	if n <= 1 {
 		return 1
 	}
+	nn := satMul(satMul(int64(n), int64(n)), int64(n))
 	switch m {
 	case Faithful:
-		return n * n * n * n * n * ceilLog2(n)
+		return int(satMul(satMul(satMul(nn, int64(n)), int64(n)), int64(ceilLog2(n))))
 	default:
-		return 8 * n * n * n
+		return int(satMul(8, nn))
 	}
+}
+
+// satMul multiplies non-negative operands, saturating at maxLength.
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > maxLength/b {
+		return maxLength
+	}
+	return a * b
 }
 
 func ceilLog2(n int) int {

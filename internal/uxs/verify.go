@@ -46,7 +46,7 @@ func certify(g *graph.Graph, m Mode) *UXS {
 	n := g.N()
 	u := New(n, m)
 	for !u.Covers(g) {
-		u = WithLength(n, u.length*2)
+		u = WithLength(n, int(satMul(int64(u.length), 2)))
 	}
 	return u
 }

@@ -5,7 +5,7 @@
 # the result as an artifact, so the performance record is machine-diffable
 # across PRs.
 #
-#   awk -f scripts/benchjson.awk bench.txt > BENCH_PR7.json
+#   awk -f scripts/benchjson.awk bench.txt > BENCH_PR8.json
 
 BEGIN { printf "[" }
 

@@ -4,7 +4,11 @@
 # this script so the format stays parseable by this script (POSIX awk —
 # CI's default awk is mawk):
 #
-#   {"entry":"PR7","name":"BenchmarkStepHotLoop/k=64","ns_op":1234.5,"allocs_op":0,"ns_rw":null}
+#   {"entry":"PR7","name":"BenchmarkStepHotLoop/k=64","ns_op":1234.5,"allocs_op":0,"ns_rw":null,"b_node":null,"b_robot":null}
+#
+# (b_node/b_robot — the memory-footprint metrics B/node and B/robot — are
+# omitted entirely by entries older than PR8; field() returns "" for them,
+# which gates exactly like null.)
 #
 # Entries are appended, never rewritten: the ledger is the repo's perf
 # trajectory, and CI diffs each run against the ledger's LAST entry. Two
@@ -26,6 +30,11 @@
 #               over the iteration count, which varies), and must run
 #               within -v factor=F times the recorded ns/op and ns/rw
 #               (wall time crosses machines, so the default factor is 3).
+#               Recorded b_node/b_robot memory footprints are gated with
+#               the tighter -v memfactor=F (default 1.25): retained bytes
+#               are deterministic for a fixed allocation sequence, so even
+#               a pointer-per-node structure creeping back in — a small
+#               relative change against the flat CSR arrays — trips it.
 #               New benchmarks absent from the ledger pass — they join it
 #               at the next append.
 #
@@ -64,6 +73,8 @@ BEGIN {
 	}
 	if (factor == "")
 		factor = 3
+	if (memfactor == "")
+		memfactor = 1.25
 }
 
 # --- bench-output lines (append mode input; gate mode's second file) ----
@@ -74,15 +85,20 @@ BEGIN {
 	ns = metric("ns/op")
 	allocs = metric("allocs/op")
 	rw = metric("ns/rw")
+	bn = metric("B/node")
+	br = metric("B/robot")
 	if (ns == "")
 		next
 	if (mode == "append") {
-		printf "{\"entry\":\"%s\",\"name\":\"%s\",\"ns_op\":%s,\"allocs_op\":%s,\"ns_rw\":%s}\n", \
-			label, name, ns, (allocs == "" ? "null" : allocs), (rw == "" ? "null" : rw)
+		printf "{\"entry\":\"%s\",\"name\":\"%s\",\"ns_op\":%s,\"allocs_op\":%s,\"ns_rw\":%s,\"b_node\":%s,\"b_robot\":%s}\n", \
+			label, name, ns, (allocs == "" ? "null" : allocs), (rw == "" ? "null" : rw), \
+			(bn == "" ? "null" : bn), (br == "" ? "null" : br)
 	} else {
 		curns[name] = ns
 		curallocs[name] = allocs
 		currw[name] = rw
+		curbn[name] = bn
+		curbr[name] = br
 	}
 	next
 }
@@ -97,11 +113,15 @@ mode == "gate" && /^\{"entry":/ {
 		delete ledns
 		delete ledallocs
 		delete ledrw
+		delete ledbn
+		delete ledbr
 	}
 	nm = field($0, "name")
 	ledns[nm] = field($0, "ns_op")
 	ledallocs[nm] = field($0, "allocs_op")
 	ledrw[nm] = field($0, "ns_rw")
+	ledbn[nm] = field($0, "b_node")
+	ledbr[nm] = field($0, "b_robot")
 	next
 }
 
@@ -134,6 +154,14 @@ END {
 		}
 		if (ledrw[nm] != "null" && currw[nm] != "" && currw[nm] + 0 > ledrw[nm] * factor) {
 			print "benchledger: " nm " ns/rw regressed: " currw[nm] " > " factor "x ledger " ledrw[nm] " (entry " lastentry ")"
+			bad++
+		}
+		if (ledbn[nm] != "null" && ledbn[nm] != "" && curbn[nm] != "" && curbn[nm] + 0 > ledbn[nm] * memfactor) {
+			print "benchledger: " nm " B/node regressed: " curbn[nm] " > " memfactor "x ledger " ledbn[nm] " (entry " lastentry ")"
+			bad++
+		}
+		if (ledbr[nm] != "null" && ledbr[nm] != "" && curbr[nm] != "" && curbr[nm] + 0 > ledbr[nm] * memfactor) {
+			print "benchledger: " nm " B/robot regressed: " curbr[nm] " > " memfactor "x ledger " ledbr[nm] " (entry " lastentry ")"
 			bad++
 		}
 	}
