@@ -33,6 +33,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,9 +42,9 @@ import (
 
 	"repro/internal/gather"
 	"repro/internal/graph"
-	"repro/internal/place"
 	"repro/internal/prof"
 	"repro/internal/runner"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/sim/batch"
 )
@@ -68,6 +70,7 @@ func gathersim() int {
 		seeds     = flag.Int("seeds", 1, "run this many consecutive seeds as a parallel batch on one shared graph")
 		parallel  = flag.Int("parallel", 0, "batch worker-pool size (0 = GOMAXPROCS, 1 = serial)")
 		batchW    = flag.Int("batch", 8, "lockstep batch width for -seeds mode: worlds stepped together per worker (0 = scalar path); output is bit-identical at every width")
+		ndjson    = flag.Bool("ndjson", false, "emit the seed sweep as NDJSON rows through the sweep-service executor — byte-identical to a sweepd response for the same tuple")
 		phases    = flag.Bool("phases", false, "measure per-phase engine time (observe/communicate/decide/resolve/apply) and print the totals")
 		maxRounds = flag.Int("max-rounds", 0, "round cap (0 = algorithm-derived bound)")
 		trace     = flag.Int("trace", 0, "log positions every N rounds (0 = off)")
@@ -108,12 +111,18 @@ func gathersim() int {
 
 	prof.EnablePhases(*phases)
 
-	if *seeds > 1 {
+	switch {
+	case *ndjson:
+		if *trace > 0 || *dotFile != "" {
+			fmt.Fprintln(os.Stderr, "gathersim: -trace and -dot apply to single runs only; ignored in -ndjson mode")
+		}
+		err = runNDJSON(spec, *algo, *placement, *sched, *k, *radius, *seed, *seeds, *maxRounds, *parallel, *batchW)
+	case *seeds > 1:
 		if *trace > 0 || *dotFile != "" {
 			fmt.Fprintln(os.Stderr, "gathersim: -trace and -dot apply to single runs only; ignored in -seeds batch mode")
 		}
 		err = runBatch(wl, *algo, *placement, *sched, *k, *radius, *seed, *seeds, *parallel, *batchW, *maxRounds, *times)
-	} else {
+	default:
 		err = run(wl, *algo, *placement, *sched, *dotFile, *k, *radius, *seed, *maxRounds, *trace)
 	}
 	if err == nil && *phases {
@@ -164,59 +173,35 @@ func printCatalog() {
 	}
 }
 
-// certifyMaxNodes bounds the instance sizes that get UXS certification (a
-// coverage walk of the whole sequence) and a printed diameter (all-pairs
-// BFS): both are superlinear and infeasible at the million-node scale
-// workloads. Larger instances run with the uncertified Θ(n³) sequence
-// length and print "n/a" for the diameter. Every CI diff-gate workload is
-// at or below the bound, so their output is byte-identical.
-const certifyMaxNodes = 1 << 14
+// The scenario-building core — placement engines, scheduler derivation,
+// world construction, the certification/diameter size bound — lives in
+// internal/serve, shared verbatim with the sweepd service so the two
+// paths cannot drift; the wrappers below keep this file's call sites
+// readable.
 
 // certifyScenario runs the scenario's UXS certification when the instance
 // is small enough for the coverage walk to be feasible.
-func certifyScenario(sc *gather.Scenario) {
-	if sc.G.N() <= certifyMaxNodes {
-		sc.Certify()
-	}
-}
+func certifyScenario(sc *gather.Scenario) { serve.CertifyScenario(sc) }
 
 // diameterLabel formats the graph's diameter, or "n/a" when the instance
 // is too large for the all-pairs BFS.
 func diameterLabel(g *graph.Graph) string {
-	if g.N() > certifyMaxNodes {
+	d, ok := serve.Diameter(g)
+	if !ok {
 		return "n/a"
 	}
-	return fmt.Sprintf("%d", g.Diameter())
+	return fmt.Sprintf("%d", d)
 }
 
-// buildSched parses the -sched spec into a fresh per-run scheduler. The
-// SemiSync stream seed is decorrelated from the scenario seed (which
-// already drives the graph, ports, IDs and placement) by a fixed bit
-// flip, so activation patterns and topology draws never share a stream
-// state.
+// buildSched parses the -sched spec into a fresh per-run scheduler (see
+// serve.BuildSched for the seed-decorrelation contract).
 func buildSched(spec string, seed uint64) (sim.Scheduler, error) {
-	return sim.ParseScheduler(spec, seed^0x5EEDC0DEC0FFEE42)
+	return serve.BuildSched(spec, seed)
 }
 
 // placeRobots draws k starting positions on g with the requested engine.
 func placeRobots(g *graph.Graph, placement string, k int, rng *graph.RNG) ([]int, error) {
-	n := g.N()
-	switch placement {
-	case "maxmin":
-		pos := place.MaxMinDispersed(g, min(k, n), rng)
-		for len(pos) < k { // more robots than nodes: stack the extras
-			pos = append(pos, rng.Intn(n))
-		}
-		return pos, nil
-	case "random":
-		return place.Random(g, k, rng), nil
-	case "dispersed":
-		return place.RandomDispersed(g, k, rng), nil
-	case "clustered":
-		return place.Clustered(g, k, max(1, k/2), rng), nil
-	default:
-		return nil, fmt.Errorf("unknown placement %q", placement)
-	}
+	return serve.PlaceRobots(g, placement, k, rng)
 }
 
 // buildScenario instantiates the requested scenario shape from one seed:
@@ -240,32 +225,44 @@ func buildScenario(wl *graph.Workload, placement string, k int, seed uint64) (*g
 }
 
 // buildWorld loads the scenario into a world for the requested algorithm
-// and returns it with the algorithm-derived round cap (gather.AlgoCap —
-// shared with the lockstep batch path, so both always run identical round
-// budgets). A non-nil arena pools the world and agents across calls
-// (batch mode hands each worker one); nil builds fresh.
+// and returns it with the algorithm-derived round cap; see
+// serve.BuildWorld for the pooling and round-budget contract.
 func buildWorld(sc *gather.Scenario, algo string, radius int, arena *gather.Arena) (*sim.World, int, error) {
-	cap, err := sc.AlgoCap(algo, radius)
+	return serve.BuildWorld(sc, algo, radius, arena)
+}
+
+// runNDJSON routes the seed sweep through the sweep-service executor and
+// prints the NDJSON body: one header row, one row per seed, one
+// aggregate row. The CLI flags are serialized into a sweep request and
+// parsed by the SAME decoder the service uses, so validation, defaults
+// and execution are the service's own — which is what makes this output
+// byte-identical to a sweepd response for the same tuple (the CI
+// conformance gate diffs the two).
+func runNDJSON(workload, algo, placement, sched string, k, radius int, seed uint64, seeds, maxRounds, parallel, batchW int) error {
+	raw, err := json.Marshal(serve.SweepRequest{
+		Workload:  workload,
+		Algo:      algo,
+		K:         k,
+		Radius:    radius,
+		Placement: placement,
+		Sched:     sched,
+		Seed:      seed,
+		Seeds:     seeds,
+		MaxRounds: maxRounds,
+	})
 	if err != nil {
-		return nil, 0, err
+		return err
 	}
-	var w *sim.World
-	switch algo {
-	case "faster":
-		w, err = sc.NewFasterWorldIn(arena)
-	case "uxs":
-		w, err = sc.NewUXSWorldIn(arena)
-	case "undispersed":
-		w, err = sc.NewUndispersedWorldIn(arena)
-	case "hopmeet":
-		w, err = sc.NewHopMeetWorldIn(arena, radius)
-	case "dessmark":
-		w, err = sc.NewDessmarkWorldIn(arena)
-	case "beep":
-		// The beeping-model algorithm is defined for at most two robots.
-		w, err = sc.NewBeepWorldIn(arena)
+	req, err := serve.ParseSweepRequest(raw)
+	if err != nil {
+		return err
 	}
-	return w, cap, err
+	body, err := serve.ExecuteNDJSON(context.Background(), req, serve.ExecConfig{Parallel: parallel, Batch: batchW})
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(body)
+	return err
 }
 
 func run(wl *graph.Workload, algo, placement, sched, dotFile string, k, radius int, seed uint64, maxRounds, trace int) error {

@@ -99,6 +99,12 @@ var DeterministicPackages = []string{
 	"repro/internal/uxs",
 	"repro/internal/expt",
 	"repro/internal/place",
+	// The sweep service's request→response path must be a pure function
+	// of the request for the content-addressed result cache to be sound;
+	// its only sanctioned wall-clock reads are the annotated metrics
+	// probes in serve/clock.go (the server's timeouts live in cmd/sweepd,
+	// outside the set).
+	"repro/internal/serve",
 }
 
 // IsDeterministic reports whether the import path is inside the

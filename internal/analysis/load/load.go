@@ -2,9 +2,10 @@
 // repolint analyzers consume. It is the stdlib-only stand-in for
 // golang.org/x/tools/go/packages: target packages are parsed from source
 // (comments retained, in-package _test.go files included, external _test
-// packages checked as their own unit), while their dependencies are
-// imported from the compiler's export data, which `go list -export`
-// builds on demand into the build cache. That keeps a full-tree lint run
+// packages checked as their own unit importing the test-augmented package
+// under test, so export_test.go helpers resolve), while their other
+// dependencies are imported from the compiler's export data, which
+// `go list -export` builds on demand into the build cache. That keeps a full-tree lint run
 // at parse-and-check cost for the repo's own files only.
 package load
 
@@ -103,16 +104,29 @@ func Load(patterns []string) ([]*Package, error) {
 
 	var out []*Package
 	for _, t := range targets {
+		// The in-package unit is checked from source WITH its test files,
+		// mirroring how `go test` compiles the package under test; the
+		// resulting types.Package therefore carries export_test.go symbols.
+		var inPkg *Package
 		if len(t.GoFiles)+len(t.TestGoFiles) > 0 {
 			files := append(append([]string{}, t.GoFiles...), t.TestGoFiles...)
 			pkg, err := check(fset, imp, t.ImportPath, t.Dir, files)
 			if err != nil {
 				return nil, err
 			}
+			inPkg = pkg
 			out = append(out, pkg)
 		}
 		if len(t.XTestGoFiles) > 0 {
-			pkg, err := check(fset, imp, t.ImportPath+"_test", t.Dir, t.XTestGoFiles)
+			// The external test unit must import the test-AUGMENTED package
+			// under test, not its export data: export data is built from
+			// GoFiles alone, so test-only exports (export_test.go) would be
+			// undefined through it.
+			ximp := imp
+			if inPkg != nil {
+				ximp = &testImporter{base: imp, path: t.ImportPath, pkg: inPkg.Types}
+			}
+			pkg, err := check(fset, ximp, t.ImportPath+"_test", t.Dir, t.XTestGoFiles)
 			if err != nil {
 				return nil, err
 			}
@@ -121,6 +135,22 @@ func Load(patterns []string) ([]*Package, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
+}
+
+// testImporter resolves the package under test to its source-checked,
+// test-augmented types.Package and defers everything else to the export
+// data importer.
+type testImporter struct {
+	base types.Importer
+	path string
+	pkg  *types.Package
+}
+
+func (ti *testImporter) Import(path string) (*types.Package, error) {
+	if path == ti.path {
+		return ti.pkg, nil
+	}
+	return ti.base.Import(path)
 }
 
 // check parses and type-checks one package's files.

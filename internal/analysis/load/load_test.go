@@ -44,3 +44,24 @@ func TestLoadTypedPackage(t *testing.T) {
 		t.Error("types.Info maps are empty")
 	}
 }
+
+// TestLoadExternalTestPackage pins the export_test.go contract: an
+// external _test package must type-check against the test-augmented
+// package under test, so helpers exported only to tests resolve.
+// internal/serve is the in-tree example (export_test.go +
+// package serve_test).
+func TestLoadExternalTestPackage(t *testing.T) {
+	pkgs, err := Load([]string{"repro/internal/serve"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2 (serve + serve_test)", len(pkgs))
+	}
+	if pkgs[0].Path != "repro/internal/serve" || pkgs[1].Path != "repro/internal/serve_test" {
+		t.Fatalf("paths %q, %q", pkgs[0].Path, pkgs[1].Path)
+	}
+	if pkgs[0].Types.Scope().Lookup("NewCacheWithClock") == nil {
+		t.Error("in-package unit is missing export_test.go symbols")
+	}
+}

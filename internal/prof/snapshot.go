@@ -1,0 +1,31 @@
+package prof
+
+// PhaseSnapshot is the JSON-ready export of the phase registry: a
+// point-in-time copy of the accumulated per-phase nanoseconds, in the
+// pipeline's execution order. It exists for surfaces that report phase
+// totals over a wire (the sweepd /metrics endpoint) rather than to a
+// terminal: field names and order are fixed by the struct, so the encoded
+// form is stable and diffable. Snapshots are measurement, not results —
+// they never feed anything the determinism gates hash.
+type PhaseSnapshot struct {
+	Observe     int64 `json:"observe_ns"`
+	Communicate int64 `json:"communicate_ns"`
+	Decide      int64 `json:"decide_ns"`
+	Resolve     int64 `json:"resolve_ns"`
+	Apply       int64 `json:"apply_ns"`
+}
+
+// Snapshot reads the accumulated phase totals into an export struct. Each
+// counter is loaded atomically; the snapshot as a whole is not a
+// consistent cut across phases (workers may be mid-round), which is fine
+// for the cumulative where-does-round-time-go view it serves.
+func Snapshot() PhaseSnapshot {
+	t := PhaseTotals()
+	return PhaseSnapshot{
+		Observe:     int64(t[PhaseObserve]),
+		Communicate: int64(t[PhaseCommunicate]),
+		Decide:      int64(t[PhaseDecide]),
+		Resolve:     int64(t[PhaseResolve]),
+		Apply:       int64(t[PhaseApply]),
+	}
+}

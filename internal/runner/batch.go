@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -33,6 +34,18 @@ import (
 // group's batched jobs (lockstep execution has no per-job wall time);
 // Stats.Work remains comparable with Run's.
 func (r *Runner) RunBatched(base uint64, jobs []Job, width int) ([]JobResult, Stats) {
+	return r.RunBatchedCtx(context.Background(), base, jobs, width)
+}
+
+// RunBatchedCtx is RunBatched with the same cooperative cancellation
+// contract as RunCtx, at lockstep-group granularity: a group that has
+// started loading lanes runs its flush to completion — lanes retire
+// exactly where they would have, the engine is left Reset — and every
+// group claimed after ctx is done retires all its jobs with canceled
+// errors instead. No result slot is ever left empty and no lane is
+// abandoned mid-round, which is what lets a canceled service request
+// reuse its worker's pooled engine for the next request safely.
+func (r *Runner) RunBatchedCtx(ctx context.Context, base uint64, jobs []Job, width int) ([]JobResult, Stats) {
 	if width < 1 {
 		width = 1
 	}
@@ -64,6 +77,12 @@ func (r *Runner) RunBatched(base uint64, jobs []Job, width int) ([]JobResult, St
 				hi := lo + width
 				if hi > len(jobs) {
 					hi = len(jobs)
+				}
+				if err := ctx.Err(); err != nil {
+					for i := lo; i < hi; i++ {
+						results[i] = canceledResult(base, i, jobs[i], err)
+					}
+					continue // drain: every remaining group gets results
 				}
 				runGroup(base, lo, hi, jobs, results, state, eng)
 			}

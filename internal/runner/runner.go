@@ -22,6 +22,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -155,6 +156,19 @@ func JobSeed(base uint64, i int) uint64 { return base ^ splitmix64(uint64(i)) }
 // is recorded on its own JobResult so the caller sees every failure of a
 // sweep, not just the first.
 func (r *Runner) Run(base uint64, jobs []Job) ([]JobResult, Stats) {
+	return r.RunCtx(context.Background(), base, jobs)
+}
+
+// RunCtx is Run with cooperative cancellation: once ctx is done, workers
+// stop executing and every not-yet-started job is retired with a canceled
+// error (wrapping ctx's error, so errors.Is(err, context.Canceled) works).
+// Jobs already executing run to completion — the engine's worlds have no
+// preemption points, and a half-stepped world must never surface as a
+// result — so cancellation is prompt at job granularity, exact at the
+// batch boundary: the returned slice always has one entry per job, never
+// a hole. Results produced before the cancellation are real and reported
+// as usual.
+func (r *Runner) RunCtx(ctx context.Context, base uint64, jobs []Job) ([]JobResult, Stats) {
 	results := make([]JobResult, len(jobs))
 	start := time.Now()
 
@@ -177,12 +191,27 @@ func (r *Runner) Run(base uint64, jobs []Job) ([]JobResult, Stats) {
 				if i >= len(jobs) {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					results[i] = canceledResult(base, i, jobs[i], err)
+					continue // drain: every remaining index gets a result
+				}
 				results[i] = runOne(base, i, jobs[i], state)
 			}
 		}(w)
 	}
 	wg.Wait()
 	return results, collectStats(results, time.Since(start))
+}
+
+// canceledResult retires a job that never ran because its batch's context
+// was canceled first.
+func canceledResult(base uint64, i int, j Job, cause error) JobResult {
+	return JobResult{
+		Index: i,
+		Seed:  JobSeed(base, i),
+		Meta:  j.Meta,
+		Err:   fmt.Errorf("runner: job %d canceled: %w", i, cause),
+	}
 }
 
 // collectStats aggregates a finished batch's results (shared by Run and

@@ -1,0 +1,185 @@
+package serve_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// failFill is a fill that must never run: requesting it proves the entry
+// (or flight) was served without an execution.
+func failFill(t *testing.T, key string) func() ([]byte, error) {
+	return func() ([]byte, error) {
+		t.Errorf("fill executed for %s: expected a cache hit", key)
+		return nil, fmt.Errorf("unexpected fill")
+	}
+}
+
+// TestCacheKeyEquivalenceOneExecution is the satellite property test end
+// to end: requests differing only in JSON field order, whitespace, or
+// default elision produce the same cache key, and therefore ONE
+// execution serves them all — the first spelling fills, every other
+// spelling hits without running fill.
+func TestCacheKeyEquivalenceOneExecution(t *testing.T) {
+	spellings := []string{
+		`{"workload":"cycle:12","algo":"faster","k":4,"radius":2,"placement":"maxmin","sched":"full","seed":1,"seeds":2,"max_rounds":0}`,
+		`{"seeds":2,"workload":"cycle:12"}`,
+		"{ \"workload\" : \"cycle:12\",\n\t\"seeds\": 2 }",
+		`{"workload":"cycle:12","seeds":2,"seed":1}`,
+	}
+	cache := serve.NewCache(8)
+	var fills atomic.Int64
+	for i, s := range spellings {
+		req, err := serve.ParseSweepRequest([]byte(s))
+		if err != nil {
+			t.Fatalf("spelling %d: %v", i, err)
+		}
+		body, err := cache.GetOrFill(req.Key(), func() ([]byte, error) {
+			fills.Add(1)
+			return []byte("rows"), nil
+		})
+		if err != nil || !bytes.Equal(body, []byte("rows")) {
+			t.Fatalf("spelling %d: body %q err %v", i, body, err)
+		}
+	}
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("equivalent spellings executed %d times, want 1", n)
+	}
+	st := cache.Stats()
+	if st.Misses != 1 || st.Hits != int64(len(spellings)-1) {
+		t.Fatalf("stats = %+v, want 1 miss and %d hits", st, len(spellings)-1)
+	}
+}
+
+// TestCacheSingleFlight pins the concurrent-dedup contract: a wave of
+// goroutines asking for the same absent key runs fill exactly once, and
+// every caller gets the leader's bytes.
+func TestCacheSingleFlight(t *testing.T) {
+	const waiters = 8
+	cache := serve.NewCache(4)
+	var fills atomic.Int64
+	var entered sync.WaitGroup
+	entered.Add(waiters)
+
+	bodies := make([][]byte, waiters)
+	errs := make([]error, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			entered.Done()
+			bodies[i], errs[i] = cache.GetOrFill(42, func() ([]byte, error) {
+				// Hold the flight open until every goroutine has at least
+				// launched, so followers genuinely contend with the leader.
+				entered.Wait()
+				fills.Add(1)
+				return []byte("shared"), nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("concurrent identical requests executed %d times, want 1", n)
+	}
+	for i := range bodies {
+		if errs[i] != nil || !bytes.Equal(bodies[i], []byte("shared")) {
+			t.Fatalf("waiter %d: body %q err %v", i, bodies[i], errs[i])
+		}
+	}
+}
+
+// TestCacheErrorNotCached pins that a failed fill is returned to its wave
+// and never stored: the next request re-executes.
+func TestCacheErrorNotCached(t *testing.T) {
+	cache := serve.NewCache(4)
+	boom := fmt.Errorf("boom")
+	if _, err := cache.GetOrFill(7, func() ([]byte, error) { return nil, boom }); err != boom {
+		t.Fatalf("first fill error = %v, want boom", err)
+	}
+	var fills atomic.Int64
+	body, err := cache.GetOrFill(7, func() ([]byte, error) {
+		fills.Add(1)
+		return []byte("ok"), nil
+	})
+	if err != nil || string(body) != "ok" || fills.Load() != 1 {
+		t.Fatalf("retry after error: body %q err %v fills %d", body, err, fills.Load())
+	}
+}
+
+// TestCacheEvictionOrder drives the LRU with a scripted deterministic
+// clock: recency is exactly the stamp sequence the stub hands out, so
+// the eviction victim is pinned, not inferred from call timing.
+func TestCacheEvictionOrder(t *testing.T) {
+	var tick uint64
+	clock := func() uint64 { tick++; return tick }
+	cache := serve.NewCacheWithClock(2, clock)
+
+	fill := func(body string) func() ([]byte, error) {
+		return func() ([]byte, error) { return []byte(body), nil }
+	}
+	cache.GetOrFill(1, fill("A"))                // A stamped 1
+	cache.GetOrFill(2, fill("B"))                // B stamped 2
+	cache.GetOrFill(1, failFill(t, "A (touch)")) // A re-stamped 3: now B is LRU
+	cache.GetOrFill(3, fill("C"))                // capacity 2: evicts B, not A
+
+	if st := cache.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("after insert C: stats %+v, want 1 eviction and 2 entries", st)
+	}
+	// A survived (touched), C is resident, B must re-execute.
+	if body, _ := cache.GetOrFill(1, failFill(t, "A")); string(body) != "A" {
+		t.Fatalf("A = %q, want resident body", body)
+	}
+	if body, _ := cache.GetOrFill(3, failFill(t, "C")); string(body) != "C" {
+		t.Fatalf("C = %q, want resident body", body)
+	}
+	var refills atomic.Int64
+	cache.GetOrFill(2, func() ([]byte, error) { refills.Add(1); return []byte("B2"), nil })
+	if refills.Load() != 1 {
+		t.Fatalf("evicted B served without re-execution")
+	}
+}
+
+// TestCacheConcurrentHammer drives the LRU from many goroutines mixing
+// identical and distinct keys, far over capacity, under -race in CI. The
+// invariant checked per operation: a key's body always corresponds to
+// that key — eviction and single-flight churn may cost re-execution,
+// never cross-wiring.
+func TestCacheConcurrentHammer(t *testing.T) {
+	const (
+		workers = 16
+		ops     = 200
+		keys    = 12
+	)
+	cache := serve.NewCache(4) // far under the live key count: constant eviction
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				key := uint64((w + i) % keys)
+				want := fmt.Sprintf("body-%d", key)
+				body, err := cache.GetOrFill(key, func() ([]byte, error) {
+					return []byte(want), nil
+				})
+				if err != nil || string(body) != want {
+					t.Errorf("key %d: body %q err %v", key, body, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := cache.Stats()
+	if st.Entries > 4 {
+		t.Fatalf("cache over capacity: %+v", st)
+	}
+	if st.Hits+st.Misses+st.Coalesced != workers*ops {
+		t.Fatalf("counter total %d, want %d (stats %+v)", st.Hits+st.Misses+st.Coalesced, workers*ops, st)
+	}
+}

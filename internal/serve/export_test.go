@@ -1,0 +1,27 @@
+package serve
+
+// Test-only exports for the external serve_test package.
+
+// NewCacheWithClock exposes the injectable-clock constructor: eviction
+// tests script the recency clock instead of relying on call order.
+func NewCacheWithClock(capacity int, clock func() uint64) *Cache {
+	return newCacheWithClock(capacity, clock)
+}
+
+// FillQueue exhausts the server's execution queue so backpressure tests
+// hit the 429 path deterministically, without racing a real execution.
+func (s *Server) FillQueue() {
+	for s.queue.TryAcquire() {
+	}
+}
+
+// DrainQueue releases every slot FillQueue claimed.
+func (s *Server) DrainQueue() {
+	for {
+		st := s.queue.Stats()
+		if st.InFlight == 0 {
+			return
+		}
+		s.queue.Release()
+	}
+}

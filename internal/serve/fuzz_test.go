@@ -1,0 +1,107 @@
+package serve_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+// exampleArgs maps each catalog family to concrete small parameters, so
+// the fuzz seed corpus exercises every workload compiler. A family
+// missing here seeds with its bare name (valid for parameterless entries
+// like petersen, a reject corpus entry otherwise — both are useful
+// seeds).
+var exampleArgs = map[string]string{
+	"barbell":     "5",
+	"bintree":     "15",
+	"bipartite":   "3x4",
+	"caterpillar": "5,2",
+	"circulant":   "16,1,3",
+	"complete":    "8",
+	"cycle":       "12",
+	"grid":        "4x4",
+	"hypercube":   "4",
+	"lollipop":    "10",
+	"margulis":    "3",
+	"maze":        "4x4,2",
+	"path":        "9",
+	"randm":       "10,14",
+	"random":      "10",
+	"rmat":        "6,4",
+	"road":        "6x6,70",
+	"rreg":        "16,3",
+	"star":        "8",
+	"torus":       "4x4",
+	"tree":        "10",
+	"wheel":       "8",
+}
+
+// FuzzParseSweepRequest fuzzes the JSON request → canonical-tuple path.
+// The invariants, for every input: parse-validate-canonicalize never
+// panics; every reject is a typed *RequestError; and canonicalization is
+// idempotent — the canonical form reparses cleanly, to the same canonical
+// bytes and the same FNV-64 key (canon(canon(x)) == canon(x)).
+func FuzzParseSweepRequest(f *testing.F) {
+	// Seed corpus: one request per catalog workload spec...
+	for _, e := range graph.Catalog() {
+		spec := e.Name
+		if args, ok := exampleArgs[e.Name]; ok {
+			spec += ":" + args
+		}
+		f.Add([]byte(fmt.Sprintf(`{"workload":%q}`, spec)))
+	}
+	// ...plus fully-specified, sloppy, and adversarial shapes.
+	for _, s := range []string{
+		`{"workload":"cycle:12","algo":"dessmark","k":7,"sched":"semi:0.5","seed":1,"seeds":16}`,
+		`{"workload":"grid:4x4","algo":"faster","k":5,"sched":"adv:2","seeds":12,"max_rounds":100}`,
+		`{"workload":"torus:8x8","algo":"hopmeet","radius":3,"placement":"clustered","k":6}`,
+		`{"workload":"cycle:12","algo":"beep","k":2,"placement":"dispersed"}`,
+		"{ \"workload\" : \"petersen\",\n\"seeds\": 2 }",
+		`{"seeds":3,"seed":18446744073709551615,"workload":"path:9"}`,
+		`{"workload":""}`,
+		`{"workload":"cycle:12","k":-1}`,
+		`{"workload":"cycle:12","unknown":true}`,
+		`{"workload":"cycle:12"} {"workload":"cycle:13"}`,
+		`null`,
+		`[]`,
+		`"cycle:12"`,
+		`{"workload":"rreg:3,3"}`,
+		`{`,
+		``,
+	} {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := serve.ParseSweepRequest(data)
+		if err != nil {
+			if req != nil {
+				t.Fatalf("reject returned a request: %v", req)
+			}
+			var re *serve.RequestError
+			if !errors.As(err, &re) {
+				t.Fatalf("reject is %T (%v), want *RequestError", err, err)
+			}
+			if re.Field == "" || re.Reason == "" {
+				t.Fatalf("reject missing field or reason: %+v", re)
+			}
+			return
+		}
+		c1 := req.Canonical()
+		again, err := serve.ParseSweepRequest(c1)
+		if err != nil {
+			t.Fatalf("canonical form %s rejected on reparse: %v", c1, err)
+		}
+		c2 := again.Canonical()
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("canonicalization not idempotent:\n canon(x)        = %s\n canon(canon(x)) = %s", c1, c2)
+		}
+		if req.Key() != again.Key() {
+			t.Fatalf("key unstable across canonicalization: %x vs %x", req.Key(), again.Key())
+		}
+	})
+}

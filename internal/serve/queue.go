@@ -1,0 +1,51 @@
+package serve
+
+import "sync/atomic"
+
+// Queue is the bounded admission gate in front of the worker pool: at
+// most depth sweep executions may be in flight at once, and a request
+// that finds it full is rejected immediately (the handler answers 429
+// with Retry-After) instead of queueing unboundedly — load sheds at the
+// door, never as a dropped or truncated stream mid-response. Cache hits
+// and coalesced single-flight followers bypass the queue entirely: they
+// cost no execution, so they must never be shed.
+type Queue struct {
+	slots    chan struct{}
+	rejected atomic.Int64
+}
+
+// QueueStats is a point-in-time copy of the queue counters.
+type QueueStats struct {
+	Capacity int   `json:"capacity"`
+	InFlight int   `json:"in_flight"`
+	Rejected int64 `json:"rejected"`
+}
+
+// NewQueue returns a queue admitting at most depth concurrent executions
+// (minimum 1).
+func NewQueue(depth int) *Queue {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Queue{slots: make(chan struct{}, depth)}
+}
+
+// TryAcquire claims an execution slot if one is free; a false return
+// means the service is saturated and the caller must shed the request.
+func (q *Queue) TryAcquire() bool {
+	select {
+	case q.slots <- struct{}{}:
+		return true
+	default:
+		q.rejected.Add(1)
+		return false
+	}
+}
+
+// Release returns a slot claimed by TryAcquire.
+func (q *Queue) Release() { <-q.slots }
+
+// Stats returns a copy of the counters.
+func (q *Queue) Stats() QueueStats {
+	return QueueStats{Capacity: cap(q.slots), InFlight: len(q.slots), Rejected: q.rejected.Load()}
+}

@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// MaxSeeds bounds the seed range one request may sweep. It exists so a
+// single request cannot occupy a worker pool indefinitely: heavier sweeps
+// split into multiple requests, which the result cache then serves
+// independently.
+const MaxSeeds = 1 << 16
+
+// maxRobots bounds k: flat per-robot state is allocated eagerly, so an
+// absurd robot count must be a typed reject, not an OOM.
+const maxRobots = 1 << 20
+
+// SweepRequest is the declarative sweep job: the same tuple the CLIs take
+// as flags — workload spec × algorithm × k × scheduler × seed range —
+// with the workload catalog grammar as the wire format. The zero value is
+// not valid; requests come from ParseSweepRequest, which validates
+// eagerly and fills defaults, so a held *SweepRequest is always runnable.
+//
+// Field order here IS the canonical serialization order (encoding/json
+// preserves struct order); do not reorder fields without re-keying every
+// cache.
+type SweepRequest struct {
+	Workload  string `json:"workload"`
+	Algo      string `json:"algo"`
+	K         int    `json:"k"`
+	Radius    int    `json:"radius"`
+	Placement string `json:"placement"`
+	Sched     string `json:"sched"`
+	Seed      uint64 `json:"seed"`
+	Seeds     int    `json:"seeds"`
+	MaxRounds int    `json:"max_rounds"`
+
+	wl *graph.Workload // parsed during validation; never nil after
+}
+
+// wireRequest mirrors SweepRequest with pointer fields so absent keys are
+// distinguishable from explicit zeros: absent takes the default, an
+// explicit invalid zero (e.g. "k":0) is a typed reject.
+type wireRequest struct {
+	Workload  *string `json:"workload"`
+	Algo      *string `json:"algo"`
+	K         *int    `json:"k"`
+	Radius    *int    `json:"radius"`
+	Placement *string `json:"placement"`
+	Sched     *string `json:"sched"`
+	Seed      *uint64 `json:"seed"`
+	Seeds     *int    `json:"seeds"`
+	MaxRounds *int    `json:"max_rounds"`
+}
+
+// RequestError is the typed reject for a sweep request: which field is
+// wrong and why. Every error ParseSweepRequest returns is (or wraps) one,
+// so callers branch on the type, not on message text.
+type RequestError struct {
+	Field  string // request field, or "body" for malformed JSON
+	Reason string
+}
+
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("sweep request: field %q: %s", e.Field, e.Reason)
+}
+
+// algorithms is the -algo registry, mirroring the gathersim catalog.
+var algorithms = []string{"faster", "uxs", "undispersed", "hopmeet", "dessmark", "beep"}
+
+// placements is the -placement registry.
+var placements = []string{"maxmin", "random", "dispersed", "clustered"}
+
+func contains(set []string, v string) bool {
+	for _, s := range set {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseSweepRequest decodes, validates and normalizes one JSON request
+// body. Decoding is strict — unknown fields, trailing data, and
+// type-mismatched values are rejects — and validation is eager: the
+// workload spec compiles through graph.ParseWorkload and the scheduler
+// spec through sim.ParseScheduler before any work is queued, so a request
+// that parses is a request that runs. Absent fields take the gathersim
+// flag defaults (algo faster, k 4, radius 2, placement maxmin, sched
+// full, seed 1, seeds 1, max_rounds 0); only the workload is required.
+// All rejects are *RequestError.
+func ParseSweepRequest(data []byte) (*SweepRequest, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var w wireRequest
+	if err := dec.Decode(&w); err != nil {
+		return nil, &RequestError{Field: "body", Reason: err.Error()}
+	}
+	if err := dec.Decode(&struct{}{}); !errors.Is(err, io.EOF) {
+		return nil, &RequestError{Field: "body", Reason: "trailing data after request object"}
+	}
+
+	req := &SweepRequest{
+		Algo:      "faster",
+		K:         4,
+		Radius:    2,
+		Placement: "maxmin",
+		Sched:     "full",
+		Seed:      1,
+		Seeds:     1,
+	}
+	if w.Workload != nil {
+		req.Workload = *w.Workload
+	}
+	if w.Algo != nil {
+		req.Algo = *w.Algo
+	}
+	if w.K != nil {
+		req.K = *w.K
+	}
+	if w.Radius != nil {
+		req.Radius = *w.Radius
+	}
+	if w.Placement != nil {
+		req.Placement = *w.Placement
+	}
+	if w.Sched != nil {
+		req.Sched = *w.Sched
+	}
+	if w.Seed != nil {
+		req.Seed = *w.Seed
+	}
+	if w.Seeds != nil {
+		req.Seeds = *w.Seeds
+	}
+	if w.MaxRounds != nil {
+		req.MaxRounds = *w.MaxRounds
+	}
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// validate checks every field and compiles the workload spec; it is the
+// one place the request grammar lives.
+func (r *SweepRequest) validate() error {
+	if r.Workload == "" {
+		return &RequestError{Field: "workload", Reason: "required (a catalog spec such as \"cycle:12\"; see gathersim -list)"}
+	}
+	wl, err := graph.ParseWorkload(r.Workload)
+	if err != nil {
+		return &RequestError{Field: "workload", Reason: err.Error()}
+	}
+	r.wl = wl
+	if !contains(algorithms, r.Algo) {
+		return &RequestError{Field: "algo", Reason: fmt.Sprintf("unknown algorithm %q (want one of %v)", r.Algo, algorithms)}
+	}
+	if r.K < 1 || r.K > maxRobots {
+		return &RequestError{Field: "k", Reason: fmt.Sprintf("want 1 <= k <= %d, got %d", maxRobots, r.K)}
+	}
+	if r.Algo == "beep" && r.K > 2 {
+		return &RequestError{Field: "k", Reason: "the beeping-model algorithm is defined for at most two robots"}
+	}
+	if r.Radius < 1 {
+		return &RequestError{Field: "radius", Reason: fmt.Sprintf("want >= 1, got %d", r.Radius)}
+	}
+	if !contains(placements, r.Placement) {
+		return &RequestError{Field: "placement", Reason: fmt.Sprintf("unknown placement %q (want one of %v)", r.Placement, placements)}
+	}
+	if _, err := sim.ParseScheduler(r.Sched, 0); err != nil {
+		return &RequestError{Field: "sched", Reason: err.Error()}
+	}
+	if r.Seeds < 1 || r.Seeds > MaxSeeds {
+		return &RequestError{Field: "seeds", Reason: fmt.Sprintf("want 1 <= seeds <= %d, got %d", MaxSeeds, r.Seeds)}
+	}
+	if r.MaxRounds < 0 {
+		return &RequestError{Field: "max_rounds", Reason: fmt.Sprintf("want >= 0, got %d", r.MaxRounds)}
+	}
+	return nil
+}
+
+// Canonical returns the request's canonical serialization: every field
+// present (defaults filled), fixed field order, no insignificant
+// whitespace. Two requests that differ only in JSON field order,
+// whitespace, or elided defaults canonicalize to the same bytes, and
+// canonicalization is idempotent — parsing a canonical form and
+// re-canonicalizing reproduces it exactly. Canonicalization is syntactic:
+// two spellings of the same workload ("torus:8x8" vs "torus:8,8") are
+// different requests with different keys; both still execute to identical
+// rows, they just cache separately.
+func (r *SweepRequest) Canonical() []byte {
+	b, err := json.Marshal(r)
+	if err != nil {
+		// A validated request is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("serve: canonicalize: %v", err))
+	}
+	return b
+}
+
+// Key returns the request's content address: FNV-64a over the canonical
+// serialization. It is the result-cache key — sound because the response
+// bytes are a pure function of the canonical request (the package's
+// determinism contract), so equal keys mean interchangeable responses.
+func (r *SweepRequest) Key() uint64 {
+	h := fnv.New64a()
+	h.Write(r.Canonical())
+	return h.Sum64()
+}

@@ -1,0 +1,123 @@
+package serve_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// mustParse parses a request body that the test requires to be valid.
+func mustParse(t *testing.T, body string) *serve.SweepRequest {
+	t.Helper()
+	req, err := serve.ParseSweepRequest([]byte(body))
+	if err != nil {
+		t.Fatalf("ParseSweepRequest(%s): %v", body, err)
+	}
+	return req
+}
+
+// wantReject asserts the body is rejected with a *RequestError naming the
+// given field — the typed-reject contract: callers branch on the type and
+// field, never on message text.
+func wantReject(t *testing.T, body, field string) {
+	t.Helper()
+	_, err := serve.ParseSweepRequest([]byte(body))
+	if err == nil {
+		t.Fatalf("ParseSweepRequest(%s): want reject, got nil error", body)
+	}
+	var re *serve.RequestError
+	if !errors.As(err, &re) {
+		t.Fatalf("ParseSweepRequest(%s): reject is %T, want *RequestError", body, err)
+	}
+	if re.Field != field {
+		t.Fatalf("ParseSweepRequest(%s): rejected field %q, want %q (reason: %s)", body, re.Field, field, re.Reason)
+	}
+}
+
+func TestParseSweepRequestDefaults(t *testing.T) {
+	req := mustParse(t, `{"workload":"cycle:12"}`)
+	want := `{"workload":"cycle:12","algo":"faster","k":4,"radius":2,"placement":"maxmin","sched":"full","seed":1,"seeds":1,"max_rounds":0}`
+	if got := string(req.Canonical()); got != want {
+		t.Fatalf("canonical defaults:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestParseSweepRequestTypedRejects(t *testing.T) {
+	cases := []struct{ body, field string }{
+		{`{`, "body"},
+		{`[]`, "body"},
+		{`{"workload":"cycle:12"} trailing`, "body"},
+		{`{"workload":"cycle:12","nope":1}`, "body"}, // unknown field
+		{`{"workload":"cycle:12","k":"seven"}`, "body"},
+		{`{}`, "workload"},
+		{`{"workload":"mystery:9"}`, "workload"},
+		{`{"workload":"cycle:-3"}`, "workload"},
+		{`{"workload":"cycle:12","algo":"psychic"}`, "algo"},
+		{`{"workload":"cycle:12","k":0}`, "k"},
+		{`{"workload":"cycle:12","algo":"beep","k":3}`, "k"},
+		{`{"workload":"cycle:12","radius":0}`, "radius"},
+		{`{"workload":"cycle:12","placement":"everywhere"}`, "placement"},
+		{`{"workload":"cycle:12","sched":"semi:0.001"}`, "sched"},
+		{`{"workload":"cycle:12","sched":"chaos"}`, "sched"},
+		{`{"workload":"cycle:12","seeds":0}`, "seeds"},
+		{`{"workload":"cycle:12","seeds":1000000}`, "seeds"},
+		{`{"workload":"cycle:12","max_rounds":-1}`, "max_rounds"},
+	}
+	for _, c := range cases {
+		wantReject(t, c.body, c.field)
+	}
+}
+
+func TestCanonicalIdempotentAndOrderInsensitive(t *testing.T) {
+	// The same request spelled four ways: reference spelling, permuted
+	// field order, whitespace-heavy, defaults elided.
+	variants := []string{
+		`{"workload":"torus:8x8","algo":"uxs","k":2,"radius":2,"placement":"maxmin","sched":"full","seed":7,"seeds":3,"max_rounds":0}`,
+		`{"seeds":3,"seed":7,"k":2,"algo":"uxs","workload":"torus:8x8"}`,
+		"{\n  \"workload\": \"torus:8x8\",\n  \"algo\": \"uxs\",\n  \"k\": 2,\n  \"seed\": 7,\n  \"seeds\": 3\n}",
+		`{"workload":"torus:8x8","algo":"uxs","seeds":3,"k":2,"seed":7}`,
+	}
+	ref := mustParse(t, variants[0])
+	for _, v := range variants[1:] {
+		req := mustParse(t, v)
+		if !bytes.Equal(req.Canonical(), ref.Canonical()) {
+			t.Errorf("variant %s canonicalized to %s, want %s", v, req.Canonical(), ref.Canonical())
+		}
+		if req.Key() != ref.Key() {
+			t.Errorf("variant %s keyed to %x, want %x", v, req.Key(), ref.Key())
+		}
+	}
+	// Idempotence: the canonical form reparses to itself.
+	c1 := ref.Canonical()
+	again := mustParse(t, string(c1))
+	if !bytes.Equal(again.Canonical(), c1) {
+		t.Fatalf("canon(canon(x)) = %s, want %s", again.Canonical(), c1)
+	}
+}
+
+func TestCanonicalKeepsFullSeedRange(t *testing.T) {
+	// Seeds are uint64 end to end: the maximum value must survive the
+	// parse → canonicalize round trip exactly.
+	req := mustParse(t, `{"workload":"cycle:12","seed":18446744073709551615}`)
+	if req.Seed != ^uint64(0) {
+		t.Fatalf("seed = %d, want %d", req.Seed, ^uint64(0))
+	}
+	again := mustParse(t, string(req.Canonical()))
+	if again.Seed != req.Seed {
+		t.Fatalf("round-tripped seed = %d, want %d", again.Seed, req.Seed)
+	}
+}
+
+func TestDistinctRequestsKeyDifferently(t *testing.T) {
+	// Content addressing must separate what execution separates. (FNV-64
+	// collisions are possible in principle; these fixed inputs are pinned
+	// not to collide, so a key-derivation bug fails loudly.)
+	a := mustParse(t, `{"workload":"cycle:12"}`).Key()
+	b := mustParse(t, `{"workload":"cycle:13"}`).Key()
+	c := mustParse(t, `{"workload":"cycle:12","seed":2}`).Key()
+	if a == b || a == c || b == c {
+		t.Fatalf("distinct requests share a key: %x %x %x", a, b, c)
+	}
+}
