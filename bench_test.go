@@ -1,6 +1,6 @@
 package gathering
 
-// One benchmark per reproduction experiment (E1..E20, DESIGN.md §4), so
+// One benchmark per reproduction experiment (E1..E23, DESIGN.md §4), so
 // `go test -bench=.` regenerates every table, plus micro-benchmarks of the
 // substrates. Experiment benches run the quick sweep once per iteration
 // and report rounds-derived metrics; run `cmd/experiments` for the full
@@ -57,6 +57,9 @@ func BenchmarkE17MappingAblation(b *testing.B)     { benchExperiment(b, "E17") }
 func BenchmarkE18BeepingModel(b *testing.B)        { benchExperiment(b, "E18") }
 func BenchmarkE19SchedulerAblation(b *testing.B)   { benchExperiment(b, "E19") }
 func BenchmarkE20SemiSyncSlowdown(b *testing.B)    { benchExperiment(b, "E20") }
+func BenchmarkE21FaultSurvival(b *testing.B)       { benchExperiment(b, "E21") }
+func BenchmarkE22EdgeChurn(b *testing.B)           { benchExperiment(b, "E22") }
+func BenchmarkE23WorstCaseHunter(b *testing.B)     { benchExperiment(b, "E23") }
 
 // BenchmarkRunnerSerialVsParallel runs a representative E-series sweep
 // (the E1 shape: Undispersed-Gathering across families and sizes) as one
@@ -174,6 +177,53 @@ func BenchmarkStepHotLoop(b *testing.B) {
 			// enough rounds no bucket or per-robot slice grows again and
 			// the measured steady state is allocation-free even at
 			// -benchtime 1x.
+			for i := 0; i < 2048; i++ {
+				w.Step()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkOverlayChurnStep measures the steady-state cost of one engine
+// round with a churn overlay installed: every Step now pays the overlay's
+// per-round re-roll (one RNG draw per churnable edge) plus the mask check
+// on every traversal. The fault layer inherits the engine's contract —
+// gated in CI — of zero allocations per Step once warm, on both a
+// cache-resident grid and a CSR too large for locality to come free.
+func BenchmarkOverlayChurnStep(b *testing.B) {
+	for _, c := range []struct{ name, spec string }{
+		{"grid16x16", "grid:16x16"},
+		{"rreg4096", "rreg:4096,4"},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			rng := graph.NewRNG(12)
+			g, err := graph.BuildWorkload(c.spec, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g = g.WithPermutedPorts(rng)
+			const k = 64
+			agents := make([]sim.Agent, k)
+			pos := make([]int, k)
+			for i := range agents {
+				agents[i] = &wanderer{Base: sim.NewBase(i + 1), step: i}
+				pos[i] = rng.Intn(g.N())
+			}
+			w, err := sim.NewWorld(g, agents, pos)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := w.SetOverlay(graph.NewOverlay(g, 0.15, 99)); err != nil {
+				b.Fatal(err)
+			}
+			// Warm the scratch past its high-water marks, as in
+			// BenchmarkStepHotLoop; the overlay itself is allocated once
+			// up front and only flips bits in place per round.
 			for i := 0; i < 2048; i++ {
 				w.Step()
 			}

@@ -47,6 +47,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/sim/batch"
+	"repro/internal/sim/fault"
 )
 
 func main() {
@@ -66,6 +67,8 @@ func gathersim() int {
 		radius    = flag.Int("radius", 2, "radius for -algo hopmeet")
 		placement = flag.String("placement", "maxmin", "placement: maxmin|random|dispersed|clustered")
 		sched     = flag.String("sched", "full", "activation scheduler: full | semi:P (activation probability) | adv[:L] (fair adversary, lag bound L)")
+		faults    = flag.String("faults", "none", "fault adversary: none | crash:F[@R] | recover:F,D[@R] | byz:F (see -list)")
+		churn     = flag.Float64("churn", 0, "per-round edge-churn probability in [0,1]: a seeded adversary toggles non-bridge edges, preserving connectivity (0 = static graph)")
 		seed      = flag.Uint64("seed", 1, "random seed (drives graph, ports, IDs, placement)")
 		seeds     = flag.Int("seeds", 1, "run this many consecutive seeds as a parallel batch on one shared graph")
 		parallel  = flag.Int("parallel", 0, "batch worker-pool size (0 = GOMAXPROCS, 1 = serial)")
@@ -98,6 +101,15 @@ func gathersim() int {
 		fmt.Fprintln(os.Stderr, "gathersim:", err)
 		return 1
 	}
+	fs, err := fault.Parse(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gathersim:", err)
+		return 1
+	}
+	if *churn < 0 || *churn > 1 {
+		fmt.Fprintf(os.Stderr, "gathersim: -churn %g out of range (want 0 <= churn <= 1)\n", *churn)
+		return 1
+	}
 
 	spec := *workload
 	if spec == "" {
@@ -116,14 +128,14 @@ func gathersim() int {
 		if *trace > 0 || *dotFile != "" {
 			fmt.Fprintln(os.Stderr, "gathersim: -trace and -dot apply to single runs only; ignored in -ndjson mode")
 		}
-		err = runNDJSON(spec, *algo, *placement, *sched, *k, *radius, *seed, *seeds, *maxRounds, *parallel, *batchW)
+		err = runNDJSON(spec, *algo, *placement, *sched, *faults, *churn, *k, *radius, *seed, *seeds, *maxRounds, *parallel, *batchW)
 	case *seeds > 1:
 		if *trace > 0 || *dotFile != "" {
 			fmt.Fprintln(os.Stderr, "gathersim: -trace and -dot apply to single runs only; ignored in -seeds batch mode")
 		}
-		err = runBatch(wl, *algo, *placement, *sched, *k, *radius, *seed, *seeds, *parallel, *batchW, *maxRounds, *times)
+		err = runBatch(wl, *algo, *placement, *sched, fs, *churn, *k, *radius, *seed, *seeds, *parallel, *batchW, *maxRounds, *times)
 	default:
-		err = run(wl, *algo, *placement, *sched, *dotFile, *k, *radius, *seed, *maxRounds, *trace)
+		err = run(wl, *algo, *placement, *sched, *dotFile, fs, *churn, *k, *radius, *seed, *maxRounds, *trace)
 	}
 	if err == nil && *phases {
 		printPhases()
@@ -155,12 +167,12 @@ func printCatalog() {
 		fmt.Printf("  %-12s %s\n", a[0], a[1])
 	}
 	fmt.Println("\nschedulers (-sched):")
-	for _, s := range [][2]string{
-		{"full", "fully synchronous (the paper's model, default)"},
-		{"semi:P", "semi-synchronous: each robot activates with probability P per round (P >= 0.05)"},
-		{"adv[:L]", "fair deterministic adversary: splits groups, holds back the laggard, lag bound L"},
-	} {
-		fmt.Printf("  %-12s %s\n", s[0], s[1])
+	for _, s := range sim.SchedulerGrammar() {
+		fmt.Printf("  %s\n", s)
+	}
+	fmt.Println("\nfault adversaries (-faults; -churn R adds seeded connectivity-preserving edge churn):")
+	for _, s := range fault.Grammar() {
+		fmt.Printf("  %s\n", s)
 	}
 	fmt.Println("\nplacements (-placement):")
 	for _, p := range [][2]string{
@@ -238,7 +250,7 @@ func buildWorld(sc *gather.Scenario, algo string, radius int, arena *gather.Aren
 // and execution are the service's own — which is what makes this output
 // byte-identical to a sweepd response for the same tuple (the CI
 // conformance gate diffs the two).
-func runNDJSON(workload, algo, placement, sched string, k, radius int, seed uint64, seeds, maxRounds, parallel, batchW int) error {
+func runNDJSON(workload, algo, placement, sched, faults string, churn float64, k, radius int, seed uint64, seeds, maxRounds, parallel, batchW int) error {
 	raw, err := json.Marshal(serve.SweepRequest{
 		Workload:  workload,
 		Algo:      algo,
@@ -249,6 +261,8 @@ func runNDJSON(workload, algo, placement, sched string, k, radius int, seed uint
 		Seed:      seed,
 		Seeds:     seeds,
 		MaxRounds: maxRounds,
+		Faults:    faults,
+		Churn:     churn,
 	})
 	if err != nil {
 		return err
@@ -265,7 +279,7 @@ func runNDJSON(workload, algo, placement, sched string, k, radius int, seed uint
 	return err
 }
 
-func run(wl *graph.Workload, algo, placement, sched, dotFile string, k, radius int, seed uint64, maxRounds, trace int) error {
+func run(wl *graph.Workload, algo, placement, sched, dotFile string, fs fault.Spec, churn float64, k, radius int, seed uint64, maxRounds, trace int) error {
 	sc, err := buildScenario(wl, placement, k, seed)
 	if err != nil {
 		return err
@@ -280,6 +294,9 @@ func run(wl *graph.Workload, algo, placement, sched, dotFile string, k, radius i
 		k, sc.IDs, sc.Positions, sc.MinPairDistance())
 	fmt.Printf("schedule: R1=%d R=%d T=%d B=%d scheduler=%s\n",
 		gather.R1(n), gather.R(n), sc.Cfg.UXSLength(n), gather.BitBudget(n), sc.Sched)
+	if fs.Kind != fault.None || churn > 0 {
+		fmt.Printf("adversary: faults=%s churn=%g\n", fs, churn)
+	}
 
 	if dotFile != "" {
 		byNode := map[int][]int{}
@@ -307,6 +324,16 @@ func run(wl *graph.Workload, algo, placement, sched, dotFile string, k, radius i
 	if maxRounds > 0 {
 		cap = maxRounds
 	}
+	// Faults and churn derive their streams through the same salts every
+	// surface uses, so this single run replays any sweep row exactly.
+	if err := fault.Apply(w, sc.IDs, fs.Plan(k, cap, seed^gather.FaultSeedSalt)); err != nil {
+		return err
+	}
+	if churn > 0 {
+		if err := w.SetOverlay(graph.NewOverlay(sc.G, churn, seed^gather.ChurnSeedSalt)); err != nil {
+			return err
+		}
+	}
 	if trace > 0 {
 		w.SetTracer(&sim.PositionLogger{W: os.Stdout, Every: trace})
 	}
@@ -332,7 +359,7 @@ func run(wl *graph.Workload, algo, placement, sched, dotFile string, k, radius i
 // worker's world and agents via Reset instead of allocating a fresh
 // engine, so the batch's steady-state per-job cost is IDs + placement +
 // scheduler, nothing else.
-func runBatch(wl *graph.Workload, algo, placement, sched string, k, radius int, base uint64, seeds, parallel, batchW, maxRounds int, times bool) error {
+func runBatch(wl *graph.Workload, algo, placement, sched string, fs fault.Spec, churn float64, k, radius int, base uint64, seeds, parallel, batchW, maxRounds int, times bool) error {
 	g, err := wl.Build(graph.NewRNG(base))
 	if err != nil {
 		return err
@@ -360,6 +387,18 @@ func runBatch(wl *graph.Workload, algo, placement, sched string, k, radius int, 
 		return sc, nil
 	}
 
+	// overlayFor fetches the churn overlay from the worker's pool (fresh
+	// when the runner carries no pool). Churn is per-instance — one seed
+	// for the whole batch — so every row, and every lane of a lockstep
+	// batch, sees the same edge weather.
+	overlayFor := func(state any) *graph.Overlay {
+		ovSeed := base ^ gather.ChurnSeedSalt
+		if p := gather.OverlayPoolOf(state); p != nil {
+			return p.Get(g, churn, ovSeed)
+		}
+		return graph.NewOverlay(g, churn, ovSeed)
+	}
+
 	jobs := make([]runner.Job, seeds)
 	for i := range jobs {
 		scSeed := base + uint64(i)
@@ -370,10 +409,21 @@ func runBatch(wl *graph.Workload, algo, placement, sched string, k, radius int, 
 					return nil, 0, err
 				}
 				w, cap, err := buildWorld(sc, algo, radius, gather.ArenaOf(state))
+				if err != nil {
+					return nil, 0, err
+				}
 				if maxRounds > 0 {
 					cap = maxRounds
 				}
-				return w, cap, err
+				if err := fault.Apply(w, sc.IDs, fs.Plan(k, cap, scSeed^gather.FaultSeedSalt)); err != nil {
+					return nil, 0, err
+				}
+				if churn > 0 {
+					if err := w.SetOverlay(overlayFor(state)); err != nil {
+						return nil, 0, err
+					}
+				}
+				return w, cap, nil
 			},
 			Lane: func(_ uint64, state any, e *batch.Engine) error {
 				sc, err := buildJobScenario(scSeed)
@@ -387,17 +437,30 @@ func runBatch(wl *graph.Workload, algo, placement, sched string, k, radius int, 
 				if maxRounds > 0 {
 					cap = maxRounds
 				}
+				if churn > 0 {
+					// Bind before AddLane so the engine cross-checks the
+					// overlay's graph against the first lane's.
+					if err := e.SetOverlay(overlayFor(state)); err != nil {
+						return err
+					}
+				}
 				agents, err := sc.NewAgentsIn(gather.LaneArenaOf(state), e.Lanes(), algo, radius)
 				if err != nil {
 					return err
 				}
-				_, err = e.AddLane(sc.G, agents, sc.Positions, cap, sc.Sched)
-				return err
+				lane, err := e.AddLane(sc.G, agents, sc.Positions, cap, sc.Sched)
+				if err != nil {
+					return err
+				}
+				return fault.ApplyLane(e, lane, sc.IDs, fs.Plan(k, cap, scSeed^gather.FaultSeedSalt))
 			}}
 	}
 	r := runner.New(parallel).WithWorkerState(func(int) any { return gather.NewSweepState() })
 	fmt.Printf("batch: %d seeds (%d..%d), algo %s, workload %s, sched %s, k=%d\n",
 		seeds, base, base+uint64(seeds)-1, algo, wl, sched, k)
+	if fs.Kind != fault.None || churn > 0 {
+		fmt.Printf("adversary: faults=%s churn=%g\n", fs, churn)
+	}
 	fmt.Printf("shared graph: %s (diameter %s), built once from seed %d",
 		g, diameterLabel(g), base)
 	if times {
@@ -494,5 +557,6 @@ func printResult(res sim.Result) {
 	fmt.Printf("  first meet round:  %d\n", res.FirstMeetRound)
 	fmt.Printf("  first gather:      %d\n", res.FirstGatherRound)
 	fmt.Printf("  total moves:       %d (max per robot %d)\n", res.TotalMoves, res.MaxMoves)
+	fmt.Printf("  crashed/recovered: %d/%d\n", res.Crashed, res.Recovered)
 	fmt.Printf("  final positions:   %v\n", res.FinalPositions)
 }

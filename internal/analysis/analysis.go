@@ -105,6 +105,13 @@ var DeterministicPackages = []string{
 	// probes in serve/clock.go (the server's timeouts live in cmd/sweepd,
 	// outside the set).
 	"repro/internal/serve",
+	// The fault layer IS the adversary: its crash/recovery/Byzantine
+	// schedules and corruption payloads are pinned by FNV-64 goldens, so
+	// any entropy here would shift every faulted golden at once.
+	"repro/internal/sim/fault",
+	// The worst-case hunter must be a pure function of its Config — a
+	// hunted seed is only evidence if the hunt that found it replays.
+	"repro/internal/hunt",
 }
 
 // IsDeterministic reports whether the import path is inside the

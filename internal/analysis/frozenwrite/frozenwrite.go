@@ -14,6 +14,15 @@
 // path). A write anywhere else needs a justified
 // //repolint:mutable annotation — which should essentially never happen;
 // restructure into the builder instead.
+//
+// The fault-injection layer adds one sanctioned mutable structure on top
+// of the frozen CSR: graph.Overlay's per-half-edge closed mask. Its
+// legality rule is the churn adversary's apply step and nothing else —
+// the mask may be stored to only inside the overlay's own lifecycle
+// (NewOverlay, Reset, churnRound, all in overlay.go). Any other write
+// would let simulation code edit the adversary's coin flips mid-run,
+// breaking both determinism and the one-overlay-per-batch sharing
+// contract, so it is flagged exactly like a frozen-CSR write.
 package frozenwrite
 
 import (
@@ -45,11 +54,20 @@ var allowedFuncs = map[string]bool{"freeze": true, "WithPermutedPorts": true}
 // builder's arrays to a Graph that is not yet published.
 var allowedFiles = map[string]bool{"builder.go": true, "assembler.go": true, "csr.go": true}
 
+// maskFields are graph.Overlay's churn-mask storage.
+var maskFields = map[string]bool{"closed": true}
+
+// maskAllowedFuncs are the overlay's own lifecycle sites — the only code
+// that may flip the closed mask. Matched by name AND file (overlay.go),
+// so an unrelated Reset elsewhere in the package gets no license.
+var maskAllowedFuncs = map[string]bool{"NewOverlay": true, "Reset": true, "churnRound": true}
+
 func run(pass *analysis.Pass) error {
 	ann := pass.Annotations()
+	inGraph := strings.HasSuffix(pass.Pkg.Path(), "internal/graph")
 	for _, f := range pass.Files {
 		file := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
-		if allowedFiles[file] && strings.HasSuffix(pass.Pkg.Path(), "internal/graph") {
+		if allowedFiles[file] && inGraph {
 			continue
 		}
 		for _, decl := range f.Decls {
@@ -57,16 +75,17 @@ func run(pass *analysis.Pass) error {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			if allowedFuncs[fn.Name.Name] && strings.HasSuffix(pass.Pkg.Path(), "internal/graph") {
+			if allowedFuncs[fn.Name.Name] && inGraph {
 				continue
 			}
-			checkFunc(pass, ann, fn)
+			allowMask := inGraph && file == "overlay.go" && maskAllowedFuncs[fn.Name.Name]
+			checkFunc(pass, ann, fn, allowMask)
 		}
 	}
 	return nil
 }
 
-func checkFunc(pass *analysis.Pass, ann *analysis.Annotations, fn *ast.FuncDecl) {
+func checkFunc(pass *analysis.Pass, ann *analysis.Annotations, fn *ast.FuncDecl, allowMask bool) {
 	report := func(pos token.Pos, format string, args ...any) {
 		switch a := ann.At(pass.Fset, pos, analysis.AnnotMutable); {
 		case a == nil:
@@ -75,31 +94,38 @@ func checkFunc(pass *analysis.Pass, ann *analysis.Annotations, fn *ast.FuncDecl)
 			pass.Reportf(pos, "//repolint:mutable annotation needs a justification explaining why this Graph is not yet frozen")
 		}
 	}
+	// checkWrite flags expr as an illegal store target: frozen CSR
+	// storage always, the overlay's churn mask unless this function is a
+	// sanctioned overlay lifecycle site.
+	checkWrite := func(pos token.Pos, expr ast.Expr, verb string) {
+		if name := csrTarget(pass, expr); name != "" {
+			report(pos,
+				"%s to frozen CSR storage %s of graph.Graph in %s: graphs are deeply immutable after Freeze; build through graph.Builder",
+				verb, name, fn.Name.Name)
+			return
+		}
+		if allowMask {
+			return
+		}
+		if name := maskTarget(pass, expr); name != "" {
+			report(pos,
+				"%s to churn mask %s of graph.Overlay in %s: the closed mask may change only inside the overlay's own lifecycle (NewOverlay, Reset, churnRound)",
+				verb, name, fn.Name.Name)
+		}
+	}
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			for _, lhs := range n.Lhs {
-				if name := csrTarget(pass, lhs); name != "" {
-					report(lhs.Pos(),
-						"write to frozen CSR storage %s of graph.Graph in %s: graphs are deeply immutable after Freeze; build through graph.Builder",
-						name, fn.Name.Name)
-				}
+				checkWrite(lhs.Pos(), lhs, "write")
 			}
 		case *ast.IncDecStmt:
-			if name := csrTarget(pass, n.X); name != "" {
-				report(n.X.Pos(),
-					"write to frozen CSR storage %s of graph.Graph in %s: graphs are deeply immutable after Freeze; build through graph.Builder",
-					name, fn.Name.Name)
-			}
+			checkWrite(n.X.Pos(), n.X, "write")
 		case *ast.CallExpr:
 			// append(g.halves, ...) returns a slice that may alias the
 			// frozen array; growing CSR storage is construction-only.
 			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 0 {
-				if name := csrTarget(pass, n.Args[0]); name != "" {
-					report(n.Args[0].Pos(),
-						"append to frozen CSR storage %s of graph.Graph in %s: graphs are deeply immutable after Freeze; build through graph.Builder",
-						name, fn.Name.Name)
-				}
+				checkWrite(n.Args[0].Pos(), n.Args[0], "append")
 			}
 		}
 		return true
@@ -144,6 +170,35 @@ func csrTarget(pass *analysis.Pass, expr ast.Expr) string {
 	}
 }
 
+// maskTarget reports whether expr is (or indexes/slices into) the churn
+// mask of graph.Overlay; it returns the offending field name, or "".
+func maskTarget(pass *analysis.Pass, expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if !maskFields[e.Sel.Name] {
+				return ""
+			}
+			if sel, ok := pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok && fromGraphPackage(v) && isOverlayExpr(pass, e.X) {
+					return e.Sel.Name
+				}
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}
+
 // isGraphExpr reports whether expr's type is graph.Graph or *graph.Graph.
 func isGraphExpr(pass *analysis.Pass, expr ast.Expr) bool {
 	tv, ok := pass.TypesInfo.Types[expr]
@@ -160,6 +215,26 @@ func isGraphExpr(pass *analysis.Pass, expr ast.Expr) bool {
 	}
 	obj := named.Obj()
 	return obj.Name() == "Graph" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/graph")
+}
+
+// isOverlayExpr reports whether expr's type is graph.Overlay or
+// *graph.Overlay.
+func isOverlayExpr(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Overlay" && obj.Pkg() != nil &&
 		strings.HasSuffix(obj.Pkg().Path(), "internal/graph")
 }
 

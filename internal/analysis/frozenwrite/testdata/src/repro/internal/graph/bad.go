@@ -36,6 +36,12 @@ func (n *NotGraph) Mutate() {
 	n.offsets = nil
 }
 
+// Reset shares a mask-lifecycle name but lives outside overlay.go, so
+// the file+name allowlist gives it no license.
+func Reset(o *Overlay) {
+	o.closed = nil // want `write to churn mask closed`
+}
+
 // Reads only read the CSR arrays, which is always legal.
 func Reads(g *Graph) int {
 	return len(g.halves) + int(g.offsets[0]) + len(g.ports(0))

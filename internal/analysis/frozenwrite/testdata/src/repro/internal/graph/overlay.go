@@ -1,0 +1,55 @@
+package graph
+
+// Overlay mirrors the real churn overlay's shape: the closed mask over
+// the frozen CSR, mutable only inside the lifecycle funcs in this file.
+type Overlay struct {
+	g      *Graph
+	closed []bool
+	round  int
+}
+
+// NewOverlay is an allowlisted lifecycle site: it builds the mask of an
+// overlay that is not yet published.
+func NewOverlay(g *Graph) *Overlay {
+	o := &Overlay{g: g}
+	o.closed = make([]bool, len(g.halves))
+	o.closed[0] = true
+	return o
+}
+
+// Reset is the second allowlisted site: it rewinds the mask to round 0.
+func (o *Overlay) Reset() {
+	for i := range o.closed {
+		o.closed[i] = false
+	}
+	o.round = 0
+}
+
+// churnRound is the churn adversary's apply step, the third and last
+// site allowed to flip doors.
+func (o *Overlay) churnRound() {
+	o.round++
+	o.closed[o.round%len(o.closed)] = true
+}
+
+// Open only reads the mask, which is always legal.
+func (o *Overlay) Open(i int) bool { return !o.closed[i] }
+
+// CorruptMask is the seeded true-positive set for the mask rule: every
+// write shape, in a function outside the overlay lifecycle.
+func CorruptMask(o *Overlay) {
+	o.closed[0] = true                // want `write to churn mask closed`
+	o.closed = nil                    // want `write to churn mask closed`
+	o.closed = append(o.closed, true) // want `write to churn mask closed` `append to churn mask closed`
+}
+
+// NotOverlay has a same-named field on a different type: the
+// false-positive trap that must NOT be flagged.
+type NotOverlay struct {
+	closed []bool
+}
+
+// Mutate writes to the same-named field of the unrelated type.
+func (n *NotOverlay) Mutate() {
+	n.closed = append(n.closed, true)
+}

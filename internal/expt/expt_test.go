@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 20 {
-		t.Fatalf("registry has %d experiments, want 20", len(all))
+	if len(all) != 23 {
+		t.Fatalf("registry has %d experiments, want 23", len(all))
 	}
 	for i, e := range all {
 		want := i + 1

@@ -3,6 +3,7 @@ package gather
 import (
 	"fmt"
 
+	"repro/internal/graph"
 	"repro/internal/sim"
 )
 
@@ -146,17 +147,59 @@ func LaneArenaOf(state any) *LaneArena {
 	return nil
 }
 
-// SweepState bundles the scalar world arena and the lane arena into one
-// runner worker state, so sweeps whose jobs mix execution paths — batched
-// jobs next to scalar-only ones, or a batch-capable runner running in
-// scalar mode — keep full pooling on both. ArenaOf and LaneArenaOf both
-// unwrap it, so job code threads the state through unconditionally.
+// OverlayPool is the worker-owned cache of the churn overlay: one
+// graph.Overlay keyed by (graph, rate, seed), rewound on every hit. A
+// sweep's jobs over one instance all ask for the same key, so the scalar
+// path replays identical churn per job and the batch path hands every
+// lane the same pointer — which is what Engine.SetOverlay requires to
+// keep the lanes in one batch. Get rewinds eagerly; both engines also
+// rewind a non-fresh overlay at their round 0, so an interleaved run on
+// the same worker can never leak advanced churn into the next one.
+type OverlayPool struct {
+	ov *graph.Overlay
+}
+
+// NewOverlayPool returns an empty overlay pool.
+func NewOverlayPool() *OverlayPool { return &OverlayPool{} }
+
+// Get returns the pooled overlay for (g, rate, seed), rewound to round
+// zero — building a fresh one only when the key changes (NewOverlay costs
+// a BFS; sweeps hit the pooled path on every job after the first).
+func (p *OverlayPool) Get(g *graph.Graph, rate float64, seed uint64) *graph.Overlay {
+	if p.ov != nil && p.ov.Base() == g && p.ov.Rate() == rate && p.ov.Seed() == seed {
+		p.ov.Reset()
+		return p.ov
+	}
+	p.ov = graph.NewOverlay(g, rate, seed)
+	return p.ov
+}
+
+// OverlayPoolOf coerces a runner worker-state value into an overlay pool,
+// unwrapping a SweepState. nil or a foreign type yields nil — callers
+// then build fresh overlays — like ArenaOf.
+func OverlayPoolOf(state any) *OverlayPool {
+	switch v := state.(type) {
+	case *OverlayPool:
+		return v
+	case *SweepState:
+		return v.Overlays
+	}
+	return nil
+}
+
+// SweepState bundles the scalar world arena, the lane arena and the
+// overlay pool into one runner worker state, so sweeps whose jobs mix
+// execution paths — batched jobs next to scalar-only ones, or a
+// batch-capable runner running in scalar mode — keep full pooling on
+// both. ArenaOf, LaneArenaOf and OverlayPoolOf all unwrap it, so job code
+// threads the state through unconditionally.
 type SweepState struct {
-	Arena *Arena
-	Lanes *LaneArena
+	Arena    *Arena
+	Lanes    *LaneArena
+	Overlays *OverlayPool
 }
 
 // NewSweepState returns a sweep state with empty pools.
 func NewSweepState() *SweepState {
-	return &SweepState{Arena: NewArena(), Lanes: NewLaneArena()}
+	return &SweepState{Arena: NewArena(), Lanes: NewLaneArena(), Overlays: NewOverlayPool()}
 }

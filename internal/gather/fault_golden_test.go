@@ -1,0 +1,187 @@
+package gather
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/sim/batch"
+	"repro/internal/sim/fault"
+)
+
+// The fault-path golden suite: one hash per (algorithm, adversary) over
+// the same fixed instance grid as the engine goldens, pinning every new
+// fault path — permanent crash, crash-recovery, Byzantine corruption and
+// connectivity-preserving churn — bit-for-bit. Runs that legitimately
+// panic under an adversary (a Byzantine payload can drive an algorithm
+// into an impossible protocol state) are hashed by their contained error
+// text, so even the failure mode is pinned.
+//
+// Regenerate with:
+//
+//	GOLDEN_PRINT=1 go test ./internal/gather -run TestFaultGolden -v
+//
+// (hopmeet's byz and churn hashes legitimately equal its fault-free
+// baseline on this grid: hopmeet never reads co-located card contents or
+// messages, and its short radius-bounded walks never cross the churned
+// non-tree edges of these instances — the golden pins that insensitivity.)
+var faultGolden = map[string]uint64{
+	"faster/crash:1@3":          0x18aeeb72e4bc3dfb,
+	"faster/recover:1,6@3":      0xfe5d7734eeee5441,
+	"faster/byz:1":              0x646a41af798a8136,
+	"faster/churn":              0x3ce50b28441c3d63,
+	"uxs/crash:1@3":             0x21566d30ea8cbbcb,
+	"uxs/recover:1,6@3":         0xddb74fa186805910,
+	"uxs/byz:1":                 0xb845827cb545c9c,
+	"uxs/churn":                 0x4ab35e0616a3637f,
+	"undispersed/crash:1@3":     0xccc641385cdc31e8,
+	"undispersed/recover:1,6@3": 0xea11342e067d12d2,
+	"undispersed/byz:1":         0x9997ba836d6561da,
+	"undispersed/churn":         0x2c13a5039e0bb4d4,
+	"hopmeet/crash:1@3":         0x34e370d5b823739e,
+	"hopmeet/recover:1,6@3":     0xb3b6476547638f71,
+	"hopmeet/byz:1":             0xc32a4dbf6e860041,
+	"hopmeet/churn":             0xc32a4dbf6e860041,
+}
+
+// The golden plans derive their streams through the same salts the sweep
+// executors use (faults.go), so a golden instance is replayable through
+// any surface.
+const (
+	faultSeedSalt = FaultSeedSalt
+	churnSeedSalt = ChurnSeedSalt
+)
+
+const goldenChurnRate = 0.15
+
+// faultGoldenRadius is the hopmeet radius of the golden grid.
+const faultGoldenRadius = 2
+
+// runFaultOutcome executes one faulted run on the scalar engine and
+// returns its printable outcome (result, or contained panic error).
+func runFaultOutcome(t *testing.T, sc *Scenario, algo, spec string, churn float64, i int) string {
+	t.Helper()
+	w, cap := buildGoldenWorldIn(t, sc, algo, nil)
+	installFaults(t, sc, w, nil, -1, spec, churn, cap, i)
+	res, err := w.SafeRun(cap)
+	return fmt.Sprintf("%+v err=%v", res, err)
+}
+
+// installFaults materializes and applies the golden plan for instance i on
+// either engine: w non-nil installs on the scalar world, else on lane of e.
+func installFaults(t *testing.T, sc *Scenario, w *sim.World, e *batch.Engine, lane int, spec string, churn float64, cap, i int) {
+	t.Helper()
+	s, err := fault.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := s.Plan(len(sc.IDs), cap, uint64(i+1)^faultSeedSalt)
+	if w != nil {
+		if err := fault.Apply(w, sc.IDs, plan); err != nil {
+			t.Fatal(err)
+		}
+		if churn > 0 {
+			if err := w.SetOverlay(graph.NewOverlay(sc.G, churn, uint64(i+1)^churnSeedSalt)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	if err := fault.ApplyLane(e, lane, sc.IDs, plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultGolden(t *testing.T) {
+	for _, algo := range []string{"faster", "uxs", "undispersed", "hopmeet"} {
+		for _, adv := range []string{"crash:1@3", "recover:1,6@3", "byz:1", "churn"} {
+			algo, adv := algo, adv
+			t.Run(algo+"/"+adv, func(t *testing.T) {
+				spec, churn := adv, 0.0
+				if adv == "churn" {
+					spec, churn = "none", goldenChurnRate
+				}
+				h := fnv.New64a()
+				for i, sc := range goldenInstances(algo) {
+					fmt.Fprintf(h, "%s;", runFaultOutcome(t, sc, algo, spec, churn, i))
+				}
+				got := h.Sum64()
+				if os.Getenv("GOLDEN_PRINT") != "" {
+					t.Logf("fault golden %q: %#x", algo+"/"+adv, got)
+					return
+				}
+				want, ok := faultGolden[algo+"/"+adv]
+				if !ok {
+					t.Fatalf("no golden hash recorded for %q", algo+"/"+adv)
+				}
+				if got != want {
+					t.Errorf("fault-path drift: %s hash = %#x, want %#x", algo+"/"+adv, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestFaultScalarBatchEquivalence pins every fault path across the two
+// engines: a faulted lane must reproduce its faulted scalar twin exactly —
+// same results, or same contained panic payload.
+func TestFaultScalarBatchEquivalence(t *testing.T) {
+	for _, adv := range []string{"crash:1@3", "recover:1,6@3", "byz:1", "churn"} {
+		for _, algo := range []string{"faster", "uxs", "undispersed", "hopmeet"} {
+			algo, adv := algo, adv
+			t.Run(algo+"/"+adv, func(t *testing.T) {
+				spec, churn := adv, 0.0
+				if adv == "churn" {
+					spec, churn = "none", goldenChurnRate
+				}
+				e := batch.NewEngine()
+				for i, sc := range goldenInstances(algo)[:6] {
+					cap, err := sc.AlgoCap(algo, faultGoldenRadius)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Scalar twin.
+					w, _ := buildGoldenWorldIn(t, sc, algo, nil)
+					installFaults(t, sc, w, nil, -1, spec, churn, cap, i)
+					sres, serr := w.SafeRun(cap)
+
+					// Batched run: one lane per engine batch (instances differ).
+					e.Reset()
+					if churn > 0 {
+						if err := e.SetOverlay(graph.NewOverlay(sc.G, churn, uint64(i+1)^churnSeedSalt)); err != nil {
+							t.Fatal(err)
+						}
+					}
+					agents, err := sc.NewAgents(algo, faultGoldenRadius)
+					if err != nil {
+						t.Fatal(err)
+					}
+					lane, err := e.AddLane(sc.G, agents, sc.Positions, cap, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					installFaults(t, sc, nil, e, lane, spec, churn, cap, i)
+					e.Run()
+					out := e.Outcome(lane)
+
+					if (serr != nil) != (out.PanicVal != nil) {
+						t.Fatalf("instance %d: scalar err=%v, batch panic=%v", i, serr, out.PanicVal)
+					}
+					if serr != nil {
+						if !strings.Contains(serr.Error(), fmt.Sprint(out.PanicVal)) {
+							t.Fatalf("instance %d: panic payloads differ:\nscalar %v\n batch %v", i, serr, out.PanicVal)
+						}
+						continue
+					}
+					if fmt.Sprintf("%+v", sres) != fmt.Sprintf("%+v", out.Res) {
+						t.Fatalf("instance %d under %s:\nscalar %+v\n batch %+v", i, adv, sres, out.Res)
+					}
+				}
+			})
+		}
+	}
+}

@@ -108,7 +108,7 @@ func runGroup(base uint64, lo, hi int, jobs []Job, results []JobResult, state an
 		batched++
 		seed := JobSeed(base, i)
 		err := addLane(eng, j, i, seed, state)
-		if errors.Is(err, batch.ErrGraphMismatch) || errors.Is(err, batch.ErrShapeMismatch) {
+		if errors.Is(err, batch.ErrGraphMismatch) || errors.Is(err, batch.ErrShapeMismatch) || errors.Is(err, batch.ErrOverlayMismatch) {
 			flushGroup(base, eng, jobs, results, laneJobs)
 			laneJobs = laneJobs[:0]
 			err = addLane(eng, j, i, seed, state)

@@ -24,16 +24,19 @@ import (
 // anywhere in the serving stack (canonicalization, caching, queueing,
 // header handling) diffs loudly here.
 
-// conformanceRequests are the request bodies the suite replays. Both are
+// conformanceRequests are the request bodies the suite replays. All are
 // sized to run in milliseconds; the crash entry drives an adversarial
 // scheduler into contained per-seed panics, pinning that crash rows — not
-// just happy-path rows — survive the HTTP round trip bit-exactly.
+// just happy-path rows — survive the HTTP round trip bit-exactly, and the
+// byzantine entry sweeps a faulted-and-churned request, pinning the fault
+// layer's service bytes to the CLI's.
 var conformanceRequests = []struct {
 	name string
 	body string
 }{
 	{"sweep", `{"workload":"cycle:12","algo":"faster","k":4,"seeds":8}`},
 	{"crash", `{"workload":"grid:4x4","algo":"faster","k":5,"sched":"adv:2","seeds":12}`},
+	{"byzantine", `{"workload":"torus:4x4","algo":"faster","k":4,"seeds":8,"faults":"byz:1","churn":0.2}`},
 }
 
 // referenceBody computes the CLI-path bytes for a request: the exact call

@@ -11,6 +11,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/sim/batch"
+	"repro/internal/sim/fault"
 )
 
 // ExecConfig sets the execution resources for one sweep. Both knobs are
@@ -109,6 +110,18 @@ func ExecuteNDJSON(ctx context.Context, req *SweepRequest, cfg ExecConfig) ([]by
 		return sc, nil
 	}
 
+	// overlayFor fetches the request's churn overlay from the worker's
+	// pool (fresh when the runner carries no pool). Churn is per-instance:
+	// one seed for the whole request, so every row — and every lane of a
+	// batch — sees the same edge weather.
+	overlayFor := func(state any) *graph.Overlay {
+		seed := req.Seed ^ gather.ChurnSeedSalt
+		if p := gather.OverlayPoolOf(state); p != nil {
+			return p.Get(g, req.Churn, seed)
+		}
+		return graph.NewOverlay(g, req.Churn, seed)
+	}
+
 	jobs := make([]runner.Job, req.Seeds)
 	for i := range jobs {
 		scSeed := req.Seed + uint64(i)
@@ -119,10 +132,24 @@ func ExecuteNDJSON(ctx context.Context, req *SweepRequest, cfg ExecConfig) ([]by
 					return nil, 0, err
 				}
 				w, cap, err := BuildWorld(sc, req.Algo, req.Radius, gather.ArenaOf(state))
+				if err != nil {
+					return nil, 0, err
+				}
 				if req.MaxRounds > 0 {
 					cap = req.MaxRounds
 				}
-				return w, cap, err
+				// The fault plan is per-run (row seed), drawn over the
+				// effective round budget so scheduled crashes fire in-run.
+				plan := req.fs.Plan(req.K, cap, scSeed^gather.FaultSeedSalt)
+				if err := fault.Apply(w, sc.IDs, plan); err != nil {
+					return nil, 0, err
+				}
+				if req.Churn > 0 {
+					if err := w.SetOverlay(overlayFor(state)); err != nil {
+						return nil, 0, err
+					}
+				}
+				return w, cap, nil
 			},
 			Lane: func(_ uint64, state any, e *batch.Engine) error {
 				sc, err := buildJobScenario(scSeed)
@@ -136,12 +163,23 @@ func ExecuteNDJSON(ctx context.Context, req *SweepRequest, cfg ExecConfig) ([]by
 				if req.MaxRounds > 0 {
 					cap = req.MaxRounds
 				}
+				if req.Churn > 0 {
+					// Bind before AddLane so the engine cross-checks the
+					// overlay's graph against the first lane's.
+					if err := e.SetOverlay(overlayFor(state)); err != nil {
+						return err
+					}
+				}
 				agents, err := sc.NewAgentsIn(gather.LaneArenaOf(state), e.Lanes(), req.Algo, req.Radius)
 				if err != nil {
 					return err
 				}
-				_, err = e.AddLane(sc.G, agents, sc.Positions, cap, sc.Sched)
-				return err
+				lane, err := e.AddLane(sc.G, agents, sc.Positions, cap, sc.Sched)
+				if err != nil {
+					return err
+				}
+				plan := req.fs.Plan(req.K, cap, scSeed^gather.FaultSeedSalt)
+				return fault.ApplyLane(e, lane, sc.IDs, plan)
 			}}
 	}
 

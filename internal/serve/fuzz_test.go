@@ -70,6 +70,11 @@ func FuzzParseSweepRequest(f *testing.F) {
 		`[]`,
 		`"cycle:12"`,
 		`{"workload":"rreg:3,3"}`,
+		`{"workload":"cycle:12","faults":"crash:1@3","churn":0.15}`,
+		`{"workload":"cycle:12","faults":"recover:2,6","seeds":4}`,
+		`{"workload":"cycle:12","faults":"byz:1"}`,
+		`{"workload":"cycle:12","faults":"crash:0"}`,
+		`{"workload":"cycle:12","churn":2}`,
 		`{`,
 		``,
 	} {

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/sim"
+	"repro/internal/sim/fault"
 )
 
 // MaxSeeds bounds the seed range one request may sweep. It exists so a
@@ -32,32 +33,37 @@ const maxRobots = 1 << 20
 // preserves struct order); do not reorder fields without re-keying every
 // cache.
 type SweepRequest struct {
-	Workload  string `json:"workload"`
-	Algo      string `json:"algo"`
-	K         int    `json:"k"`
-	Radius    int    `json:"radius"`
-	Placement string `json:"placement"`
-	Sched     string `json:"sched"`
-	Seed      uint64 `json:"seed"`
-	Seeds     int    `json:"seeds"`
-	MaxRounds int    `json:"max_rounds"`
+	Workload  string  `json:"workload"`
+	Algo      string  `json:"algo"`
+	K         int     `json:"k"`
+	Radius    int     `json:"radius"`
+	Placement string  `json:"placement"`
+	Sched     string  `json:"sched"`
+	Seed      uint64  `json:"seed"`
+	Seeds     int     `json:"seeds"`
+	MaxRounds int     `json:"max_rounds"`
+	Faults    string  `json:"faults"`
+	Churn     float64 `json:"churn"`
 
 	wl *graph.Workload // parsed during validation; never nil after
+	fs fault.Spec      // parsed during validation
 }
 
 // wireRequest mirrors SweepRequest with pointer fields so absent keys are
 // distinguishable from explicit zeros: absent takes the default, an
 // explicit invalid zero (e.g. "k":0) is a typed reject.
 type wireRequest struct {
-	Workload  *string `json:"workload"`
-	Algo      *string `json:"algo"`
-	K         *int    `json:"k"`
-	Radius    *int    `json:"radius"`
-	Placement *string `json:"placement"`
-	Sched     *string `json:"sched"`
-	Seed      *uint64 `json:"seed"`
-	Seeds     *int    `json:"seeds"`
-	MaxRounds *int    `json:"max_rounds"`
+	Workload  *string  `json:"workload"`
+	Algo      *string  `json:"algo"`
+	K         *int     `json:"k"`
+	Radius    *int     `json:"radius"`
+	Placement *string  `json:"placement"`
+	Sched     *string  `json:"sched"`
+	Seed      *uint64  `json:"seed"`
+	Seeds     *int     `json:"seeds"`
+	MaxRounds *int     `json:"max_rounds"`
+	Faults    *string  `json:"faults"`
+	Churn     *float64 `json:"churn"`
 }
 
 // RequestError is the typed reject for a sweep request: which field is
@@ -94,8 +100,8 @@ func contains(set []string, v string) bool {
 // spec through sim.ParseScheduler before any work is queued, so a request
 // that parses is a request that runs. Absent fields take the gathersim
 // flag defaults (algo faster, k 4, radius 2, placement maxmin, sched
-// full, seed 1, seeds 1, max_rounds 0); only the workload is required.
-// All rejects are *RequestError.
+// full, seed 1, seeds 1, max_rounds 0, faults none, churn 0); only the
+// workload is required. All rejects are *RequestError.
 func ParseSweepRequest(data []byte) (*SweepRequest, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
@@ -115,6 +121,7 @@ func ParseSweepRequest(data []byte) (*SweepRequest, error) {
 		Sched:     "full",
 		Seed:      1,
 		Seeds:     1,
+		Faults:    "none",
 	}
 	if w.Workload != nil {
 		req.Workload = *w.Workload
@@ -142,6 +149,12 @@ func ParseSweepRequest(data []byte) (*SweepRequest, error) {
 	}
 	if w.MaxRounds != nil {
 		req.MaxRounds = *w.MaxRounds
+	}
+	if w.Faults != nil {
+		req.Faults = *w.Faults
+	}
+	if w.Churn != nil {
+		req.Churn = *w.Churn
 	}
 	if err := req.validate(); err != nil {
 		return nil, err
@@ -183,6 +196,14 @@ func (r *SweepRequest) validate() error {
 	}
 	if r.MaxRounds < 0 {
 		return &RequestError{Field: "max_rounds", Reason: fmt.Sprintf("want >= 0, got %d", r.MaxRounds)}
+	}
+	fs, err := fault.Parse(r.Faults)
+	if err != nil {
+		return &RequestError{Field: "faults", Reason: err.Error()}
+	}
+	r.fs = fs
+	if r.Churn < 0 || r.Churn > 1 {
+		return &RequestError{Field: "churn", Reason: fmt.Sprintf("want 0 <= churn <= 1, got %g", r.Churn)}
 	}
 	return nil
 }

@@ -38,7 +38,7 @@ func wantReject(t *testing.T, body, field string) {
 
 func TestParseSweepRequestDefaults(t *testing.T) {
 	req := mustParse(t, `{"workload":"cycle:12"}`)
-	want := `{"workload":"cycle:12","algo":"faster","k":4,"radius":2,"placement":"maxmin","sched":"full","seed":1,"seeds":1,"max_rounds":0}`
+	want := `{"workload":"cycle:12","algo":"faster","k":4,"radius":2,"placement":"maxmin","sched":"full","seed":1,"seeds":1,"max_rounds":0,"faults":"none","churn":0}`
 	if got := string(req.Canonical()); got != want {
 		t.Fatalf("canonical defaults:\n got %s\nwant %s", got, want)
 	}
@@ -64,6 +64,12 @@ func TestParseSweepRequestTypedRejects(t *testing.T) {
 		{`{"workload":"cycle:12","seeds":0}`, "seeds"},
 		{`{"workload":"cycle:12","seeds":1000000}`, "seeds"},
 		{`{"workload":"cycle:12","max_rounds":-1}`, "max_rounds"},
+		{`{"workload":"cycle:12","faults":"meteor"}`, "faults"},
+		{`{"workload":"cycle:12","faults":"crash:0"}`, "faults"},
+		{`{"workload":"cycle:12","faults":"recover:1"}`, "faults"},
+		{`{"workload":"cycle:12","faults":"byz:1@4"}`, "faults"},
+		{`{"workload":"cycle:12","churn":-0.1}`, "churn"},
+		{`{"workload":"cycle:12","churn":1.5}`, "churn"},
 	}
 	for _, c := range cases {
 		wantReject(t, c.body, c.field)
@@ -74,7 +80,7 @@ func TestCanonicalIdempotentAndOrderInsensitive(t *testing.T) {
 	// The same request spelled four ways: reference spelling, permuted
 	// field order, whitespace-heavy, defaults elided.
 	variants := []string{
-		`{"workload":"torus:8x8","algo":"uxs","k":2,"radius":2,"placement":"maxmin","sched":"full","seed":7,"seeds":3,"max_rounds":0}`,
+		`{"workload":"torus:8x8","algo":"uxs","k":2,"radius":2,"placement":"maxmin","sched":"full","seed":7,"seeds":3,"max_rounds":0,"faults":"none","churn":0}`,
 		`{"seeds":3,"seed":7,"k":2,"algo":"uxs","workload":"torus:8x8"}`,
 		"{\n  \"workload\": \"torus:8x8\",\n  \"algo\": \"uxs\",\n  \"k\": 2,\n  \"seed\": 7,\n  \"seeds\": 3\n}",
 		`{"workload":"torus:8x8","algo":"uxs","seeds":3,"k":2,"seed":7}`,

@@ -43,6 +43,10 @@ var (
 	// ErrShapeMismatch rejects a lane whose robot count differs from the
 	// engine's current batch shape.
 	ErrShapeMismatch = fmt.Errorf("batch: lane robot count differs from the engine's batch shape")
+	// ErrOverlayMismatch rejects an overlay when the engine's current batch
+	// is already bound to a different one: an Overlay is single-instance
+	// churn state, so lanes of different overlays cannot share a batch.
+	ErrOverlayMismatch = fmt.Errorf("batch: overlay differs from the engine's bound overlay")
 )
 
 // laneState tracks a lane through its batch lifetime.
@@ -97,16 +101,26 @@ type Engine struct {
 
 	// Flat structure-of-arrays per-robot state, length Lanes()*k: robot i
 	// of lane l lives at index l*k+i.
-	agents  []sim.Agent
-	ids     []int
-	pos     []int
-	arrival []int
-	done    []bool
-	verdict []bool
-	moves   []int64
-	crashAt []int
-	crashed []bool
-	byID    []int32 // per lane: robot indices ascending by ID (drives the occupancy rebuild)
+	agents    []sim.Agent
+	ids       []int
+	pos       []int
+	arrival   []int
+	done      []bool
+	verdict   []bool
+	moves     []int64
+	crashAt   []int
+	crashed   []bool
+	recoverAt []int
+	recovered []bool
+	byz       []bool
+	byzSeed   []uint64
+	byID      []int32 // per lane: robot indices ascending by ID (drives the occupancy rebuild)
+
+	// overlay is the batch's shared dynamic edge mask, nil when static.
+	// Lanes run the same instance in the same lockstep rounds, so one
+	// overlay serves the whole batch (see graph.Overlay).
+	overlay *graph.Overlay
+	clock   int // lockstep rounds executed; every live lane's round equals it
 
 	occ  occupancy // all lanes' live robots, bucketed by node
 	live int       // lanes not yet retired
@@ -172,7 +186,13 @@ func (e *Engine) Reset() {
 	e.moves = e.moves[:0]
 	e.crashAt = e.crashAt[:0]
 	e.crashed = e.crashed[:0]
+	e.recoverAt = e.recoverAt[:0]
+	e.recovered = e.recovered[:0]
+	e.byz = e.byz[:0]
+	e.byzSeed = e.byzSeed[:0]
 	e.byID = e.byID[:0]
+	e.overlay = nil
+	e.clock = 0
 	e.occ.reset()
 	e.live = 0
 }
@@ -238,6 +258,9 @@ func (e *Engine) AddLane(g *graph.Graph, agents []sim.Agent, positions []int, ma
 		idx[a.ID()] = i
 	}
 	if e.g == nil {
+		if e.overlay != nil && e.overlay.Base() != g {
+			return 0, ErrGraphMismatch
+		}
 		// First lane of the batch: its validated shape becomes the batch's.
 		e.g = g
 		e.k = len(agents)
@@ -269,6 +292,10 @@ func (e *Engine) AddLane(g *graph.Graph, agents []sim.Agent, positions []int, ma
 	e.moves = growTo(e.moves, base+e.k)
 	e.crashAt = growTo(e.crashAt, base+e.k)
 	e.crashed = growTo(e.crashed, base+e.k)
+	e.recoverAt = growTo(e.recoverAt, base+e.k)
+	e.recovered = growTo(e.recovered, base+e.k)
+	e.byz = growTo(e.byz, base+e.k)
+	e.byzSeed = growTo(e.byzSeed, base+e.k)
 	for i, a := range agents {
 		x := base + i
 		e.ids[x] = a.ID()
@@ -279,6 +306,10 @@ func (e *Engine) AddLane(g *graph.Graph, agents []sim.Agent, positions []int, ma
 		e.moves[x] = 0
 		e.crashAt[x] = -1
 		e.crashed[x] = false
+		e.recoverAt[x] = -1
+		e.recovered[x] = false
+		e.byz[x] = false
+		e.byzSeed[x] = 0
 		e.occ.add(int32(lane), int32(i), positions[i], a.ID(), e.ids, e.k)
 	}
 	// The lane's ID-sorted robot order, fixed for the batch: the per-round
@@ -345,6 +376,73 @@ func (e *Engine) CrashAt(lane, robotID, round int) error {
 	e.crashAt[lane*e.k+i] = round
 	return nil
 }
+
+// RecoverAt schedules a crash-recovery fault in one lane (mirrors
+// World.RecoverAt, same validation and error texts): the robot resumes at
+// its crash position with constructor-state amnesia via sim.Resettable.
+func (e *Engine) RecoverAt(lane, robotID, round int) error {
+	if lane < 0 || lane >= len(e.caps) {
+		return fmt.Errorf("batch: no lane %d", lane)
+	}
+	i, ok := e.idIndex[lane][robotID]
+	if !ok {
+		return fmt.Errorf("sim: no robot with ID %d", robotID)
+	}
+	x := lane*e.k + i
+	if e.crashAt[x] < 0 {
+		return fmt.Errorf("sim: recovery scheduled for robot %d without a scheduled crash", robotID)
+	}
+	if round <= e.crashAt[x] {
+		return fmt.Errorf("sim: recovery round %d not after crash round %d", round, e.crashAt[x])
+	}
+	if _, ok := e.agents[x].(sim.Resettable); !ok {
+		return fmt.Errorf("sim: robot %d's agent does not implement Resettable (required for recovery amnesia)", robotID)
+	}
+	e.recoverAt[x] = round
+	return nil
+}
+
+// SetByzantine marks one lane's robot Byzantine with the given corruption
+// stream seed (mirrors World.SetByzantine).
+func (e *Engine) SetByzantine(lane, robotID int, seed uint64) error {
+	if lane < 0 || lane >= len(e.caps) {
+		return fmt.Errorf("batch: no lane %d", lane)
+	}
+	i, ok := e.idIndex[lane][robotID]
+	if !ok {
+		return fmt.Errorf("sim: no robot with ID %d", robotID)
+	}
+	x := lane*e.k + i
+	e.byz[x] = true
+	e.byzSeed[x] = seed
+	return nil
+}
+
+// SetOverlay installs the batch's shared dynamic edge mask. Lanes of a
+// batch run the same instance in the same lockstep rounds, so exactly one
+// overlay — the instance's — serves them all. Call it before the lanes it
+// governs: the first call binds the overlay (and the graph bind, whichever
+// side happens first, cross-checks the other); a repeat call with the same
+// overlay is a no-op; a different overlay fails with ErrOverlayMismatch,
+// which batched runners treat as a flush signal like ErrGraphMismatch.
+// nil is rejected the same way once an overlay is bound — an overlay batch
+// never silently degrades to a static one.
+func (e *Engine) SetOverlay(o *graph.Overlay) error {
+	if e.overlay != nil {
+		if o != e.overlay {
+			return ErrOverlayMismatch
+		}
+		return nil
+	}
+	if o != nil && e.g != nil && o.Base() != e.g {
+		return ErrGraphMismatch
+	}
+	e.overlay = o
+	return nil
+}
+
+// Overlay returns the batch's shared dynamic edge mask, nil when static.
+func (e *Engine) Overlay() *graph.Overlay { return e.overlay }
 
 // Run steps the batch in lockstep until every lane has retired. Lanes
 // whose robots have all terminated, or whose round cap has elapsed, are
@@ -417,7 +515,19 @@ func (e *Engine) retire(l int) {
 // phases and retire at the round boundary.
 func (e *Engine) stepRound() {
 	e.ensureScratch()
-	e.applyCrashes()
+	if e.overlay != nil {
+		// Round 0 must see round-0 churn: a pooled overlay advanced by an
+		// earlier run on this worker (e.g. a scalar job between lane loads)
+		// is rewound before the batch's first round.
+		if e.clock == 0 && e.overlay.Applied() > 0 {
+			e.overlay.Reset()
+		}
+		// Every live lane's round equals the lockstep clock, so one advance
+		// serves the batch — the same mask the scalar engine sees at this
+		// round, since AdvanceTo applies each round's churn exactly once.
+		e.overlay.AdvanceTo(e.clock)
+	}
+	e.applyFaults()
 	e.schedule()
 	t := prof.PhaseStart()
 	e.snapshotCards()
@@ -437,6 +547,7 @@ func (e *Engine) stepRound() {
 			e.noteGather(l)
 		}
 	}
+	e.clock++
 	e.reapPanicked()
 }
 
@@ -484,9 +595,11 @@ func (e *Engine) acting(x int) bool {
 	return e.scr.active[x] && !e.done[x] && !e.crashed[x]
 }
 
-// applyCrashes executes scheduled fail-stop faults at each live lane's
-// round boundary.
-func (e *Engine) applyCrashes() {
+// applyFaults executes scheduled crash and recovery faults at each live
+// lane's round boundary (mirrors the scalar applyFaults: recovery
+// re-enters the robot at its crash position with agent amnesia, cleared
+// arrival and termination, and its move odometer preserved).
+func (e *Engine) applyFaults() {
 	for l := range e.state {
 		if e.state[l] != laneLive {
 			continue
@@ -497,6 +610,14 @@ func (e *Engine) applyCrashes() {
 			if e.crashAt[x] == e.round[l] && !e.crashed[x] {
 				e.crashed[x] = true
 				e.occ.del(int32(l), int32(i), e.pos[x])
+			} else if e.crashed[x] && e.recoverAt[x] == e.round[l] {
+				e.crashed[x] = false
+				e.recovered[x] = true
+				e.agents[x].(sim.Resettable).Reset(e.ids[x])
+				e.arrival[x] = -1
+				e.done[x] = false
+				e.verdict[x] = false
+				e.occ.add(int32(l), int32(i), e.pos[x], e.ids[x], e.ids, e.k)
 			}
 		}
 	}
@@ -543,6 +664,9 @@ func (e *Engine) snapshotLane(l int) {
 		c := e.agents[x].Card()
 		c.Done = e.done[x]
 		c.Gathered = e.verdict[x]
+		if e.byz[x] {
+			c = sim.CorruptCard(c, e.byzSeed[x], e.round[l])
+		}
 		e.scr.cards[x] = c
 	}
 }
@@ -635,8 +759,11 @@ func (e *Engine) communicateLane(l int) {
 		if !e.acting(x) {
 			continue
 		}
-		for _, m := range e.agents[x].Compose(&s.envs[x]) {
+		for mi, m := range e.agents[x].Compose(&s.envs[x]) {
 			m.From = e.ids[x]
+			if e.byz[x] {
+				m = sim.CorruptMessage(m, e.byzSeed[x], e.round[l], mi)
+			}
 			if m.To == sim.Broadcast {
 				for _, en := range e.occ.laneMembers(e.pos[x], int32(l)) {
 					j := int(en.idx)
@@ -739,8 +866,13 @@ func (e *Engine) resolveLane(l int) {
 				panic(fmt.Sprintf("sim: robot %d used invalid port %d at degree-%d node (round %d)",
 					e.ids[x], p, e.g.Degree(e.pos[x]), e.round[l]))
 			}
-			to, rev := e.g.Neighbor(e.pos[x], p)
-			resolved[i] = mv{node: to, arrival: rev, moved: true}
+			if e.overlay != nil && !e.overlay.Open(e.pos[x], p) {
+				// Closed door: the robot stays, like the scalar engine.
+				resolved[i] = mv{node: e.pos[x], arrival: e.arrival[x]}
+			} else {
+				to, rev := e.g.Neighbor(e.pos[x], p)
+				resolved[i] = mv{node: to, arrival: rev, moved: true}
+			}
 			state[i] = 1
 		case sim.Follow:
 			state[i] = 0
@@ -889,6 +1021,9 @@ func (e *Engine) summary(l int) sim.Result {
 		x := base + i
 		if e.crashed[x] {
 			res.Crashed++
+		}
+		if e.recovered[x] {
+			res.Recovered++
 		}
 		if !e.verdict[x] && !e.crashed[x] {
 			res.DetectionCorrect = false

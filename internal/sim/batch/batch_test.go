@@ -18,10 +18,18 @@ import (
 // message delivery between the engines shows up as a positional diff.
 type mixer struct {
 	sim.Base
-	salt  int
-	limit int
+	salt  int //repolint:keep constructor parameter, not run state
+	limit int //repolint:keep constructor parameter, not run state
 	step  int
 	heard int
+}
+
+// Reset implements sim.Resettable: recovery amnesia (and pooled reuse)
+// rewinds the mixer to the state its constructor produced.
+func (m *mixer) Reset(id int) {
+	m.Base = sim.NewBase(id)
+	m.step = 0
+	m.heard = 0
 }
 
 func newMixer(id, salt, limit int) *mixer {
@@ -342,6 +350,243 @@ func TestCrashAtMatchesScalar(t *testing.T) {
 	e.Run()
 	if got := e.Outcome(lane).Res; !resultEq(got, want) {
 		t.Fatalf("crash run:\n batch %+v\nscalar %+v", got, want)
+	}
+}
+
+// TestRecoveryMatchesScalar pins crash-recovery through the batch path:
+// a lane whose robot crashes and later recovers with amnesia must match
+// the scalar world bit for bit.
+func TestRecoveryMatchesScalar(t *testing.T) {
+	g := graph.Grid(4, 4)
+	sp := mixerLane(g, 4, 5, nil)
+	sp.cap = 60
+
+	w, err := sim.NewWorld(g, sp.agents(), sp.pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CrashAt(2, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RecoverAt(2, 21); err != nil {
+		t.Fatal(err)
+	}
+	want := w.Run(sp.cap)
+	if want.Recovered != 1 {
+		t.Fatalf("scalar run recovered %d robots, want 1", want.Recovered)
+	}
+
+	e := batch.NewEngine()
+	lane := addSpec(t, e, g, sp)
+	if err := e.CrashAt(lane, 2, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RecoverAt(lane, 2, 21); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if got := e.Outcome(lane).Res; !resultEq(got, want) {
+		t.Fatalf("recovery run:\n batch %+v\nscalar %+v", got, want)
+	}
+}
+
+// TestByzantineMatchesScalar pins Byzantine corruption through the batch
+// path: the per-robot corruption stream is a pure function of (seed,
+// round, slot), so both engines must see identical lies.
+func TestByzantineMatchesScalar(t *testing.T) {
+	g := graph.Grid(4, 4)
+	sp := mixerLane(g, 4, 7, nil)
+	sp.cap = 80
+
+	w, err := sim.NewWorld(g, sp.agents(), sp.pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetByzantine(3, 0xB12E); err != nil {
+		t.Fatal(err)
+	}
+	want := w.Run(sp.cap)
+
+	e := batch.NewEngine()
+	lane := addSpec(t, e, g, sp)
+	if err := e.SetByzantine(lane, 3, 0xB12E); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if got := e.Outcome(lane).Res; !resultEq(got, want) {
+		t.Fatalf("byzantine run:\n batch %+v\nscalar %+v", got, want)
+	}
+}
+
+// TestOverlayMatchesScalar pins churn through the batch path: all lanes
+// of a batch share one overlay advanced on the lockstep clock, which must
+// equal each scalar world replaying its own same-seeded overlay.
+func TestOverlayMatchesScalar(t *testing.T) {
+	g := graph.Torus(4, 4)
+	specs := []laneSpec{
+		mixerLane(g, 3, 1, nil),
+		mixerLane(g, 3, 2, func() sim.Scheduler { return sim.NewSemiSync(0.6, 7) }),
+		mixerLane(g, 3, 3, nil),
+	}
+	const rate, churnSeed = 0.3, uint64(0xC0FFEE)
+
+	e := batch.NewEngine()
+	if err := e.SetOverlay(graph.NewOverlay(g, rate, churnSeed)); err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specs {
+		addSpec(t, e, g, sp)
+	}
+	e.Run()
+	for i, sp := range specs {
+		w, err := sim.NewWorld(g, sp.agents(), sp.pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.sched != nil {
+			w.SetScheduler(sp.sched())
+		}
+		if err := w.SetOverlay(graph.NewOverlay(g, rate, churnSeed)); err != nil {
+			t.Fatal(err)
+		}
+		want := w.Run(sp.cap)
+		out := e.Outcome(i)
+		if out.PanicVal != nil {
+			t.Fatalf("lane %d panicked: %v", i, out.PanicVal)
+		}
+		if !resultEq(out.Res, want) {
+			t.Errorf("lane %d under churn:\n batch %+v\nscalar %+v", i, out.Res, want)
+		}
+	}
+}
+
+// TestMidRoundRecoveryWithSiblingRetirement is the risky-path coverage
+// for lane retirement under recovery: a robot recovers (occ.add into the
+// combined index) in the same lockstep round its sibling lanes retire
+// (incremental occ deletes) and the round's movement triggers the
+// lane-major bucket rebuild. The recovering lane and an uninvolved
+// sibling must still match their scalar runs exactly.
+func TestMidRoundRecoveryWithSiblingRetirement(t *testing.T) {
+	g := graph.Grid(4, 4)
+	const rec = 12 // recovery round; sibling caps force retirement at the same boundary
+	early := mixerLane(g, 3, 11, nil)
+	early.cap = rec // retires exactly when the recovery fires
+	recovering := mixerLane(g, 3, 12, nil)
+	recovering.cap = 50
+	late := mixerLane(g, 3, 13, nil)
+	late.cap = 50
+
+	e := batch.NewEngine()
+	// Lane order sandwiches the recovering lane between a lane that
+	// retires at the recovery boundary and one that outlives it.
+	addSpec(t, e, g, early)
+	lr := addSpec(t, e, g, recovering)
+	addSpec(t, e, g, late)
+	if err := e.CrashAt(lr, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RecoverAt(lr, 1, rec); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+
+	for i, sp := range []laneSpec{early, recovering, late} {
+		w, err := sim.NewWorld(g, sp.agents(), sp.pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			if err := w.CrashAt(1, 4); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.RecoverAt(1, rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := w.Run(sp.cap)
+		out := e.Outcome(i)
+		if out.PanicVal != nil {
+			t.Fatalf("lane %d panicked: %v", i, out.PanicVal)
+		}
+		if !resultEq(out.Res, want) {
+			t.Errorf("lane %d:\n batch %+v\nscalar %+v", i, out.Res, want)
+		}
+		if i == 1 && out.Res.Recovered != 1 {
+			t.Errorf("recovering lane reported Recovered=%d", out.Res.Recovered)
+		}
+	}
+}
+
+// TestFaultValidation pins the batch fault-scheduling error texts
+// (mirroring the scalar world's) and the overlay binding rules.
+func TestFaultValidation(t *testing.T) {
+	g := graph.Cycle(8)
+	e := batch.NewEngine()
+	agents := []sim.Agent{newMixer(1, 0, 10), &panicker{Base: sim.NewBase(2), at: 99}}
+	lane, err := e.AddLane(g, agents, []int{0, 4}, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RecoverAt(9, 1, 5); err == nil {
+		t.Error("bad lane accepted")
+	}
+	if err := e.RecoverAt(lane, 7, 5); err == nil {
+		t.Error("unknown robot accepted")
+	}
+	if err := e.RecoverAt(lane, 1, 5); err == nil {
+		t.Error("recovery without crash accepted")
+	}
+	if err := e.CrashAt(lane, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RecoverAt(lane, 1, 3); err == nil {
+		t.Error("recovery round == crash round accepted")
+	}
+	if err := e.CrashAt(lane, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RecoverAt(lane, 2, 6); err == nil {
+		t.Error("non-Resettable agent accepted for recovery")
+	}
+	if err := e.SetByzantine(9, 1, 5); err == nil {
+		t.Error("bad lane accepted for SetByzantine")
+	}
+	if err := e.SetByzantine(lane, 7, 5); err == nil {
+		t.Error("unknown robot accepted for SetByzantine")
+	}
+
+	// Overlay binding: graph cross-check both ways, mismatch sentinel, and
+	// Reset unbinding.
+	if err := e.SetOverlay(graph.NewOverlay(graph.Cycle(6), 0.5, 1)); err != batch.ErrGraphMismatch {
+		t.Errorf("foreign-graph overlay error = %v", err)
+	}
+	ov := graph.NewOverlay(g, 0.5, 1)
+	if err := e.SetOverlay(ov); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetOverlay(ov); err != nil {
+		t.Errorf("re-binding the same overlay failed: %v", err)
+	}
+	if err := e.SetOverlay(graph.NewOverlay(g, 0.5, 2)); err != batch.ErrOverlayMismatch {
+		t.Errorf("different overlay error = %v", err)
+	}
+	if err := e.SetOverlay(nil); err != batch.ErrOverlayMismatch {
+		t.Errorf("nil overlay on a bound batch error = %v", err)
+	}
+	e.Reset()
+	if e.Overlay() != nil {
+		t.Fatal("Reset kept the overlay bound")
+	}
+	// SetOverlay before the first AddLane binds eagerly; a first lane on a
+	// different graph is then rejected.
+	if err := e.SetOverlay(ov); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddLane(graph.Cycle(6), []sim.Agent{newMixer(1, 0, 10)}, []int{0}, 10, nil); err != batch.ErrGraphMismatch {
+		t.Errorf("first lane on a foreign graph with bound overlay: %v", err)
+	}
+	if _, err := e.AddLane(g, []sim.Agent{newMixer(1, 0, 10)}, []int{0}, 10, nil); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,126 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTripsCanonicalForms(t *testing.T) {
+	for _, spec := range []string{
+		"none", "crash:1", "crash:3@7", "recover:1,10", "recover:2,5@3", "byz:2",
+	} {
+		s, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if got := s.String(); got != spec {
+			t.Errorf("Parse(%q).String() = %q", spec, got)
+		}
+		again, err := Parse(s.String())
+		if err != nil || again != s {
+			t.Errorf("canonical form %q does not round-trip: %+v vs %+v (%v)", spec, again, s, err)
+		}
+	}
+	// The empty spec is the fault-free default, canonicalized to "none".
+	s, err := Parse("")
+	if err != nil || s.Kind != None || s.String() != "none" {
+		t.Fatalf(`Parse("") = %+v, %v`, s, err)
+	}
+}
+
+func TestParseErrorsEnumerateTheGrammar(t *testing.T) {
+	for _, spec := range []string{
+		"crash", "crash:", "crash:0", "crash:x", "crash:1@-2", "crash:1@x",
+		"recover:1", "recover:1,0", "recover:1,x", "recover:x,3",
+		"byz", "byz:0", "byz:1@4", "none:1", "mars:3", "semi:0.5",
+	} {
+		_, err := Parse(spec)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), "none, crash:F[@R], recover:F,D[@R] or byz:F") {
+			t.Errorf("Parse(%q) error does not enumerate the grammar: %v", spec, err)
+		}
+	}
+}
+
+func TestGrammarCatalogMatchesParser(t *testing.T) {
+	lines := Grammar()
+	if len(lines) != 4 {
+		t.Fatalf("Grammar() has %d lines", len(lines))
+	}
+	// The first token of every catalog line (with placeholders instantiated)
+	// must parse — the catalog may never drift from the parser.
+	for _, example := range []string{"none", "crash:2@5", "recover:1,10@5", "byz:1"} {
+		if _, err := Parse(example); err != nil {
+			t.Errorf("catalog example %q rejected: %v", example, err)
+		}
+	}
+}
+
+func TestPlanIsDeterministicAndCapped(t *testing.T) {
+	s, _ := Parse("crash:5")
+	a := s.Plan(4, 100, 42)
+	b := s.Plan(4, 100, 42)
+	if len(a.Robots) != 3 {
+		t.Fatalf("victims = %v, want count capped at k-1 = 3", a.Robots)
+	}
+	for i := range a.Robots {
+		if a.Robots[i] != b.Robots[i] || a.CrashAt[i] != b.CrashAt[i] {
+			t.Fatalf("same inputs, different plans: %+v vs %+v", a, b)
+		}
+	}
+	if c := s.Plan(4, 100, 43); len(c.Robots) == len(a.Robots) {
+		same := true
+		for i := range c.Robots {
+			if c.Robots[i] != a.Robots[i] || c.CrashAt[i] != a.CrashAt[i] {
+				same = false
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical plans")
+		}
+	}
+}
+
+func TestPlanShapes(t *testing.T) {
+	s, _ := Parse("recover:2,7@3")
+	p := s.Plan(8, 50, 1)
+	if len(p.Robots) != 2 || len(p.CrashAt) != 2 || len(p.Revive) != 2 || p.Seeds != nil {
+		t.Fatalf("recover plan shape: %+v", p)
+	}
+	for i := range p.Robots {
+		if p.CrashAt[i] != 3 || p.Revive[i] != 10 {
+			t.Fatalf("fixed-round recover plan: %+v", p)
+		}
+		if i > 0 && p.Robots[i] <= p.Robots[i-1] {
+			t.Fatalf("victims not ascending: %v", p.Robots)
+		}
+	}
+
+	s, _ = Parse("byz:3")
+	p = s.Plan(8, 50, 9)
+	if len(p.Seeds) != 3 || p.CrashAt != nil || p.Revive != nil {
+		t.Fatalf("byz plan shape: %+v", p)
+	}
+	if p.Seeds[0] == p.Seeds[1] && p.Seeds[1] == p.Seeds[2] {
+		t.Fatal("byz stream seeds all equal")
+	}
+
+	s, _ = Parse("crash:2")
+	p = s.Plan(6, 40, 5)
+	for _, r := range p.CrashAt {
+		if r < 0 || r >= 40 {
+			t.Fatalf("drawn crash round %d outside [0, 40)", r)
+		}
+	}
+
+	if p := s.Plan(1, 40, 5); len(p.Robots) != 0 {
+		t.Fatalf("k=1 plan faulted robots: %+v", p)
+	}
+	none, _ := Parse("none")
+	if p := none.Plan(8, 40, 5); len(p.Robots) != 0 {
+		t.Fatalf("none plan faulted robots: %+v", p)
+	}
+}

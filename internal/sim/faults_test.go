@@ -96,6 +96,264 @@ func TestCrashAtValidation(t *testing.T) {
 	}
 }
 
+// rscripted is a Resettable scripted agent: recovery amnesia rewinds the
+// script to its start, modelling an algorithm restarting from its
+// constructor state.
+type rscripted struct {
+	Base
+	script []Action //repolint:keep the schedule belongs to the test, not the robot's run state
+	step   int
+	resets int //repolint:keep test-side counter of amnesia events; surviving Reset is the point
+}
+
+func newRScripted(id int, script ...Action) *rscripted {
+	return &rscripted{Base: NewBase(id), script: script}
+}
+
+func (s *rscripted) Decide(env *Env) Action {
+	if s.step < len(s.script) {
+		a := s.script[s.step]
+		s.step++
+		return a
+	}
+	return StayAction()
+}
+
+func (s *rscripted) Reset(id int) {
+	s.Base = NewBase(id)
+	s.step = 0
+	s.resets++
+}
+
+func TestRecoveryResumesWithAmnesia(t *testing.T) {
+	g := graph.Path(3)
+	// The robot's script is Move(1) from node 0 toward node 2; after
+	// recovery amnesia it replays the script from the top.
+	r := newRScripted(1, MoveAction(0))
+	w, _ := NewWorld(g, []Agent{r}, []int{1})
+	if err := w.CrashAt(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RecoverAt(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	w.Step() // round 0: moves 1 -> 0
+	w.Step() // round 1: crashes at node 0
+	w.Step() // round 2: still crashed, frozen
+	if w.CrashedCount() != 1 || w.RecoveredCount() != 0 {
+		t.Fatalf("mid-crash counts: crashed=%d recovered=%d", w.CrashedCount(), w.RecoveredCount())
+	}
+	w.Step() // round 3: recovers at node 0, replays script: moves 0 -> 1
+	if r.resets != 1 {
+		t.Fatalf("agent reset %d times, want 1", r.resets)
+	}
+	if got := w.Positions()[0]; got != 1 {
+		t.Fatalf("recovered robot at %d, want 1 (script replayed from crash position)", got)
+	}
+	if w.CrashedCount() != 0 || w.RecoveredCount() != 1 {
+		t.Fatalf("post-recovery counts: crashed=%d recovered=%d", w.CrashedCount(), w.RecoveredCount())
+	}
+	res := w.Summary()
+	if res.Recovered != 1 || res.Crashed != 0 {
+		t.Fatalf("Result: recovered=%d crashed=%d", res.Recovered, res.Crashed)
+	}
+	if res.TotalMoves != 2 {
+		t.Fatalf("TotalMoves = %d, want 2 (odometer survives recovery)", res.TotalMoves)
+	}
+}
+
+func TestRecoveryForgetsTermination(t *testing.T) {
+	g := graph.Path(2)
+	r := newRScripted(1, StayAction(), TerminateAction(true))
+	w, _ := NewWorld(g, []Agent{r}, []int{0})
+	if err := w.CrashAt(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RecoverAt(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	w.Step() // round 0: stays
+	w.Step() // round 1: terminates
+	if !w.AllDone() {
+		t.Fatal("robot should have terminated")
+	}
+	w.Step() // round 2: done, idle
+	w.Step() // round 3: crash (done robots crash like any other)
+	w.Step() // round 4: crashed
+	w.Step() // round 5: recovery wipes Done; the replayed script stays
+	if w.AllDone() {
+		t.Fatal("recovered robot must have forgotten its termination")
+	}
+	res := w.Run(10)
+	// The replayed script terminates again with verdict true; it is the
+	// lone robot, so the run ends detection-correct despite the fault.
+	if !res.AllTerminated || !res.DetectionCorrect || res.Recovered != 1 {
+		t.Fatalf("post-recovery rerun: %+v", res)
+	}
+}
+
+func TestRecoveredRobotVisibleAgain(t *testing.T) {
+	g := graph.Path(2)
+	r := newRScripted(1)
+	watcher := newScripted(2, StayAction(), StayAction(), StayAction())
+	w, _ := NewWorld(g, []Agent{r, watcher}, []int{0, 0})
+	if err := w.CrashAt(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RecoverAt(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	w.Step()
+	w.Step()
+	w.Step()
+	if len(watcher.envs[0].Others) != 0 || len(watcher.envs[1].Others) != 0 {
+		t.Fatal("crashed robot leaked into observations")
+	}
+	if len(watcher.envs[2].Others) != 1 || watcher.envs[2].Others[0].ID != 1 {
+		t.Fatalf("recovered robot not visible: %+v", watcher.envs[2].Others)
+	}
+}
+
+func TestRecoverAtValidation(t *testing.T) {
+	g := graph.Path(2)
+	r := newRScripted(1)
+	plain := newScripted(2) // not Resettable
+	w, _ := NewWorld(g, []Agent{r, plain}, []int{0, 0})
+	if err := w.RecoverAt(9, 3); err == nil {
+		t.Error("unknown robot accepted")
+	}
+	if err := w.RecoverAt(1, 3); err == nil {
+		t.Error("recovery without a scheduled crash accepted")
+	}
+	if err := w.CrashAt(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RecoverAt(1, 2); err == nil {
+		t.Error("recovery round == crash round accepted")
+	}
+	if err := w.CrashAt(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RecoverAt(2, 3); err == nil {
+		t.Error("non-Resettable agent accepted for recovery")
+	}
+}
+
+func TestByzantineCardLiesButKeepsID(t *testing.T) {
+	g := graph.Path(2)
+	liar := newScripted(1, StayAction(), StayAction())
+	watcher := newScripted(2, StayAction(), StayAction())
+	w, _ := NewWorld(g, []Agent{liar, watcher}, []int{0, 0})
+	if err := w.SetByzantine(1, 77); err != nil {
+		t.Fatal(err)
+	}
+	w.Step()
+	w.Step()
+	seen0 := watcher.envs[0].Others[0]
+	seen1 := watcher.envs[1].Others[0]
+	if seen0.ID != 1 || seen1.ID != 1 {
+		t.Fatalf("Byzantine card changed its ID: %+v %+v", seen0, seen1)
+	}
+	want0 := CorruptCard(Card{ID: 1, Leader: -1, GroupID: -1}, 77, 0)
+	if seen0 != want0 {
+		t.Fatalf("round 0 card = %+v, want %+v", seen0, want0)
+	}
+	if seen0 == seen1 {
+		t.Fatal("corruption did not vary across rounds")
+	}
+	// The liar itself observes the honest watcher and is unaffected.
+	if got := liar.envs[0].Others[0]; got.ID != 2 {
+		t.Fatalf("liar's own observation corrupted: %+v", got)
+	}
+}
+
+func TestByzantineMessagesCorruptPayloadNotRouting(t *testing.T) {
+	g := graph.Path(2)
+	liar := &talker{Base: NewBase(1)}
+	listener := &talker{Base: NewBase(2)}
+	w, _ := NewWorld(g, []Agent{liar, listener}, []int{0, 0})
+	if err := w.SetByzantine(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	w.Step()
+	if len(listener.heard) != 1 {
+		t.Fatalf("heard %d messages, want 1", len(listener.heard))
+	}
+	got := listener.heard[0]
+	if got.From != 1 {
+		t.Fatalf("corruption rewrote From: %+v", got)
+	}
+	want := CorruptMessage(Message{From: 1, To: Broadcast, Kind: MsgShareN, A: 42}, 5, 0, 0)
+	if got.Kind != want.Kind || got.A != want.A || got.B != want.B {
+		t.Fatalf("message = %+v, want payload of %+v", got, want)
+	}
+	if got.Kind == MsgShareN && got.A == 42 {
+		t.Fatal("Byzantine message delivered honestly")
+	}
+	// The liar receives the listener's honest broadcast untouched.
+	if len(liar.heard) != 1 || liar.heard[0].A != 42 {
+		t.Fatalf("honest traffic corrupted: %+v", liar.heard)
+	}
+}
+
+func TestSetByzantineValidation(t *testing.T) {
+	g := graph.Path(2)
+	w, _ := NewWorld(g, []Agent{newScripted(1)}, []int{0})
+	if err := w.SetByzantine(9, 1); err == nil {
+		t.Error("unknown robot accepted")
+	}
+}
+
+func TestOverlayClosedDoorBlocksMove(t *testing.T) {
+	g := graph.Cycle(4)
+	// Probe a twin overlay to find a candidate half-edge; with rate 1 every
+	// candidate is closed in even rounds and open in odd rounds.
+	probe := graph.NewOverlay(g, 1, 9)
+	probe.AdvanceTo(0)
+	u, p := -1, -1
+	for n := 0; n < g.N() && u < 0; n++ {
+		for q := 0; q < g.Degree(n); q++ {
+			if !probe.Open(n, q) {
+				u, p = n, q
+				break
+			}
+		}
+	}
+	if u < 0 {
+		t.Fatal("cycle overlay has no closed candidate at rate 1")
+	}
+	r := newScripted(1, MoveAction(p), MoveAction(p))
+	w, _ := NewWorld(g, []Agent{r}, []int{u})
+	if err := w.SetOverlay(graph.NewOverlay(g, 1, 9)); err != nil {
+		t.Fatal(err)
+	}
+	w.Step() // round 0: door closed, the robot stays
+	if got := w.Positions()[0]; got != u {
+		t.Fatalf("robot crossed a closed door: at %d", got)
+	}
+	if w.Summary().TotalMoves != 0 {
+		t.Fatalf("blocked move counted: %d", w.Summary().TotalMoves)
+	}
+	w.Step() // round 1: rate-1 churn reopens every candidate, move succeeds
+	to, _ := g.Neighbor(u, p)
+	if got := w.Positions()[0]; got != to {
+		t.Fatalf("robot did not cross the reopened door: at %d, want %d", got, to)
+	}
+	if w.Summary().TotalMoves != 1 {
+		t.Fatalf("TotalMoves = %d, want 1", w.Summary().TotalMoves)
+	}
+}
+
+func TestSetOverlayValidation(t *testing.T) {
+	w, _ := NewWorld(graph.Path(2), []Agent{newScripted(1)}, []int{0})
+	if err := w.SetOverlay(graph.NewOverlay(graph.Cycle(4), 0.5, 1)); err == nil {
+		t.Error("overlay over a foreign graph accepted")
+	}
+	if err := w.SetOverlay(nil); err != nil {
+		t.Errorf("clearing the overlay failed: %v", err)
+	}
+}
+
 func TestDelayedAgentSleepsThenRuns(t *testing.T) {
 	g := graph.Path(3)
 	inner := newScripted(1, MoveAction(0), MoveAction(0))

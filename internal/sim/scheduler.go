@@ -194,6 +194,20 @@ func (a *Adversarial) Activate(v SchedView, active []bool) {
 // String implements Scheduler.
 func (a *Adversarial) String() string { return fmt.Sprintf("adv:%d", a.MaxLag) }
 
+// SchedulerGrammar returns the one-line-per-spec catalog of the scheduler
+// grammar — the single source -list sections and parse errors quote, so
+// the enumeration a user sees is always the one ParseScheduler accepts.
+func SchedulerGrammar() []string {
+	return []string{
+		"full          fully-synchronous (the default, the paper's model)",
+		"semi:P        semi-synchronous with activation probability P (0.05 <= P <= 1)",
+		"adv[:L]       adversarial with lag bound L (default bound when omitted)",
+	}
+}
+
+// schedulerForms is the compact enumeration quoted by every parse error.
+const schedulerForms = "full, semi:P or adv[:L]"
+
 // ParseScheduler builds a scheduler from its flag spec:
 //
 //	full          fully-synchronous (the default, the paper's model)
@@ -202,6 +216,8 @@ func (a *Adversarial) String() string { return fmt.Sprintf("adv:%d", a.MaxLag) }
 //	adv:L         adversarial with lag bound L
 //
 // seed feeds the SemiSync stream and is ignored by the other schedulers.
+// Every error enumerates the valid forms, so a bad spec teaches the
+// grammar instead of only naming the bad token.
 func ParseScheduler(spec string, seed uint64) (Scheduler, error) {
 	name, arg, hasArg := strings.Cut(spec, ":")
 	switch name {
@@ -214,7 +230,7 @@ func ParseScheduler(spec string, seed uint64) (Scheduler, error) {
 			// Reject what NewSemiSync would silently clamp, so the spec a
 			// user typed is always the probability the run actually uses.
 			if err != nil || v < 0.05 || v > 1 {
-				return nil, fmt.Errorf("sim: bad activation probability %q (want 0.05 <= p <= 1; runs must make progress)", arg)
+				return nil, fmt.Errorf("sim: bad activation probability %q (want 0.05 <= p <= 1, as in %s; runs must make progress)", arg, schedulerForms)
 			}
 			p = v
 		}
@@ -224,11 +240,11 @@ func ParseScheduler(spec string, seed uint64) (Scheduler, error) {
 		if hasArg {
 			v, err := strconv.Atoi(arg)
 			if err != nil || v < 1 {
-				return nil, fmt.Errorf("sim: bad adversarial lag %q (want >= 1)", arg)
+				return nil, fmt.Errorf("sim: bad adversarial lag %q (want >= 1, as in %s)", arg, schedulerForms)
 			}
 			lag = v
 		}
 		return NewAdversarial(lag), nil
 	}
-	return nil, fmt.Errorf("sim: unknown scheduler %q (want full, semi:P or adv[:L])", spec)
+	return nil, fmt.Errorf("sim: unknown scheduler %q (want %s)", spec, schedulerForms)
 }

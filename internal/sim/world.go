@@ -37,8 +37,14 @@ type World struct {
 	sched   Scheduler
 	occ     occupancy // live robots bucketed by node, ID-sorted
 
-	crashAt []int // round at which each robot fail-stops (-1 = never)
-	crashed []bool
+	crashAt   []int // round at which each robot fail-stops (-1 = never)
+	crashed   []bool
+	recoverAt []int  // round at which a crashed robot resumes (-1 = never)
+	recovered []bool // robot has resumed from a crash this run
+	byz       []bool // robot is Byzantine: its card and messages are corrupted
+	byzSeed   []uint64
+
+	overlay *graph.Overlay // dynamic edge mask, nil = static graph
 
 	firstGather int // first round (boundary) at which all robots co-located
 	firstMeet   int // first round (boundary) at which any two robots co-located
@@ -81,11 +87,16 @@ func NewWorld(g *graph.Graph, agents []Agent, positions []int) (*World, error) {
 		sched:       NewFullSync(),
 		crashAt:     make([]int, len(agents)),
 		crashed:     make([]bool, len(agents)),
+		recoverAt:   make([]int, len(agents)),
+		recovered:   make([]bool, len(agents)),
+		byz:         make([]bool, len(agents)),
+		byzSeed:     make([]uint64, len(agents)),
 		firstGather: -1,
 		firstMeet:   -1,
 	}
 	for i := range w.crashAt {
 		w.crashAt[i] = -1
+		w.recoverAt[i] = -1
 	}
 	for i, a := range agents {
 		if a.ID() <= 0 {
@@ -137,6 +148,10 @@ func (w *World) Reset(agents []Agent, positions []int) error {
 	w.moves = growSlice(w.moves, k)
 	w.crashAt = growSlice(w.crashAt, k)
 	w.crashed = growSlice(w.crashed, k)
+	w.recoverAt = growSlice(w.recoverAt, k)
+	w.recovered = growSlice(w.recovered, k)
+	w.byz = growSlice(w.byz, k)
+	w.byzSeed = growSlice(w.byzSeed, k)
 	clear(w.idIndex)
 	for i, a := range agents {
 		if a.ID() <= 0 {
@@ -157,11 +172,16 @@ func (w *World) Reset(agents []Agent, positions []int) error {
 		w.moves[i] = 0
 		w.crashAt[i] = -1
 		w.crashed[i] = false
+		w.recoverAt[i] = -1
+		w.recovered[i] = false
+		w.byz[i] = false
+		w.byzSeed[i] = 0
 	}
 	w.round = 0
 	w.firstGather, w.firstMeet = -1, -1
 	w.tracer = nil
 	w.sched = NewFullSync()
+	w.overlay = nil
 	w.occ.reset(w.g.N(), w.ids, w.pos)
 	w.noteGather()
 	return nil
@@ -209,10 +229,80 @@ func (w *World) CrashAt(robotID, round int) error {
 	return nil
 }
 
+// RecoverAt schedules a crash-recovery fault: at the start of the given
+// round a crashed robot resumes operating at its crash position with
+// constructor-state amnesia — its agent is rewound to the state its
+// constructor would produce (via sim.Resettable), so all protocol
+// knowledge, including a prior termination, is lost, while its position
+// and move odometer are preserved. The recovery round must come after the
+// robot's scheduled crash round, and the agent must implement Resettable
+// (amnesia is exactly the pooling rewind contract).
+func (w *World) RecoverAt(robotID, round int) error {
+	i, ok := w.idIndex[robotID]
+	if !ok {
+		return fmt.Errorf("sim: no robot with ID %d", robotID)
+	}
+	if w.crashAt[i] < 0 {
+		return fmt.Errorf("sim: recovery scheduled for robot %d without a scheduled crash", robotID)
+	}
+	if round <= w.crashAt[i] {
+		return fmt.Errorf("sim: recovery round %d not after crash round %d", round, w.crashAt[i])
+	}
+	if _, ok := w.agents[i].(Resettable); !ok {
+		return fmt.Errorf("sim: robot %d's agent does not implement Resettable (required for recovery amnesia)", robotID)
+	}
+	w.recoverAt[i] = round
+	return nil
+}
+
+// SetByzantine marks a robot Byzantine: from now on the card it exposes
+// and the messages it sends are deterministically corrupted from the
+// given per-robot stream seed (see CorruptCard/CorruptMessage). The robot
+// still runs its algorithm honestly on what it observes — only its
+// outgoing payloads lie.
+func (w *World) SetByzantine(robotID int, seed uint64) error {
+	i, ok := w.idIndex[robotID]
+	if !ok {
+		return fmt.Errorf("sim: no robot with ID %d", robotID)
+	}
+	w.byz[i] = true
+	w.byzSeed[i] = seed
+	return nil
+}
+
+// SetOverlay installs a dynamic edge mask over the world's graph: each
+// round the overlay advances its seeded churn and robots moving through a
+// closed port stay put. nil restores the static graph. The overlay must
+// be over this world's graph. Like the scheduler, the overlay carries
+// per-run state and is cleared by Reset; pooled sweeps Reset the overlay
+// and reinstall it per job.
+func (w *World) SetOverlay(o *graph.Overlay) error {
+	if o != nil && o.Base() != w.g {
+		return fmt.Errorf("sim: overlay is over a different graph than the world's")
+	}
+	w.overlay = o
+	return nil
+}
+
+// Overlay returns the installed dynamic edge mask, nil when static.
+func (w *World) Overlay() *graph.Overlay { return w.overlay }
+
 // CrashedCount returns how many robots have fail-stopped so far.
 func (w *World) CrashedCount() int {
 	c := 0
 	for _, x := range w.crashed {
+		if x {
+			c++
+		}
+	}
+	return c
+}
+
+// RecoveredCount returns how many robots have resumed from a crash so
+// far.
+func (w *World) RecoveredCount() int {
+	c := 0
+	for _, x := range w.recovered {
 		if x {
 			c++
 		}
@@ -326,7 +416,16 @@ func (w *World) noteGather() {
 // CI gates hold. The snapshot sub-phase is accounted to Observe.
 func (w *World) Step() {
 	s := w.ensureScratch()
-	w.applyCrashes()
+	if w.overlay != nil {
+		// Round 0 must see round-0 churn: a pooled overlay advanced by an
+		// earlier run on this worker is rewound before its first use here,
+		// so runs are bit-identical whatever overlay history they inherit.
+		if w.round == 0 && w.overlay.Applied() > 0 {
+			w.overlay.Reset()
+		}
+		w.overlay.AdvanceTo(w.round)
+	}
+	w.applyFaults()
 	w.schedule(s)
 	t := prof.PhaseStart()
 	w.snapshotCards(s)
@@ -390,13 +489,26 @@ func (w *World) ensureScratch() *scratch {
 	return s
 }
 
-// applyCrashes executes scheduled fail-stop faults at the round boundary:
-// crashed robots leave the occupancy index and disappear from the system.
-func (w *World) applyCrashes() {
+// applyFaults executes scheduled crash and recovery faults at the round
+// boundary: crashed robots leave the occupancy index and disappear from
+// the system; recovering robots re-enter it at their crash position with
+// their agent rewound to constructor state (amnesia — a prior
+// termination is forgotten along with everything else), their arrival
+// port cleared as at a fresh start, and their move odometer preserved
+// (moves are a physical cost already paid).
+func (w *World) applyFaults() {
 	for i := range w.agents {
 		if w.crashAt[i] == w.round && !w.crashed[i] {
 			w.crashed[i] = true
 			w.occ.del(i, w.pos[i])
+		} else if w.crashed[i] && w.recoverAt[i] == w.round {
+			w.crashed[i] = false
+			w.recovered[i] = true
+			w.agents[i].(Resettable).Reset(w.ids[i])
+			w.arrival[i] = -1
+			w.done[i] = false
+			w.verdict[i] = false
+			w.occ.add(i, w.pos[i])
 		}
 	}
 }
@@ -422,6 +534,9 @@ func (w *World) snapshotCards(s *scratch) {
 		s.cards[i] = a.Card()
 		s.cards[i].Done = w.done[i]
 		s.cards[i].Gathered = w.verdict[i]
+		if w.byz[i] {
+			s.cards[i] = CorruptCard(s.cards[i], w.byzSeed[i], w.round)
+		}
 	}
 }
 
@@ -473,8 +588,11 @@ func (w *World) communicate(s *scratch) {
 		if !w.acting(s, i) {
 			continue
 		}
-		for _, m := range a.Compose(&s.envs[i]) {
+		for mi, m := range a.Compose(&s.envs[i]) {
 			m.From = w.ids[i]
+			if w.byz[i] {
+				m = CorruptMessage(m, w.byzSeed[i], w.round, mi)
+			}
 			if m.To == Broadcast {
 				for _, j := range w.occ.at(w.pos[i]) {
 					if j != i && w.acting(s, j) {
@@ -550,8 +668,15 @@ func (w *World) resolveActions(s *scratch) {
 				panic(fmt.Sprintf("sim: robot %d used invalid port %d at degree-%d node (round %d)",
 					w.ids[i], p, w.g.Degree(w.pos[i]), w.round))
 			}
-			to, rev := w.g.Neighbor(w.pos[i], p)
-			resolved[i] = mv{node: to, arrival: rev, moved: true}
+			if w.overlay != nil && !w.overlay.Open(w.pos[i], p) {
+				// Closed door: the robot spent the round pushing an edge the
+				// churn adversary shut and stays put (followers of a blocked
+				// mover stay with it — the chain copies moved=false).
+				resolved[i] = mv{node: w.pos[i], arrival: w.arrival[i]}
+			} else {
+				to, rev := w.g.Neighbor(w.pos[i], p)
+				resolved[i] = mv{node: to, arrival: rev, moved: true}
+			}
 			state[i] = 1
 		case Follow:
 			state[i] = 0
@@ -620,6 +745,7 @@ type Result struct {
 	TotalMoves       int64 // sum of edge traversals
 	MaxMoves         int64 // max edge traversals by any robot
 	Crashed          int   // robots that fail-stopped during the run
+	Recovered        int   // robots that crashed and later recovered
 	FinalPositions   []int
 }
 
@@ -656,6 +782,7 @@ func (w *World) Summary() Result {
 		FirstGatherRound: w.firstGather,
 		FirstMeetRound:   w.firstMeet,
 		Crashed:          w.CrashedCount(),
+		Recovered:        w.RecoveredCount(),
 		FinalPositions:   w.Positions(),
 	}
 	res.DetectionCorrect = res.AllTerminated && res.Gathered
